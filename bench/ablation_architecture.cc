@@ -1,0 +1,62 @@
+// Ablation: how the parallel index is organized.
+//
+//   * shared tree      — one global X-tree, data pages declustered
+//                        (the paper's "parallel X-tree");
+//   * federated trees  — one X-tree per disk over its share;
+//   * federated scan   — no index, every disk scans its share.
+//
+// Also contrasts the paper's max-over-disks response-time rule against a
+// sum-over-disks accounting (the "sum vs max" design note in DESIGN.md).
+
+#include "bench/bench_common.h"
+
+namespace parsim {
+namespace bench {
+namespace {
+
+void RunFigure() {
+  PrintHeader("Ablation — parallel architecture and time accounting",
+              "(design choices of the reproduction; 16 disks, 10-NN)");
+  const std::size_t d = 15;
+  const std::uint32_t disks = 16;
+  const std::size_t n = NumPointsForMegabytes(DataMegabytes(), d);
+  const PointSet data = FourierWorkload(n, d, 1102);
+  const PointSet queries =
+      SampleQueriesFromData(data, NumQueries(), 0.02, 2102);
+
+  Table table({"architecture", "parallel ms (max rule)", "sum ms",
+               "max pages", "total pages"});
+  struct Config {
+    const char* name;
+    Architecture architecture;
+  };
+  for (const Config& config :
+       {Config{"shared tree", Architecture::kSharedTree},
+        Config{"federated trees", Architecture::kFederatedTrees},
+        Config{"federated scan", Architecture::kFederatedScan}}) {
+    std::unique_ptr<ParallelSearchEngine> engine;
+    if (config.architecture == Architecture::kFederatedScan) {
+      EngineOptions options;
+      options.architecture = config.architecture;
+      engine = BuildEngine(
+          data, std::make_unique<RoundRobinDeclusterer>(disks), options);
+    } else {
+      engine = BuildOurs(data, disks, config.architecture);
+    }
+    const WorkloadResult r = RunKnnWorkload(*engine, queries, 10);
+    table.AddRow({config.name, Table::Num(r.avg_parallel_ms, 1),
+                  Table::Num(r.avg_sum_ms, 1), Table::Num(r.avg_max_pages, 1),
+                  Table::Num(r.avg_total_pages, 1)});
+  }
+  table.Print(stdout);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace parsim
+
+int main(int argc, char** argv) {
+  parsim::bench::RunMicrobenchmarks(argc, argv);
+  parsim::bench::RunFigure();
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Ablation: bulk-load packing order — Hilbert-curve packing (our
+// default) vs Sort-Tile-Recursive, vs one-by-one R* insertion (the
+// paper's dynamic build), compared on build cost and query pages.
+
+#include "bench/bench_common.h"
+
+namespace parsim {
+namespace bench {
+namespace {
+
+void RunFigure() {
+  PrintHeader("Ablation — index build method",
+              "(Hilbert packing vs STR vs dynamic insertion; 10-NN pages)");
+  Table table({"dim", "build", "build pages written", "avg leaf fill",
+               "query pages"});
+  for (std::size_t d : {4u, 8u, 15u}) {
+    const std::size_t n = NumPointsForMegabytes(DataMegabytes() / 4, d);
+    const PointSet data = GenerateUniform(n, d, 1401 + d);
+    const PointSet queries = GenerateUniformQueries(NumQueries(), d, 2401);
+    for (int method = 0; method < 3; ++method) {
+      SimulatedDisk disk(0);
+      TreeOptions options;
+      const char* name = "";
+      if (method == 0) {
+        options.bulk_load_order = BulkLoadOrder::kHilbert;
+        name = "bulk (Hilbert)";
+      } else if (method == 1) {
+        options.bulk_load_order = BulkLoadOrder::kStr;
+        name = "bulk (STR)";
+      } else {
+        name = "insertion (R*)";
+      }
+      XTreeOptions xopts;
+      static_cast<TreeOptions&>(xopts) = options;
+      XTree tree(d, &disk, xopts);
+      if (method < 2) {
+        PARSIM_CHECK(tree.BulkLoad(data).ok());
+      } else {
+        for (std::size_t i = 0; i < data.size(); ++i) {
+          PARSIM_CHECK(tree.Insert(data[i], static_cast<PointId>(i)).ok());
+        }
+      }
+      PARSIM_CHECK(tree.ValidateInvariants().ok());
+      const std::uint64_t written = disk.stats().pages_written;
+      const auto stats = tree.ComputeStats();
+      std::uint64_t pages = 0;
+      for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+        disk.ResetStats();
+        (void)HsKnn(tree, queries[qi], 10);
+        pages += disk.stats().TotalPagesRead();
+      }
+      table.AddRow({Table::Int(static_cast<long long>(d)), name,
+                    Table::Int(static_cast<long long>(written)),
+                    Table::Num(stats.avg_leaf_fill, 2),
+                    Table::Num(static_cast<double>(pages) /
+                                   static_cast<double>(queries.size()),
+                               1)});
+    }
+  }
+  table.Print(stdout);
+}
+
+void BM_BulkLoadStr(benchmark::State& state) {
+  const std::size_t d = 15;
+  const PointSet data = GenerateUniform(50000, d, 42);
+  TreeOptions options;
+  options.bulk_load_order = BulkLoadOrder::kStr;
+  for (auto _ : state) {
+    SimulatedDisk disk(0);
+    XTreeOptions xopts;
+    static_cast<TreeOptions&>(xopts) = options;
+    XTree tree(d, &disk, xopts);
+    PARSIM_CHECK(tree.BulkLoad(data).ok());
+    benchmark::DoNotOptimize(tree.size());
+  }
+}
+BENCHMARK(BM_BulkLoadStr);
+
+}  // namespace
+}  // namespace bench
+}  // namespace parsim
+
+int main(int argc, char** argv) {
+  parsim::bench::RunMicrobenchmarks(argc, argv);
+  parsim::bench::RunFigure();
+  return 0;
+}

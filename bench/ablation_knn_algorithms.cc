@@ -1,0 +1,86 @@
+// Ablation: the two k-NN algorithms over the X-tree — incremental
+// best-first [HS 95] (our engine default) versus depth-first
+// branch-and-bound [RKV 95] (what the paper ran).
+//
+// HS is provably page-optimal, so it reads at most as many pages; the
+// table quantifies by how much, per dimension and k.
+
+#include "bench/bench_common.h"
+
+namespace parsim {
+namespace bench {
+namespace {
+
+void RunFigure() {
+  PrintHeader("Ablation — k-NN algorithm: HS best-first vs RKV",
+              "(design choice; both produce identical answers)");
+  Table table({"dim", "k", "HS pages", "RKV pages", "RKV/HS"});
+  for (std::size_t d : {4u, 8u, 15u}) {
+    const std::size_t n = NumPointsForMegabytes(DataMegabytes() / 4, d);
+    const PointSet data = GenerateUniform(n, d, 1101 + d);
+    SimulatedDisk disk(0);
+    XTree tree(d, &disk);
+    const Status s = tree.BulkLoad(data);
+    PARSIM_CHECK(s.ok());
+    const PointSet queries = GenerateUniformQueries(NumQueries(), d, 2101);
+    for (std::size_t k : {1u, 10u}) {
+      std::uint64_t hs_pages = 0, rkv_pages = 0;
+      for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+        disk.ResetStats();
+        (void)HsKnn(tree, queries[qi], k);
+        hs_pages += disk.stats().TotalPagesRead();
+        disk.ResetStats();
+        (void)RkvKnn(tree, queries[qi], k);
+        rkv_pages += disk.stats().TotalPagesRead();
+      }
+      table.AddRow({Table::Int(static_cast<long long>(d)),
+                    Table::Int(static_cast<long long>(k)),
+                    Table::Int(static_cast<long long>(hs_pages)),
+                    Table::Int(static_cast<long long>(rkv_pages)),
+                    Table::Num(static_cast<double>(rkv_pages) /
+                                   static_cast<double>(hs_pages),
+                               2)});
+    }
+  }
+  table.Print(stdout);
+}
+
+void BM_HsKnn(benchmark::State& state) {
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  const PointSet data = GenerateUniform(20000, d, 42);
+  SimulatedDisk disk(0);
+  XTree tree(d, &disk);
+  PARSIM_CHECK(tree.BulkLoad(data).ok());
+  const PointSet queries = GenerateUniformQueries(64, d, 43);
+  std::size_t qi = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HsKnn(tree, queries[qi % queries.size()], 10));
+    ++qi;
+  }
+}
+BENCHMARK(BM_HsKnn)->Arg(4)->Arg(15);
+
+void BM_RkvKnn(benchmark::State& state) {
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  const PointSet data = GenerateUniform(20000, d, 42);
+  SimulatedDisk disk(0);
+  XTree tree(d, &disk);
+  PARSIM_CHECK(tree.BulkLoad(data).ok());
+  const PointSet queries = GenerateUniformQueries(64, d, 43);
+  std::size_t qi = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RkvKnn(tree, queries[qi % queries.size()], 10));
+    ++qi;
+  }
+}
+BENCHMARK(BM_RkvKnn)->Arg(4)->Arg(15);
+
+}  // namespace
+}  // namespace bench
+}  // namespace parsim
+
+int main(int argc, char** argv) {
+  parsim::bench::RunMicrobenchmarks(argc, argv);
+  parsim::bench::RunFigure();
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Ablation: X-tree vs plain R*-tree as the index substrate.
+//
+// The X-tree's supernodes avoid the high-overlap directory splits that
+// degrade the R*-tree in high dimensions [BKK 96]; this table shows the
+// structural difference (supernodes appear on correlated data) and the
+// query-page effect per dimension.
+
+#include "bench/bench_common.h"
+
+namespace parsim {
+namespace bench {
+namespace {
+
+void RunFigure() {
+  PrintHeader("Ablation — X-tree vs R*-tree substrate",
+              "(insertion-built; dense high-d cluster; 10-NN pages)");
+  Table table({"dim", "tree", "supernodes", "dir pages", "query pages"});
+  for (std::size_t d : {8u, 12u, 15u}) {
+    const std::size_t n =
+        std::min<std::size_t>(30000, NumPointsForMegabytes(2.0, d));
+    const PointSet data = GenerateClusteredGaussian(n, d, 1, 0.02, 1103 + d);
+    const PointSet queries = SampleQueriesFromData(data, NumQueries(), 0.01,
+                                                   2103);
+    for (int use_xtree = 1; use_xtree >= 0; --use_xtree) {
+      SimulatedDisk disk(0);
+      std::unique_ptr<TreeBase> tree;
+      if (use_xtree != 0) {
+        tree = std::make_unique<XTree>(d, &disk);
+      } else {
+        tree = std::make_unique<RStarTree>(d, &disk);
+      }
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        PARSIM_CHECK(tree->Insert(data[i], static_cast<PointId>(i)).ok());
+      }
+      const auto stats = tree->ComputeStats();
+      std::uint64_t pages = 0, dir_pages = 0;
+      for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+        disk.ResetStats();
+        (void)HsKnn(*tree, queries[qi], 10);
+        pages += disk.stats().TotalPagesRead();
+        dir_pages += disk.stats().directory_pages_read;
+      }
+      table.AddRow(
+          {Table::Int(static_cast<long long>(d)), tree->name(),
+           Table::Int(static_cast<long long>(stats.num_supernodes)),
+           Table::Num(static_cast<double>(dir_pages) /
+                          static_cast<double>(queries.size()),
+                      1),
+           Table::Num(static_cast<double>(pages) /
+                          static_cast<double>(queries.size()),
+                      1)});
+    }
+  }
+  table.Print(stdout);
+}
+
+void BM_XTreeInsert(benchmark::State& state) {
+  const std::size_t d = 15;
+  const PointSet data = GenerateUniform(100000, d, 42);
+  SimulatedDisk disk(0);
+  XTree tree(d, &disk);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    PARSIM_CHECK(
+        tree.Insert(data[i % data.size()], static_cast<PointId>(i)).ok());
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(i));
+}
+BENCHMARK(BM_XTreeInsert);
+
+void BM_XTreeBulkLoad(benchmark::State& state) {
+  const std::size_t d = 15;
+  const PointSet data = GenerateUniform(50000, d, 42);
+  for (auto _ : state) {
+    SimulatedDisk disk(0);
+    XTree tree(d, &disk);
+    PARSIM_CHECK(tree.BulkLoad(data).ok());
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          50000);
+}
+BENCHMARK(BM_XTreeBulkLoad);
+
+}  // namespace
+}  // namespace bench
+}  // namespace parsim
+
+int main(int argc, char** argv) {
+  parsim::bench::RunMicrobenchmarks(argc, argv);
+  parsim::bench::RunFigure();
+  return 0;
+}

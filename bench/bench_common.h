@@ -1,0 +1,113 @@
+// Shared infrastructure of the figure benchmarks.
+//
+// Every bench binary reproduces one table/figure of the paper: it runs
+// the experiment on the simulator, prints the paper-style rows, and then
+// (optionally) runs google-benchmark microbenchmarks registered by the
+// binary. Data sizes default to a laptop-friendly fraction of the
+// paper's 30-80 MBytes; set PARSIM_BENCH_MB to raise them.
+
+#ifndef PARSIM_BENCH_BENCH_COMMON_H_
+#define PARSIM_BENCH_BENCH_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "src/parsim/parsim.h"
+
+namespace parsim {
+namespace bench {
+
+/// Default data-set size in MBytes for the big sweeps (the paper used
+/// 30-80 MB on a 16-machine cluster; 8 MB keeps a full figure run under
+/// a couple of minutes on one core while preserving every shape).
+inline double DataMegabytes() {
+  if (const char* env = std::getenv("PARSIM_BENCH_MB")) {
+    const double mb = std::atof(env);
+    if (mb > 0.0) return mb;
+  }
+  return 8.0;
+}
+
+/// Number of queries averaged per configuration (the paper averaged 100
+/// repetitions; the simulator is deterministic, so fewer suffice).
+inline std::size_t NumQueries() {
+  if (const char* env = std::getenv("PARSIM_BENCH_QUERIES")) {
+    const long q = std::atol(env);
+    if (q > 0) return static_cast<std::size_t>(q);
+  }
+  return 20;
+}
+
+/// Prints the standard header identifying the figure being reproduced.
+inline void PrintHeader(const char* figure, const char* claim) {
+  std::printf("=====================================================\n");
+  std::printf("%s\n", figure);
+  std::printf("paper: %s\n", claim);
+  std::printf("=====================================================\n");
+}
+
+/// The paper's Fourier-point workload stand-in: part families with few
+/// latent degrees of freedom (see DESIGN.md, substitutions).
+inline PointSet FourierWorkload(std::size_t n, std::size_t dim,
+                                std::uint64_t seed) {
+  FourierOptions options;
+  options.base_shapes = 16;
+  options.variation = 0.15;
+  return GenerateFourierPoints(n, dim, seed, options);
+}
+
+/// Builds the paper's engine ("new"): quantile splits + recursive
+/// refinement, federated per-machine X-trees, Hilbert bulk load.
+inline std::unique_ptr<ParallelSearchEngine> BuildOurs(
+    const PointSet& data, std::uint32_t disks,
+    Architecture architecture = Architecture::kFederatedTrees) {
+  EngineOptions options;
+  options.architecture = architecture;
+  options.bulk_load = true;
+  RecursiveOptions ropts;
+  ropts.overload_threshold = 1.2;
+  auto dec = std::make_unique<RecursiveDeclusterer>(
+      Bucketizer(EstimateQuantileSplits(data)), disks, ropts);
+  dec->Fit(data);
+  return BuildEngine(data, std::move(dec), options);
+}
+
+/// Builds the Hilbert baseline at the paper's bucket granularity.
+inline std::unique_ptr<ParallelSearchEngine> BuildHilbert(
+    const PointSet& data, std::uint32_t disks,
+    Architecture architecture = Architecture::kFederatedTrees,
+    int grid_bits = 1) {
+  EngineOptions options;
+  options.architecture = architecture;
+  options.bulk_load = true;
+  return BuildEngine(
+      data, std::make_unique<HilbertDeclusterer>(data.dim(), disks, grid_bits),
+      options);
+}
+
+/// Builds the sequential X-tree baseline (one disk).
+inline std::unique_ptr<ParallelSearchEngine> BuildSequential(
+    const PointSet& data) {
+  EngineOptions options;
+  options.bulk_load = true;
+  return BuildEngine(
+      data, std::make_unique<NearOptimalDeclusterer>(data.dim(), 1), options);
+}
+
+/// Runs registered google-benchmark microbenchmarks (if any), then
+/// returns so main() can print the figure table. Honors benchmark's own
+/// command-line flags.
+inline void RunMicrobenchmarks(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+}
+
+}  // namespace bench
+}  // namespace parsim
+
+#endif  // PARSIM_BENCH_BENCH_COMMON_H_

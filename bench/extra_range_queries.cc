@@ -1,0 +1,111 @@
+// Extension experiment: range and partial-match queries — the query
+// types the baseline declusterers were *designed* for (Section 1: disk
+// modulo and FX target partial match, Hilbert targets range queries).
+//
+// The table shows the busiest-disk page count per method, for cubic
+// range queries of several selectivities and for partial-match queries
+// with a varying number of fixed dimensions. The near-optimal
+// declustering was designed for NN queries, but quadrant-neighbor
+// separation pays off for range queries too.
+
+#include "bench/bench_common.h"
+
+namespace parsim {
+namespace bench {
+namespace {
+
+std::unique_ptr<ParallelSearchEngine> MakeEngineFor(DeclustererKind kind,
+                                                    const PointSet& data,
+                                                    std::uint32_t disks) {
+  EngineOptions options;
+  options.bulk_load = true;
+  return BuildEngine(data, MakeDeclusterer(kind, data.dim(), disks), options);
+}
+
+void RunFigure() {
+  PrintHeader("Extension — range / partial-match queries per declusterer",
+              "(beyond the paper: the baselines' own query types)");
+  const std::size_t d = 8;
+  const std::uint32_t disks = 8;
+  const std::size_t n = NumPointsForMegabytes(DataMegabytes(), d);
+  const PointSet data = GenerateUniform(n, d, 1201);
+  Rng rng(2201);
+
+  const DeclustererKind kinds[] = {
+      DeclustererKind::kRoundRobin, DeclustererKind::kDiskModulo,
+      DeclustererKind::kFx, DeclustererKind::kHilbert,
+      DeclustererKind::kNearOptimal};
+
+  {
+    Table table({"method", "side 0.3 max pages", "side 0.5 max pages",
+                 "side 0.7 max pages", "balance(0.5)"});
+    for (DeclustererKind kind : kinds) {
+      auto engine = MakeEngineFor(kind, data, disks);
+      std::vector<std::string> row = {DeclustererKindToString(kind)};
+      double balance_mid = 0.0;
+      for (double side : {0.3, 0.5, 0.7}) {
+        double max_pages = 0.0;
+        double balance = 0.0;
+        Rng local(2202);
+        const int trials = static_cast<int>(NumQueries());
+        for (int t = 0; t < trials; ++t) {
+          std::vector<Scalar> lo(d), hi(d);
+          for (std::size_t j = 0; j < d; ++j) {
+            const double start = local.NextUniform(0.0, 1.0 - side);
+            lo[j] = static_cast<Scalar>(start);
+            hi[j] = static_cast<Scalar>(start + side);
+          }
+          QueryStats stats;
+          (void)engine->RangeQuery(Rect(std::move(lo), std::move(hi)),
+                                   &stats);
+          max_pages += static_cast<double>(stats.max_pages);
+          balance += stats.balance;
+        }
+        row.push_back(Table::Num(max_pages / trials, 1));
+        if (side == 0.5) balance_mid = balance / trials;
+      }
+      row.push_back(Table::Num(balance_mid, 2));
+      table.AddRow(std::move(row));
+    }
+    std::printf("(a) cubic range queries, uniform d=%zu data\n", d);
+    table.Print(stdout);
+  }
+
+  {
+    Table table({"method", "1 fixed dim", "2 fixed dims", "4 fixed dims"});
+    for (DeclustererKind kind : kinds) {
+      auto engine = MakeEngineFor(kind, data, disks);
+      std::vector<std::string> row = {DeclustererKindToString(kind)};
+      for (std::size_t fixed_count : {1u, 2u, 4u}) {
+        double max_pages = 0.0;
+        Rng local(2203);
+        const int trials = static_cast<int>(NumQueries());
+        for (int t = 0; t < trials; ++t) {
+          std::vector<std::pair<std::size_t, Scalar>> fixed;
+          for (std::size_t f = 0; f < fixed_count; ++f) {
+            fixed.emplace_back(
+                (f * 2) % d, static_cast<Scalar>(local.NextDouble()));
+          }
+          QueryStats stats;
+          (void)engine->PartialMatchQuery(fixed, /*tolerance=*/0.05f, &stats);
+          max_pages += static_cast<double>(stats.max_pages);
+        }
+        row.push_back(Table::Num(max_pages / trials, 1));
+      }
+      table.AddRow(std::move(row));
+    }
+    std::printf("\n(b) partial-match queries (tolerance 0.05)\n");
+    table.Print(stdout);
+  }
+  (void)rng;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace parsim
+
+int main(int argc, char** argv) {
+  parsim::bench::RunMicrobenchmarks(argc, argv);
+  parsim::bench::RunFigure();
+  return 0;
+}

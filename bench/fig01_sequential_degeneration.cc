@@ -1,0 +1,59 @@
+// Figure 1: total search time of a 10-NN query on a *sequential* X-tree
+// degenerates as the dimension grows (uniform data, fixed volume).
+//
+// Paper: "Figure 1 shows the total search time of a 10-nearest-neighbor
+// query on an X-tree containing 30 MB of uniformly distributed data" —
+// the time rises steeply with the dimension, motivating parallelism.
+
+#include "bench/bench_common.h"
+
+namespace parsim {
+namespace bench {
+namespace {
+
+void RunFigure() {
+  PrintHeader("Figure 1 — sequential X-tree 10-NN degeneration",
+              "search time explodes with growing dimension");
+  const double mb = DataMegabytes();
+  Table table({"dim", "points", "pages read", "search time (ms)",
+               "fraction of index read"});
+  for (std::size_t d : {2u, 4u, 6u, 8u, 10u, 12u, 14u, 16u}) {
+    const std::size_t n = NumPointsForMegabytes(mb, d);
+    const PointSet data = GenerateUniform(n, d, /*seed=*/1001 + d);
+    auto engine = BuildSequential(data);
+    const PointSet queries = GenerateUniformQueries(NumQueries(), d, 2001);
+    const WorkloadResult r = RunKnnWorkload(*engine, queries, 10);
+    const double index_pages =
+        static_cast<double>(engine->tree(0).ComputeStats().total_pages);
+    table.AddRow({Table::Int(static_cast<long long>(d)),
+                  Table::Int(static_cast<long long>(n)),
+                  Table::Num(r.avg_total_pages, 1),
+                  Table::Num(r.avg_parallel_ms, 1),
+                  Table::Num(r.avg_total_pages / index_pages, 3)});
+  }
+  table.Print(stdout);
+}
+
+void BM_SequentialTenNnQuery(benchmark::State& state) {
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = NumPointsForMegabytes(1.0, d);
+  const PointSet data = GenerateUniform(n, d, 42);
+  auto engine = BuildSequential(data);
+  const PointSet queries = GenerateUniformQueries(64, d, 43);
+  std::size_t qi = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine->Query(queries[qi % queries.size()], 10));
+    ++qi;
+  }
+}
+BENCHMARK(BM_SequentialTenNnQuery)->Arg(2)->Arg(8)->Arg(16);
+
+}  // namespace
+}  // namespace bench
+}  // namespace parsim
+
+int main(int argc, char** argv) {
+  parsim::bench::RunMicrobenchmarks(argc, argv);
+  parsim::bench::RunFigure();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Figure 2: speed-up of parallel NN / 10-NN search under plain round
+// robin data distribution (uniform d=15 data, 1..16 disks).
+//
+// Paper: "the speed-up increases nearly linear with the number of disks.
+// This simple experiment shows that nearest-neighbor search can be
+// improved considerably by using parallelism."
+//
+// Round robin here is the paper's *data distribution* baseline: points
+// are dealt to disks j mod n and each disk scans its share (it is a
+// distribution scheme, not an indexing scheme). On 15-dimensional
+// uniform data the sequential X-tree itself reads most of its pages, so
+// even this naive scheme parallelizes almost perfectly.
+
+#include "bench/bench_common.h"
+
+namespace parsim {
+namespace bench {
+namespace {
+
+void RunFigure() {
+  PrintHeader("Figure 2 — speed-up of round robin parallel search",
+              "nearly linear speed-up for NN and 10-NN on uniform d=15");
+  const std::size_t d = 15;
+  const std::size_t n = NumPointsForMegabytes(DataMegabytes(), d);
+  const PointSet data = GenerateUniform(n, d, 1002);
+  const PointSet queries = GenerateUniformQueries(NumQueries(), d, 2002);
+
+  auto sequential = BuildSequential(data);
+  const WorkloadResult seq_nn = RunKnnWorkload(*sequential, queries, 1);
+  const WorkloadResult seq_10nn = RunKnnWorkload(*sequential, queries, 10);
+
+  Table table({"disks", "speed-up NN", "speed-up 10-NN"});
+  for (std::uint32_t disks : {1u, 2u, 4u, 8u, 12u, 16u}) {
+    EngineOptions options;
+    options.architecture = Architecture::kFederatedScan;
+    auto engine = BuildEngine(
+        data, std::make_unique<RoundRobinDeclusterer>(disks), options);
+    const WorkloadResult nn = RunKnnWorkload(*engine, queries, 1);
+    const WorkloadResult ten = RunKnnWorkload(*engine, queries, 10);
+    table.AddRow({Table::Int(disks), Table::Num(Speedup(seq_nn, nn), 2),
+                  Table::Num(Speedup(seq_10nn, ten), 2)});
+  }
+  table.Print(stdout);
+}
+
+void BM_RoundRobinScanQuery(benchmark::State& state) {
+  const std::size_t d = 15;
+  const PointSet data = GenerateUniform(20000, d, 42);
+  EngineOptions options;
+  options.architecture = Architecture::kFederatedScan;
+  auto engine = BuildEngine(
+      data,
+      std::make_unique<RoundRobinDeclusterer>(
+          static_cast<std::uint32_t>(state.range(0))),
+      options);
+  const PointSet queries = GenerateUniformQueries(64, d, 43);
+  std::size_t qi = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine->Query(queries[qi % queries.size()], 10));
+    ++qi;
+  }
+}
+BENCHMARK(BM_RoundRobinScanQuery)->Arg(1)->Arg(16);
+
+}  // namespace
+}  // namespace bench
+}  // namespace parsim
+
+int main(int argc, char** argv) {
+  parsim::bench::RunMicrobenchmarks(argc, argv);
+  parsim::bench::RunFigure();
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 5 (Equation 1): probability that a uniform point lies within
+// 0.1 of the data-space surface, versus dimension.
+//
+// Paper: "the probability grows rapidly with increasing dimension and
+// reaches more than 97% for a dimensionality of 16."
+
+#include "bench/bench_common.h"
+
+namespace parsim {
+namespace bench {
+namespace {
+
+void RunFigure() {
+  PrintHeader("Figure 5 — points near the (d-1)-dimensional surface",
+              "p_surface(d) = 1 - (1 - 0.2)^d; > 97% at d = 16");
+  Rng rng(1005);
+  Table table({"dim", "analytic", "monte carlo (1e6 samples)"});
+  for (std::size_t d : {1u, 2u, 4u, 6u, 8u, 10u, 12u, 14u, 16u, 20u, 24u}) {
+    const double analytic = SurfaceProbability(d, 0.1);
+    const double simulated =
+        MonteCarloSurfaceProbability(d, 0.1, 1000000, &rng);
+    table.AddRow({Table::Int(static_cast<long long>(d)),
+                  Table::Num(analytic, 4), Table::Num(simulated, 4)});
+  }
+  table.Print(stdout);
+  std::printf("headline check: p(16) = %.4f (> 0.97: %s)\n",
+              SurfaceProbability(16, 0.1),
+              SurfaceProbability(16, 0.1) > 0.97 ? "yes" : "NO");
+
+  // Companion effect (Section 3.1): the NN-sphere radius and the number
+  // of quadrants it intersects grow rapidly with d.
+  Table sphere({"dim", "E[NN radius] (N=100k)", "avg quadrants hit"});
+  Rng rng2(1006);
+  for (std::size_t d : {2u, 4u, 8u, 12u, 16u}) {
+    const double r = ExpectedNnDistance(100000, d);
+    const double quadrants =
+        MonteCarloQuadrantsIntersected(d, r, 200, &rng2);
+    sphere.AddRow({Table::Int(static_cast<long long>(d)), Table::Num(r, 3),
+                   Table::Num(quadrants, 1)});
+  }
+  std::printf("\nNN-sphere growth (the declustering motivation):\n");
+  sphere.Print(stdout);
+}
+
+void BM_SurfaceProbabilityMonteCarlo(benchmark::State& state) {
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MonteCarloSurfaceProbability(
+        static_cast<std::size_t>(state.range(0)), 0.1, 10000, &rng));
+  }
+}
+BENCHMARK(BM_SurfaceProbabilityMonteCarlo)->Arg(2)->Arg(16);
+
+}  // namespace
+}  // namespace bench
+}  // namespace parsim
+
+int main(int argc, char** argv) {
+  parsim::bench::RunMicrobenchmarks(argc, argv);
+  parsim::bench::RunFigure();
+  return 0;
+}

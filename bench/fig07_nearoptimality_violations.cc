@@ -1,0 +1,90 @@
+// Figure 7 / Lemma 1: Disk Modulo, FX and Hilbert are not near-optimal
+// declustering techniques; the col-based declustering is.
+//
+// Paper: "The validity of lemma 1 can be shown by a simple
+// three-dimensional counter-example" — we count, for every method and a
+// sweep of dimensions, the pairs of direct/indirect neighbor buckets
+// that land on the same disk.
+
+#include "bench/bench_common.h"
+
+namespace parsim {
+namespace bench {
+namespace {
+
+BucketAssignment CellAssignment(const GridDeclusterer& dec, std::size_t d) {
+  return [&dec, d](BucketId b) {
+    std::vector<GridCoord> cell(d);
+    for (std::size_t i = 0; i < d; ++i) cell[i] = (b >> i) & 1u;
+    return dec.DiskOfCell(cell);
+  };
+}
+
+void RunFigure() {
+  PrintHeader("Figure 7 / Lemma 1 — who violates near-optimality",
+              "DM, FX and Hilbert collide neighbors; col never does");
+  for (std::size_t d : {3u, 5u, 8u, 10u}) {
+    const std::uint32_t disks = NumColors(d);
+    const DiskAssignmentGraph graph(d);
+    const DiskModuloDeclusterer dm(d, disks, 1);
+    const FxDeclusterer fx(d, disks, 1);
+    const HilbertDeclusterer hil(d, disks, 1);
+    const NearOptimalDeclusterer ours(d, disks);
+
+    Table table({"method", "direct collisions", "indirect collisions",
+                 "near-optimal"});
+    struct Row {
+      const char* name;
+      CollisionCount count;
+    };
+    const Row rows[] = {
+        {"DM", graph.CountCollisions(CellAssignment(dm, d))},
+        {"FX", graph.CountCollisions(CellAssignment(fx, d))},
+        {"HIL", graph.CountCollisions(CellAssignment(hil, d))},
+        {"col (new)", graph.CountCollisions(
+                          [&](BucketId b) { return ours.DiskOfBucket(b); })},
+    };
+    for (const Row& row : rows) {
+      table.AddRow({row.name,
+                    Table::Int(static_cast<long long>(row.count.direct)),
+                    Table::Int(static_cast<long long>(row.count.indirect)),
+                    row.count.total() == 0 ? "yes" : "no"});
+    }
+    std::printf("d = %zu, %u disks, %llu neighbor pairs\n", d, disks,
+                static_cast<unsigned long long>(graph.num_edges()));
+    table.Print(stdout);
+    std::printf("\n");
+  }
+
+  // The paper's concrete d=3 counter-example, spelled out.
+  const DiskAssignmentGraph g3(3);
+  const DiskModuloDeclusterer dm3(3, 4, 1);
+  const auto collisions = g3.FindCollisions(CellAssignment(dm3, 3), 4);
+  std::printf("example DM collisions in d=3 (bucket pairs on one disk):\n");
+  for (const Collision& c : collisions) {
+    std::printf("  %s ~ %s  -> disk %u (%s neighbors)\n",
+                BucketToBitString(c.a, 3).c_str(),
+                BucketToBitString(c.b, 3).c_str(), c.disk,
+                c.direct ? "direct" : "indirect");
+  }
+}
+
+void BM_CountCollisions(benchmark::State& state) {
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  const DiskAssignmentGraph graph(d);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        graph.CountCollisions([](BucketId b) { return ColorOf(b); }));
+  }
+}
+BENCHMARK(BM_CountCollisions)->Arg(8)->Arg(12);
+
+}  // namespace
+}  // namespace bench
+}  // namespace parsim
+
+int main(int argc, char** argv) {
+  parsim::bench::RunMicrobenchmarks(argc, argv);
+  parsim::bench::RunFigure();
+  return 0;
+}

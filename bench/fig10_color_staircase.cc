@@ -1,0 +1,66 @@
+// Figure 10 / Lemma 6: the number of colors (disks) required by the
+// color assignment function is the staircase 2^ceil(log2(d+1)), between
+// the lower bound d+1 and the upper bound 2d, optimal up to rounding.
+//
+// Paper: "For lower dimensions, we have verified by enumerating all
+// possible color assignments, that there is no method which uses fewer
+// colors than our staircase function." We repeat that enumeration.
+
+#include "bench/bench_common.h"
+
+namespace parsim {
+namespace bench {
+namespace {
+
+void RunFigure() {
+  PrintHeader("Figure 10 — colors required by col",
+              "staircase 2^ceil(log2(d+1)) between d+1 and 2d");
+  Table table({"dim", "lower bound d+1", "col", "upper bound 2d",
+               "fewer colors possible?"});
+  for (std::size_t d = 1; d <= 32; ++d) {
+    std::string fewer = "(not enumerated)";
+    if (NumColors(d) == d + 1) {
+      fewer = "no (matches lower bound)";
+    } else if (d <= 6) {
+      // Exhaustive check, as in the paper, feasible for small d.
+      const DiskAssignmentGraph graph(d);
+      fewer = graph.IsColorableWith(NumColors(d) - 1)
+                  ? "YES (!)"
+                  : "no (verified exhaustively)";
+    }
+    table.AddRow({Table::Int(static_cast<long long>(d)),
+                  Table::Int(NumColorsLowerBound(d)),
+                  Table::Int(NumColors(d)),
+                  Table::Int(NumColorsUpperBound(d)), fewer});
+  }
+  table.Print(stdout);
+}
+
+void BM_ColorOf(benchmark::State& state) {
+  BucketId b = 0;
+  Color acc = 0;
+  for (auto _ : state) {
+    acc ^= ColorOf(b++);
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_ColorOf);
+
+void BM_IsColorableWithStaircase(benchmark::State& state) {
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  const DiskAssignmentGraph graph(d);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph.IsColorableWith(NumColors(d)));
+  }
+}
+BENCHMARK(BM_IsColorableWithStaircase)->Arg(4)->Arg(6);
+
+}  // namespace
+}  // namespace bench
+}  // namespace parsim
+
+int main(int argc, char** argv) {
+  parsim::bench::RunMicrobenchmarks(argc, argv);
+  parsim::bench::RunFigure();
+  return 0;
+}

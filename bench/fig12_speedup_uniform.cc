@@ -1,0 +1,61 @@
+// Figure 12: speed-up of the near-optimal technique on uniformly
+// distributed data (d=15), NN and 10-NN, 1..16 disks.
+//
+// Paper: "the speed-up reaches a value of 8 for 16 disks for a
+// nearest-neighbor query. For 10-nearest-neighbors queries, the
+// speed-up increases up to a value of 13 for 16 disks. In both
+// experiments, the speed-up was nearly linear."
+
+#include "bench/bench_common.h"
+
+namespace parsim {
+namespace bench {
+namespace {
+
+void RunFigure() {
+  PrintHeader("Figure 12 — speed-up of the new technique (uniform data)",
+              "near-linear speed-up; 10-NN parallelizes better than NN");
+  const std::size_t d = 15;
+  const std::size_t n = NumPointsForMegabytes(DataMegabytes(), d);
+  const PointSet data = GenerateUniform(n, d, 1012);
+  const PointSet queries = GenerateUniformQueries(NumQueries(), d, 2012);
+
+  auto sequential = BuildSequential(data);
+  const WorkloadResult seq_nn = RunKnnWorkload(*sequential, queries, 1);
+  const WorkloadResult seq_10nn = RunKnnWorkload(*sequential, queries, 10);
+
+  Table table({"disks", "speed-up NN", "speed-up 10-NN", "balance 10-NN"});
+  for (std::uint32_t disks : {1u, 2u, 4u, 8u, 12u, 16u}) {
+    auto engine = BuildOurs(data, disks);
+    const WorkloadResult nn = RunKnnWorkload(*engine, queries, 1);
+    const WorkloadResult ten = RunKnnWorkload(*engine, queries, 10);
+    table.AddRow({Table::Int(disks), Table::Num(Speedup(seq_nn, nn), 2),
+                  Table::Num(Speedup(seq_10nn, ten), 2),
+                  Table::Num(ten.avg_balance, 2)});
+  }
+  table.Print(stdout);
+}
+
+void BM_ParallelQueryUniform(benchmark::State& state) {
+  const std::size_t d = 15;
+  const PointSet data = GenerateUniform(20000, d, 42);
+  auto engine =
+      BuildOurs(data, static_cast<std::uint32_t>(state.range(0)));
+  const PointSet queries = GenerateUniformQueries(64, d, 43);
+  std::size_t qi = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine->Query(queries[qi % queries.size()], 10));
+    ++qi;
+  }
+}
+BENCHMARK(BM_ParallelQueryUniform)->Arg(1)->Arg(16);
+
+}  // namespace
+}  // namespace bench
+}  // namespace parsim
+
+int main(int argc, char** argv) {
+  parsim::bench::RunMicrobenchmarks(argc, argv);
+  parsim::bench::RunFigure();
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 13 (a/b): speed-up of the new technique and of the Hilbert
+// declustering on Fourier points (d=15), for NN and 10-NN queries.
+//
+// Paper: "both techniques achieve a near-linear speed-up for both query
+// types. However, our technique clearly outperforms the Hilbert curve".
+
+#include "bench/bench_common.h"
+
+namespace parsim {
+namespace bench {
+namespace {
+
+void RunFigure() {
+  PrintHeader("Figure 13 — speed-up on Fourier points: new vs Hilbert",
+              "both scale, but the new technique stays clearly ahead");
+  const std::size_t d = 15;
+  const std::size_t n = NumPointsForMegabytes(DataMegabytes(), d);
+  const PointSet data = FourierWorkload(n, d, 1013);
+  const PointSet queries =
+      SampleQueriesFromData(data, NumQueries(), 0.02, 2013);
+
+  auto sequential = BuildSequential(data);
+  const WorkloadResult seq_nn = RunKnnWorkload(*sequential, queries, 1);
+  const WorkloadResult seq_10nn = RunKnnWorkload(*sequential, queries, 10);
+
+  Table table({"disks", "new NN", "HIL NN", "new 10-NN", "HIL 10-NN"});
+  for (std::uint32_t disks : {1u, 2u, 4u, 8u, 12u, 16u}) {
+    auto ours = BuildOurs(data, disks);
+    auto hil = BuildHilbert(data, disks);
+    const WorkloadResult o_nn = RunKnnWorkload(*ours, queries, 1);
+    const WorkloadResult h_nn = RunKnnWorkload(*hil, queries, 1);
+    const WorkloadResult o_ten = RunKnnWorkload(*ours, queries, 10);
+    const WorkloadResult h_ten = RunKnnWorkload(*hil, queries, 10);
+    table.AddRow({Table::Int(disks), Table::Num(Speedup(seq_nn, o_nn), 2),
+                  Table::Num(Speedup(seq_nn, h_nn), 2),
+                  Table::Num(Speedup(seq_10nn, o_ten), 2),
+                  Table::Num(Speedup(seq_10nn, h_ten), 2)});
+  }
+  table.Print(stdout);
+}
+
+void BM_FourierQueryOurs(benchmark::State& state) {
+  const std::size_t d = 15;
+  const PointSet data = FourierWorkload(20000, d, 42);
+  auto engine = BuildOurs(data, 16);
+  const PointSet queries = SampleQueriesFromData(data, 64, 0.02, 43);
+  std::size_t qi = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine->Query(queries[qi % queries.size()], 10));
+    ++qi;
+  }
+}
+BENCHMARK(BM_FourierQueryOurs);
+
+}  // namespace
+}  // namespace bench
+}  // namespace parsim
+
+int main(int argc, char** argv) {
+  parsim::bench::RunMicrobenchmarks(argc, argv);
+  parsim::bench::RunFigure();
+  return 0;
+}

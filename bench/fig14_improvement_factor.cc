@@ -1,0 +1,70 @@
+// Figure 14: improvement factor of the new technique over the Hilbert
+// declustering on Fourier points, growing with the number of disks.
+//
+// Paper: "The factor linearly increases with the number of disks and
+// approaches a value of 5 for 16 disks. Note that this is due to the
+// fact that the Hilbert curve does not provide a near-optimal
+// declustering."
+//
+// Extra ablation rows: Hilbert at fine (8-bit) granularity, and the
+// new technique without its quantile/recursive extensions — both
+// quantify where the advantage comes from.
+
+#include "bench/bench_common.h"
+
+namespace parsim {
+namespace bench {
+namespace {
+
+void RunFigure() {
+  PrintHeader("Figure 14 — improvement factor over Hilbert (Fourier)",
+              "factor grows with the number of disks");
+  const std::size_t d = 15;
+  const std::size_t n = NumPointsForMegabytes(DataMegabytes(), d);
+  const PointSet data = FourierWorkload(n, d, 1014);
+  const PointSet queries =
+      SampleQueriesFromData(data, NumQueries(), 0.02, 2014);
+
+  EngineOptions fed;
+  fed.architecture = Architecture::kFederatedTrees;
+  fed.bulk_load = true;
+
+  Table table({"disks", "improvement NN", "improvement 10-NN",
+               "vs HIL(8-bit) 10-NN", "plain col 10-NN"});
+  for (std::uint32_t disks : {2u, 4u, 8u, 12u, 16u}) {
+    auto ours = BuildOurs(data, disks);
+    auto hil = BuildHilbert(data, disks);
+    auto hil_fine = BuildHilbert(data, disks,
+                                 Architecture::kFederatedTrees,
+                                 /*grid_bits=*/8);
+    auto plain = BuildEngine(
+        data, std::make_unique<NearOptimalDeclusterer>(d, disks), fed);
+
+    const WorkloadResult o_nn = RunKnnWorkload(*ours, queries, 1);
+    const WorkloadResult h_nn = RunKnnWorkload(*hil, queries, 1);
+    const WorkloadResult o_ten = RunKnnWorkload(*ours, queries, 10);
+    const WorkloadResult h_ten = RunKnnWorkload(*hil, queries, 10);
+    const WorkloadResult hf_ten = RunKnnWorkload(*hil_fine, queries, 10);
+    const WorkloadResult p_ten = RunKnnWorkload(*plain, queries, 10);
+
+    table.AddRow({Table::Int(disks),
+                  Table::Num(ImprovementFactor(h_nn, o_nn), 2),
+                  Table::Num(ImprovementFactor(h_ten, o_ten), 2),
+                  Table::Num(ImprovementFactor(hf_ten, o_ten), 2),
+                  Table::Num(ImprovementFactor(h_ten, p_ten), 2)});
+  }
+  table.Print(stdout);
+  std::printf(
+      "(columns 4-5 are ablations: Hilbert with fine 8-bit grids, and\n"
+      " col without the quantile/recursive extensions)\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace parsim
+
+int main(int argc, char** argv) {
+  parsim::bench::RunMicrobenchmarks(argc, argv);
+  parsim::bench::RunFigure();
+  return 0;
+}

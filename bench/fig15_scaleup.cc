@@ -1,0 +1,46 @@
+// Figure 15: scale-up — growing the number of disks and the amount of
+// data proportionally keeps the total search time nearly constant.
+//
+// Paper: "we increased the number of disks from 1 to 16 while increasing
+// the amount of data from 25 to 400 MBytes... The total search time is
+// nearly constant for both nearest-neighbor queries and 10-nearest-
+// neighbor queries."
+
+#include "bench/bench_common.h"
+
+namespace parsim {
+namespace bench {
+namespace {
+
+void RunFigure() {
+  PrintHeader("Figure 15 — scale-up of the new technique (Fourier data)",
+              "search time stays nearly constant as disks and data grow");
+  const std::size_t d = 15;
+  const double mb_per_disk = DataMegabytes() / 8.0;
+
+  Table table({"disks", "data (MB)", "time NN (ms)", "time 10-NN (ms)"});
+  for (std::uint32_t disks : {1u, 2u, 4u, 8u, 16u}) {
+    const double mb = mb_per_disk * disks;
+    const std::size_t n = NumPointsForMegabytes(mb, d);
+    const PointSet data = FourierWorkload(n, d, 1015);
+    const PointSet queries =
+        SampleQueriesFromData(data, NumQueries(), 0.1, 2015);
+    auto engine = BuildOurs(data, disks);
+    const WorkloadResult nn = RunKnnWorkload(*engine, queries, 1);
+    const WorkloadResult ten = RunKnnWorkload(*engine, queries, 10);
+    table.AddRow({Table::Int(disks), Table::Num(mb, 1),
+                  Table::Num(nn.avg_parallel_ms, 1),
+                  Table::Num(ten.avg_parallel_ms, 1)});
+  }
+  table.Print(stdout);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace parsim
+
+int main(int argc, char** argv) {
+  parsim::bench::RunMicrobenchmarks(argc, argv);
+  parsim::bench::RunFigure();
+  return 0;
+}

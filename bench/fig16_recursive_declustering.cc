@@ -1,0 +1,85 @@
+// Figure 16: effect of recursive declustering on highly clustered data.
+//
+// Paper: "The original technique yielded a total search time of 57.6 ms
+// for a nearest-neighbor query, whereas the extension reduced the total
+// search time to 17.7 ms. The large improvement factor of 3.9 is due to
+// the fact that a large amount of data items is located in the same
+// quadrant of the data space and therefore assigned to a single disk.
+// Note that only one recursive declustering step was necessary."
+//
+// Ablation rows separate the two extensions of Section 4.3: quantile
+// splits alone, and quantile + recursive refinement.
+
+#include "bench/bench_common.h"
+
+namespace parsim {
+namespace bench {
+namespace {
+
+void RunFigure() {
+  PrintHeader("Figure 16 — recursive declustering on clustered data",
+              "multi-x improvement when data concentrates in few quadrants");
+  const std::size_t d = 15;
+  const std::uint32_t disks = 16;
+  const std::size_t n = NumPointsForMegabytes(DataMegabytes(), d);
+  // Heavily clustered variant catalogue: few families, small variation.
+  FourierOptions fopts;
+  fopts.base_shapes = 4;
+  fopts.variation = 0.05;
+  const PointSet data = GenerateFourierPoints(n, d, 1016, fopts);
+  const PointSet queries =
+      SampleQueriesFromData(data, NumQueries(), 0.01, 2016);
+
+  EngineOptions fed;
+  fed.architecture = Architecture::kFederatedTrees;
+  fed.bulk_load = true;
+
+  // (1) plain col with midpoint splits ("new").
+  auto plain = BuildEngine(
+      data, std::make_unique<NearOptimalDeclusterer>(d, disks), fed);
+  // (2) + quantile split values.
+  auto quantile = BuildEngine(
+      data,
+      std::make_unique<NearOptimalDeclusterer>(
+          Bucketizer(EstimateQuantileSplits(data)), disks),
+      fed);
+  // (3) + recursive refinement ("new with extension").
+  RecursiveOptions ropts;
+  ropts.overload_threshold = 1.2;
+  auto rec_dec = std::make_unique<RecursiveDeclusterer>(
+      Bucketizer(EstimateQuantileSplits(data)), disks, ropts);
+  const int passes = rec_dec->Fit(data);
+  const int depth = rec_dec->MaxDepth();
+  auto recursive = BuildEngine(data, std::move(rec_dec), fed);
+
+  Table table({"variant", "time NN (ms)", "time 10-NN (ms)",
+               "improvement 10-NN"});
+  const WorkloadResult p1 = RunKnnWorkload(*plain, queries, 1);
+  const WorkloadResult p10 = RunKnnWorkload(*plain, queries, 10);
+  const WorkloadResult q1 = RunKnnWorkload(*quantile, queries, 1);
+  const WorkloadResult q10 = RunKnnWorkload(*quantile, queries, 10);
+  const WorkloadResult r1 = RunKnnWorkload(*recursive, queries, 1);
+  const WorkloadResult r10 = RunKnnWorkload(*recursive, queries, 10);
+  table.AddRow({"new (midpoint buckets)", Table::Num(p1.avg_parallel_ms, 1),
+                Table::Num(p10.avg_parallel_ms, 1), Table::Num(1.0, 2)});
+  table.AddRow({"new + quantile splits", Table::Num(q1.avg_parallel_ms, 1),
+                Table::Num(q10.avg_parallel_ms, 1),
+                Table::Num(ImprovementFactor(p10, q10), 2)});
+  table.AddRow({"new + recursive declustering",
+                Table::Num(r1.avg_parallel_ms, 1),
+                Table::Num(r10.avg_parallel_ms, 1),
+                Table::Num(ImprovementFactor(p10, r10), 2)});
+  table.Print(stdout);
+  std::printf("recursive declustering: %d pass(es), max depth %d\n", passes,
+              depth);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace parsim
+
+int main(int argc, char** argv) {
+  parsim::bench::RunMicrobenchmarks(argc, argv);
+  parsim::bench::RunFigure();
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 17: total search time of the new technique and the Hilbert
+// declustering on text descriptors (d=15).
+//
+// Paper: "a total search time of 77 ms for our technique in contrast to
+// 168 ms for the Hilbert approach, for a nearest-neighbor query
+// (improvement of 2.18)... For the 10-nearest-neighbor query the
+// improvement of our technique increased to 2.99."
+
+#include "bench/bench_common.h"
+
+namespace parsim {
+namespace bench {
+namespace {
+
+void RunFigure() {
+  PrintHeader("Figure 17 — total search time on text descriptors",
+              "new beats Hilbert by ~2-3x on skewed text data (16 disks)");
+  const std::size_t d = 15;
+  const std::uint32_t disks = 16;
+  const std::size_t n = NumPointsForMegabytes(DataMegabytes(), d);
+  const PointSet data = GenerateTextDescriptors(n, d, 1017);
+  const PointSet queries =
+      SampleQueriesFromData(data, NumQueries(), 0.02, 2017);
+
+  auto ours = BuildOurs(data, disks);
+  auto hil = BuildHilbert(data, disks);
+
+  Table table({"method", "time NN (ms)", "time 10-NN (ms)"});
+  const WorkloadResult o1 = RunKnnWorkload(*ours, queries, 1);
+  const WorkloadResult o10 = RunKnnWorkload(*ours, queries, 10);
+  const WorkloadResult h1 = RunKnnWorkload(*hil, queries, 1);
+  const WorkloadResult h10 = RunKnnWorkload(*hil, queries, 10);
+  table.AddRow({"new", Table::Num(o1.avg_parallel_ms, 1),
+                Table::Num(o10.avg_parallel_ms, 1)});
+  table.AddRow({"HIL", Table::Num(h1.avg_parallel_ms, 1),
+                Table::Num(h10.avg_parallel_ms, 1)});
+  table.Print(stdout);
+  std::printf("improvement: NN %.2fx, 10-NN %.2fx\n",
+              ImprovementFactor(h1, o1), ImprovementFactor(h10, o10));
+}
+
+void BM_TextDescriptorGeneration(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GenerateTextDescriptors(1000, 15, seed++));
+  }
+}
+BENCHMARK(BM_TextDescriptorGeneration);
+
+}  // namespace
+}  // namespace bench
+}  // namespace parsim
+
+int main(int argc, char** argv) {
+  parsim::bench::RunMicrobenchmarks(argc, argv);
+  parsim::bench::RunFigure();
+  return 0;
+}

@@ -1,0 +1,75 @@
+#include "src/core/baselines.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace parsim {
+
+RoundRobinDeclusterer::RoundRobinDeclusterer(std::uint32_t num_disks)
+    : num_disks_(num_disks) {
+  PARSIM_CHECK(num_disks >= 1);
+}
+
+DiskId RoundRobinDeclusterer::DiskOfPoint(PointView /*p*/, PointId id) const {
+  return id % num_disks_;
+}
+
+GridDeclusterer::GridDeclusterer(std::size_t dim, std::uint32_t num_disks,
+                                 int grid_bits)
+    : dim_(dim), num_disks_(num_disks), grid_bits_(grid_bits) {
+  PARSIM_CHECK(dim >= 1);
+  PARSIM_CHECK(num_disks >= 1);
+  PARSIM_CHECK(grid_bits >= 1 && grid_bits <= 32);
+}
+
+std::vector<GridCoord> GridDeclusterer::CellOf(PointView p) const {
+  PARSIM_CHECK(p.size() == dim_);
+  const double cells = std::ldexp(1.0, grid_bits_);
+  std::vector<GridCoord> out(dim_);
+  for (std::size_t i = 0; i < dim_; ++i) {
+    double scaled = static_cast<double>(p[i]) * cells;
+    if (scaled < 0.0) scaled = 0.0;
+    if (scaled >= cells) scaled = cells - 1.0;
+    out[i] = static_cast<GridCoord>(scaled);
+  }
+  return out;
+}
+
+DiskId GridDeclusterer::DiskOfPoint(PointView p, PointId /*id*/) const {
+  return DiskOfCell(CellOf(p));
+}
+
+DiskModuloDeclusterer::DiskModuloDeclusterer(std::size_t dim,
+                                             std::uint32_t num_disks,
+                                             int grid_bits)
+    : GridDeclusterer(dim, num_disks, grid_bits) {}
+
+DiskId DiskModuloDeclusterer::DiskOfCell(
+    const std::vector<GridCoord>& cell) const {
+  std::uint64_t sum = 0;
+  for (GridCoord c : cell) sum += c;
+  return static_cast<DiskId>(sum % num_disks());
+}
+
+FxDeclusterer::FxDeclusterer(std::size_t dim, std::uint32_t num_disks,
+                             int grid_bits)
+    : GridDeclusterer(dim, num_disks, grid_bits) {}
+
+DiskId FxDeclusterer::DiskOfCell(const std::vector<GridCoord>& cell) const {
+  std::uint64_t acc = 0;
+  for (GridCoord c : cell) acc ^= c;
+  return static_cast<DiskId>(acc % num_disks());
+}
+
+HilbertDeclusterer::HilbertDeclusterer(std::size_t dim,
+                                       std::uint32_t num_disks, int grid_bits)
+    : GridDeclusterer(dim, num_disks, grid_bits), curve_(dim, grid_bits) {}
+
+DiskId HilbertDeclusterer::DiskOfCell(
+    const std::vector<GridCoord>& cell) const {
+  const HilbertIndex index = curve_.Encode(cell);
+  return static_cast<DiskId>(HilbertIndexMod(index, num_disks()));
+}
+
+}  // namespace parsim

@@ -1,0 +1,95 @@
+// Baseline declustering methods the paper compares against:
+//
+//   * Round robin               d_i = { v_j | j mod n = i }
+//   * Disk Modulo  [DS 82]      DM(c_0..c_{d-1})  = (sum c_l)  mod n
+//   * FX           [KP 88]      FX(c_0..c_{d-1})  = (xor c_l)  mod n
+//   * Hilbert      [FB 93]      HIL(c_0..c_{d-1}) = Hilbert(c) mod n
+//
+// The grid-based methods (DM, FX, Hilbert) operate on grid cell
+// coordinates; with `grid_bits == 1` the cells are exactly the quadrants
+// of the paper's bucket model, which is the configuration Lemma 1 and
+// Figure 7 evaluate.
+
+#ifndef PARSIM_SRC_CORE_BASELINES_H_
+#define PARSIM_SRC_CORE_BASELINES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/declusterer.h"
+#include "src/hilbert/hilbert.h"
+
+namespace parsim {
+
+/// Round robin: item j goes to disk j mod n. Ignores geometry entirely.
+class RoundRobinDeclusterer : public Declusterer {
+ public:
+  explicit RoundRobinDeclusterer(std::uint32_t num_disks);
+
+  DiskId DiskOfPoint(PointView p, PointId id) const override;
+  std::uint32_t num_disks() const override { return num_disks_; }
+  std::string name() const override { return "RR"; }
+
+ private:
+  std::uint32_t num_disks_;
+};
+
+/// Shared machinery of the grid-based baselines: maps a point in [0,1]^d
+/// to grid cell coordinates with `grid_bits` bits per dimension.
+class GridDeclusterer : public Declusterer {
+ public:
+  GridDeclusterer(std::size_t dim, std::uint32_t num_disks, int grid_bits);
+
+  std::uint32_t num_disks() const override { return num_disks_; }
+  std::size_t dim() const { return dim_; }
+  int grid_bits() const { return grid_bits_; }
+
+  DiskId DiskOfPoint(PointView p, PointId id) const override;
+
+  /// The mapping on grid cells; subclasses implement the formula.
+  virtual DiskId DiskOfCell(const std::vector<GridCoord>& cell) const = 0;
+
+  /// Grid cell of a point (coordinates clamped into [0, 2^bits)).
+  std::vector<GridCoord> CellOf(PointView p) const;
+
+ private:
+  std::size_t dim_;
+  std::uint32_t num_disks_;
+  int grid_bits_;
+};
+
+/// Disk Modulo of Du & Sobolewski [DS 82].
+class DiskModuloDeclusterer : public GridDeclusterer {
+ public:
+  DiskModuloDeclusterer(std::size_t dim, std::uint32_t num_disks,
+                        int grid_bits = 1);
+  DiskId DiskOfCell(const std::vector<GridCoord>& cell) const override;
+  std::string name() const override { return "DM"; }
+};
+
+/// FX of Kim & Pramanik [KP 88] (bitwise XOR of the coordinates).
+class FxDeclusterer : public GridDeclusterer {
+ public:
+  FxDeclusterer(std::size_t dim, std::uint32_t num_disks, int grid_bits = 1);
+  DiskId DiskOfCell(const std::vector<GridCoord>& cell) const override;
+  std::string name() const override { return "FX"; }
+};
+
+/// Hilbert declustering of Faloutsos & Bhagwat [FB 93]: the strongest
+/// prior method and the paper's principal experimental baseline.
+class HilbertDeclusterer : public GridDeclusterer {
+ public:
+  /// `grid_bits` defaults to 8: the fine-grained point-level mapping the
+  /// paper describes ("the Hilbert value of the point is determined").
+  HilbertDeclusterer(std::size_t dim, std::uint32_t num_disks,
+                     int grid_bits = 8);
+  DiskId DiskOfCell(const std::vector<GridCoord>& cell) const override;
+  std::string name() const override { return "HIL"; }
+
+ private:
+  HilbertCurve curve_;
+};
+
+}  // namespace parsim
+
+#endif  // PARSIM_SRC_CORE_BASELINES_H_

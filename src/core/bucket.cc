@@ -1,0 +1,89 @@
+#include "src/core/bucket.h"
+
+#include "src/util/bits.h"
+#include "src/util/check.h"
+
+namespace parsim {
+
+std::uint64_t NumBuckets(std::size_t dim) {
+  PARSIM_CHECK(dim >= 1 && dim <= kMaxBucketDims);
+  return std::uint64_t{1} << dim;
+}
+
+BucketId BucketFromCoords(const std::vector<int>& coords) {
+  PARSIM_CHECK(coords.size() >= 1 && coords.size() <= kMaxBucketDims);
+  BucketId b = 0;
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    PARSIM_CHECK(coords[i] == 0 || coords[i] == 1);
+    if (coords[i] == 1) b |= (BucketId{1} << i);
+  }
+  return b;
+}
+
+std::vector<int> CoordsFromBucket(BucketId bucket, std::size_t dim) {
+  PARSIM_CHECK(dim >= 1 && dim <= kMaxBucketDims);
+  if (dim < kMaxBucketDims) {
+    PARSIM_CHECK(bucket < (BucketId{1} << dim));
+  }
+  std::vector<int> coords(dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    coords[i] = (bucket >> i) & 1u;
+  }
+  return coords;
+}
+
+std::string BucketToBitString(BucketId bucket, std::size_t dim) {
+  PARSIM_CHECK(dim >= 1 && dim <= kMaxBucketDims);
+  std::string s(dim, '0');
+  for (std::size_t i = 0; i < dim; ++i) {
+    if ((bucket >> i) & 1u) s[dim - 1 - i] = '1';
+  }
+  return s;
+}
+
+Bucketizer::Bucketizer(std::size_t dim) : splits_(dim, Scalar{0.5}) {
+  PARSIM_CHECK(dim >= 1 && dim <= kMaxBucketDims);
+}
+
+Bucketizer::Bucketizer(std::vector<Scalar> splits) : splits_(std::move(splits)) {
+  PARSIM_CHECK(splits_.size() >= 1 && splits_.size() <= kMaxBucketDims);
+}
+
+BucketId Bucketizer::BucketOf(PointView p) const {
+  PARSIM_DCHECK(p.size() == splits_.size());
+  BucketId b = 0;
+  for (std::size_t i = 0; i < splits_.size(); ++i) {
+    if (p[i] >= splits_[i]) b |= (BucketId{1} << i);
+  }
+  return b;
+}
+
+Rect Bucketizer::BucketRegion(BucketId bucket, const Rect& space) const {
+  PARSIM_CHECK(space.dim() == dim());
+  std::vector<Scalar> lo(dim()), hi(dim());
+  for (std::size_t i = 0; i < dim(); ++i) {
+    if ((bucket >> i) & 1u) {
+      lo[i] = splits_[i];
+      hi[i] = space.hi(i);
+    } else {
+      lo[i] = space.lo(i);
+      hi[i] = splits_[i];
+    }
+  }
+  return Rect(std::move(lo), std::move(hi));
+}
+
+std::vector<BucketId> Bucketizer::BucketsIntersectingBall(
+    PointView center, double radius, const Rect& space) const {
+  std::vector<BucketId> out;
+  const std::uint64_t n = NumBuckets(dim());
+  for (std::uint64_t b = 0; b < n; ++b) {
+    const Rect region = BucketRegion(static_cast<BucketId>(b), space);
+    if (region.IntersectsBall(center, radius)) {
+      out.push_back(static_cast<BucketId>(b));
+    }
+  }
+  return out;
+}
+
+}  // namespace parsim

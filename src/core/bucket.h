@@ -1,0 +1,76 @@
+// Buckets (quadrants) of the binary-partitioned data space.
+//
+// In high-dimensional spaces a partitioning finer than binary is
+// infeasible (2^d quadrants already; Section 3.1), so the declusterer's
+// buckets are the 2^d quadrants of the data space: each dimension is
+// split exactly once. A bucket is identified by its coordinate bitstring
+// (c_0, ..., c_{d-1}), c_i in {0,1}, packed into the *bucket number*
+// bn(b) = sum_i c_i * 2^i (Definition 2).
+
+#ifndef PARSIM_SRC_CORE_BUCKET_H_
+#define PARSIM_SRC_CORE_BUCKET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/geometry/point.h"
+#include "src/geometry/rect.h"
+
+namespace parsim {
+
+/// A bucket number per Definition 2: bit i is the coordinate c_i of the
+/// quadrant in dimension i. Valid values are [0, 2^d).
+using BucketId = std::uint32_t;
+
+/// The paper's quadrant model supports up to this many dimensions per
+/// declustering level (BucketId is 32 bits; recursion extends resolution).
+inline constexpr std::size_t kMaxBucketDims = 32;
+
+/// Number of buckets for a d-dimensional space: 2^d.
+std::uint64_t NumBuckets(std::size_t dim);
+
+/// Packs quadrant coordinates (c_0, ..., c_{d-1}) into a bucket number.
+BucketId BucketFromCoords(const std::vector<int>& coords);
+
+/// Unpacks a bucket number into quadrant coordinates.
+std::vector<int> CoordsFromBucket(BucketId bucket, std::size_t dim);
+
+/// "0110" (c_{d-1} ... c_0, most significant left) for diagnostics.
+std::string BucketToBitString(BucketId bucket, std::size_t dim);
+
+/// Maps points to buckets given one split value per dimension.
+///
+/// The default split value is 0.5 (the midpoint of [0,1]); the quantile
+/// extension of Section 4.3 supplies per-dimension medians instead.
+class Bucketizer {
+ public:
+  /// Midpoint splits for a d-dimensional unit data space.
+  explicit Bucketizer(std::size_t dim);
+
+  /// Custom split values, one per dimension (e.g. 0.5-quantiles).
+  explicit Bucketizer(std::vector<Scalar> splits);
+
+  std::size_t dim() const { return splits_.size(); }
+  Scalar split(std::size_t i) const { return splits_[i]; }
+  const std::vector<Scalar>& splits() const { return splits_; }
+
+  /// The bucket containing `p`: bit i set iff p[i] >= split(i).
+  BucketId BucketOf(PointView p) const;
+
+  /// The region of the data space (within `space`) covered by `bucket`.
+  Rect BucketRegion(BucketId bucket, const Rect& space) const;
+
+  /// All buckets whose region intersects the L2 ball B(center, radius) --
+  /// the buckets any NN algorithm must touch (Section 3.1).
+  std::vector<BucketId> BucketsIntersectingBall(PointView center,
+                                                double radius,
+                                                const Rect& space) const;
+
+ private:
+  std::vector<Scalar> splits_;
+};
+
+}  // namespace parsim
+
+#endif  // PARSIM_SRC_CORE_BUCKET_H_

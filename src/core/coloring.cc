@@ -1,0 +1,51 @@
+#include "src/core/coloring.h"
+
+#include "src/util/bits.h"
+#include "src/util/check.h"
+
+namespace parsim {
+
+Color ColorOf(BucketId bucket) {
+  Color color = 0;
+  std::uint32_t c = bucket;
+  while (c != 0) {
+    const int i = std::countr_zero(c);
+    color ^= static_cast<Color>(i + 1);
+    c &= c - 1;  // clear lowest set bit
+  }
+  return color;
+}
+
+std::uint32_t NumColors(std::size_t dim) {
+  PARSIM_CHECK(dim >= 1 && dim <= kMaxBucketDims);
+  return static_cast<std::uint32_t>(NextPow2(static_cast<std::uint64_t>(dim) + 1));
+}
+
+std::uint32_t NumColorsLowerBound(std::size_t dim) {
+  PARSIM_CHECK(dim >= 1);
+  return static_cast<std::uint32_t>(dim + 1);
+}
+
+std::uint32_t NumColorsUpperBound(std::size_t dim) {
+  PARSIM_CHECK(dim >= 1);
+  return static_cast<std::uint32_t>(2 * dim);
+}
+
+BucketId BucketWithColor(Color color, std::size_t dim) {
+  PARSIM_CHECK(dim >= 1 && dim <= kMaxBucketDims);
+  PARSIM_CHECK(color < NumColors(dim));
+  // Lemma 6's construction: for each set bit j of the color, set bucket
+  // bit (2^j - 1); col of that bucket XORs the values 2^j back together.
+  BucketId b = 0;
+  for (int j = 0; j < 32; ++j) {
+    if ((color >> j) & 1u) {
+      const std::uint32_t pos = (std::uint32_t{1} << j) - 1;
+      PARSIM_CHECK(pos < dim);
+      b |= (BucketId{1} << pos);
+    }
+  }
+  PARSIM_DCHECK(ColorOf(b) == color);
+  return b;
+}
+
+}  // namespace parsim

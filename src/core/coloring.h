@@ -1,0 +1,45 @@
+// The vertex coloring function `col` (Definition 6) — the heart of the
+// paper's near-optimal declustering.
+//
+//   col(c) = XOR over all set bit positions i of c of the value (i + 1).
+//
+// Lemmas 2-5 prove col assigns different colors to all direct and
+// indirect neighbors; Lemma 6 proves it uses exactly
+// 2^ceil(log2(d+1)) colors — a staircase between the lower bound d+1 and
+// the upper bound 2d, optimal up to rounding to the next power of two.
+
+#ifndef PARSIM_SRC_CORE_COLORING_H_
+#define PARSIM_SRC_CORE_COLORING_H_
+
+#include <cstdint>
+
+#include "src/core/bucket.h"
+
+namespace parsim {
+
+/// A vertex color (equivalently, a logical disk number before folding).
+using Color = std::uint32_t;
+
+/// The vertex coloring function col (Definition 6). O(d) time; d is
+/// implicit (leading zero bits of `bucket` do not contribute).
+Color ColorOf(BucketId bucket);
+
+/// Number of colors col uses for a d-dimensional space (Lemma 6):
+/// 2^ceil(log2(d+1)).
+std::uint32_t NumColors(std::size_t dim);
+
+/// The information-theoretic lower bound d+1 (each vertex plus its d
+/// direct neighbors need pairwise different colors).
+std::uint32_t NumColorsLowerBound(std::size_t dim);
+
+/// The linear upper bound 2d (d >= 1), from Lemma 6's rounding argument.
+std::uint32_t NumColorsUpperBound(std::size_t dim);
+
+/// A bucket whose color is `color` in a d-dimensional space, constructed
+/// by Lemma 6's recipe (bit j of color set -> bit 2^j - 1 of the bucket
+/// set). Requires color < NumColors(dim).
+BucketId BucketWithColor(Color color, std::size_t dim);
+
+}  // namespace parsim
+
+#endif  // PARSIM_SRC_CORE_COLORING_H_

@@ -1,0 +1,35 @@
+#include "src/core/declusterer.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace parsim {
+
+std::vector<std::uint64_t> DiskLoads(const Declusterer& declusterer,
+                                     const PointSet& points) {
+  std::vector<std::uint64_t> loads(declusterer.num_disks(), 0);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const DiskId disk =
+        declusterer.DiskOfPoint(points[i], static_cast<PointId>(i));
+    PARSIM_CHECK(disk < loads.size());
+    ++loads[disk];
+  }
+  return loads;
+}
+
+double LoadImbalance(const std::vector<std::uint64_t>& loads) {
+  PARSIM_CHECK(!loads.empty());
+  std::uint64_t total = 0;
+  std::uint64_t worst = 0;
+  for (std::uint64_t l : loads) {
+    total += l;
+    worst = std::max(worst, l);
+  }
+  if (total == 0) return 1.0;
+  const double avg =
+      static_cast<double>(total) / static_cast<double>(loads.size());
+  return static_cast<double>(worst) / avg;
+}
+
+}  // namespace parsim

@@ -1,0 +1,46 @@
+// The Declusterer interface: a mapping from data items to disks.
+//
+// "A declustering algorithm DA can then be described as a mapping from
+// the bucket characterization to a disk number" (Section 3). Round robin
+// is the exception that maps item *indices* rather than buckets, so the
+// interface takes both the point and its id.
+
+#ifndef PARSIM_SRC_CORE_DECLUSTERER_H_
+#define PARSIM_SRC_CORE_DECLUSTERER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/bucket.h"
+#include "src/geometry/point.h"
+#include "src/io/disk.h"
+
+namespace parsim {
+
+/// Abstract data-to-disk mapping.
+class Declusterer {
+ public:
+  virtual ~Declusterer() = default;
+
+  /// The disk that stores the data item `(id, p)`. Must be < num_disks().
+  virtual DiskId DiskOfPoint(PointView p, PointId id) const = 0;
+
+  /// Number of disks this declusterer distributes over.
+  virtual std::uint32_t num_disks() const = 0;
+
+  /// Short display name, e.g. "near-optimal", "HIL", "RR".
+  virtual std::string name() const = 0;
+};
+
+/// Computes the per-disk item counts of `declusterer` over `points`
+/// (load-balance diagnostics, used by the recursive extension).
+std::vector<std::uint64_t> DiskLoads(const Declusterer& declusterer,
+                                     const PointSet& points);
+
+/// max(load) / avg(load) over non-empty arrays; 1.0 is perfectly even.
+double LoadImbalance(const std::vector<std::uint64_t>& loads);
+
+}  // namespace parsim
+
+#endif  // PARSIM_SRC_CORE_DECLUSTERER_H_

@@ -1,0 +1,117 @@
+#include "src/core/disk_assignment_graph.h"
+
+#include <algorithm>
+
+#include "src/core/neighborhood.h"
+#include "src/util/check.h"
+
+namespace parsim {
+
+DiskAssignmentGraph::DiskAssignmentGraph(std::size_t dim) : dim_(dim) {
+  PARSIM_CHECK(dim >= 1 && dim <= kMaxBucketDims);
+}
+
+std::uint64_t DiskAssignmentGraph::num_vertices() const {
+  return NumBuckets(dim_);
+}
+
+std::uint64_t DiskAssignmentGraph::num_edges() const {
+  const std::uint64_t degree =
+      static_cast<std::uint64_t>(dim_) +
+      static_cast<std::uint64_t>(dim_) * (dim_ - 1) / 2;
+  return degree * num_vertices() / 2;
+}
+
+void DiskAssignmentGraph::ForEachEdge(
+    const std::function<bool(BucketId, BucketId, bool)>& visit) const {
+  const std::uint64_t n = num_vertices();
+  for (std::uint64_t a = 0; a < n; ++a) {
+    const BucketId ba = static_cast<BucketId>(a);
+    for (BucketId bb : AllNeighbors(ba, dim_)) {
+      if (bb <= ba) continue;  // emit each edge once
+      const bool direct = AreDirectNeighbors(ba, bb);
+      if (!visit(ba, bb, direct)) return;
+    }
+  }
+}
+
+CollisionCount DiskAssignmentGraph::CountCollisions(
+    const BucketAssignment& assignment) const {
+  CollisionCount count;
+  ForEachEdge([&](BucketId a, BucketId b, bool direct) {
+    if (assignment(a) == assignment(b)) {
+      if (direct) {
+        ++count.direct;
+      } else {
+        ++count.indirect;
+      }
+    }
+    return true;
+  });
+  return count;
+}
+
+std::vector<Collision> DiskAssignmentGraph::FindCollisions(
+    const BucketAssignment& assignment, std::size_t limit) const {
+  std::vector<Collision> out;
+  ForEachEdge([&](BucketId a, BucketId b, bool direct) {
+    const std::uint32_t da = assignment(a);
+    if (da == assignment(b)) {
+      out.push_back(Collision{a, b, da, direct});
+    }
+    return out.size() < limit;
+  });
+  return out;
+}
+
+bool DiskAssignmentGraph::IsNearOptimal(
+    const BucketAssignment& assignment) const {
+  bool ok = true;
+  ForEachEdge([&](BucketId a, BucketId b, bool /*direct*/) {
+    if (assignment(a) == assignment(b)) {
+      ok = false;
+      return false;
+    }
+    return true;
+  });
+  return ok;
+}
+
+bool DiskAssignmentGraph::IsColorableWith(std::uint32_t colors) const {
+  // Exhaustive backtracking over vertices in bucket-number order, with the
+  // standard symmetry break: vertex v may use at most one color that no
+  // earlier vertex used.
+  const std::uint64_t n = num_vertices();
+  PARSIM_CHECK(n <= 4096);  // d <= 12: enumeration is only for small d
+  if (colors >= n) return true;
+  std::vector<std::uint32_t> color(n, UINT32_MAX);
+  // Precompute the neighbor lists once.
+  std::vector<std::vector<BucketId>> neighbors(n);
+  for (std::uint64_t v = 0; v < n; ++v) {
+    for (BucketId u : AllNeighbors(static_cast<BucketId>(v), dim_)) {
+      if (u < v) neighbors[v].push_back(u);
+    }
+  }
+  std::function<bool(std::uint64_t, std::uint32_t)> recurse =
+      [&](std::uint64_t v, std::uint32_t used) -> bool {
+    if (v == n) return true;
+    const std::uint32_t limit = std::min(colors, used + 1);
+    for (std::uint32_t c = 0; c < limit; ++c) {
+      bool feasible = true;
+      for (BucketId u : neighbors[v]) {
+        if (color[u] == c) {
+          feasible = false;
+          break;
+        }
+      }
+      if (!feasible) continue;
+      color[v] = c;
+      if (recurse(v + 1, std::max(used, c + 1))) return true;
+      color[v] = UINT32_MAX;
+    }
+    return false;
+  };
+  return recurse(0, 0);
+}
+
+}  // namespace parsim

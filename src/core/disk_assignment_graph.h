@@ -1,0 +1,86 @@
+// The disk assignment graph G_d (Definition 5) and near-optimality
+// validation (Definition 4).
+//
+// Vertices are the 2^d bucket numbers; edges connect direct and indirect
+// neighbors. A declustering is *near-optimal* iff it is a proper coloring
+// of this graph. The validator here is what the tests and the Figure 7
+// experiment use to show Disk Modulo, FX and Hilbert are not near-optimal
+// while `col` is (Lemma 1 vs Lemma 5).
+
+#ifndef PARSIM_SRC_CORE_DISK_ASSIGNMENT_GRAPH_H_
+#define PARSIM_SRC_CORE_DISK_ASSIGNMENT_GRAPH_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/core/bucket.h"
+
+namespace parsim {
+
+/// Assigns a disk number to every bucket (the "mapping from the bucket
+/// characterization to a disk number" a declustering algorithm is).
+using BucketAssignment = std::function<std::uint32_t(BucketId)>;
+
+/// One violating edge: two neighboring buckets on the same disk.
+struct Collision {
+  BucketId a = 0;
+  BucketId b = 0;
+  std::uint32_t disk = 0;
+  bool direct = false;  // true: direct neighbors; false: indirect
+
+  friend bool operator==(const Collision& x, const Collision& y) {
+    return x.a == y.a && x.b == y.b && x.disk == y.disk &&
+           x.direct == y.direct;
+  }
+};
+
+/// Tally of violations over the whole graph.
+struct CollisionCount {
+  std::uint64_t direct = 0;
+  std::uint64_t indirect = 0;
+
+  std::uint64_t total() const { return direct + indirect; }
+};
+
+/// The disk assignment graph of a d-dimensional binary-partitioned space.
+class DiskAssignmentGraph {
+ public:
+  explicit DiskAssignmentGraph(std::size_t dim);
+
+  std::size_t dim() const { return dim_; }
+  std::uint64_t num_vertices() const;
+
+  /// d*2^(d-1) direct + C(d,2)*2^(d-1)... — the exact number of edges:
+  /// (d + d(d-1)/2) * 2^d / 2.
+  std::uint64_t num_edges() const;
+
+  /// Enumerates every edge once as (smaller vertex, larger vertex).
+  /// `visit(a, b, direct)`; return false from visit to stop early.
+  void ForEachEdge(
+      const std::function<bool(BucketId, BucketId, bool)>& visit) const;
+
+  /// Counts coloring violations of `assignment` over all edges.
+  CollisionCount CountCollisions(const BucketAssignment& assignment) const;
+
+  /// Lists up to `limit` violations (for diagnostics / the Fig. 7 demo).
+  std::vector<Collision> FindCollisions(const BucketAssignment& assignment,
+                                        std::size_t limit) const;
+
+  /// Definition 4: no direct or indirect neighbors share a disk.
+  bool IsNearOptimal(const BucketAssignment& assignment) const;
+
+  /// Exhaustively verifies that no proper coloring of G_d with fewer than
+  /// `colors` colors exists (branch-and-bound with symmetry pruning;
+  /// feasible for small d only — the paper verified optimality of the
+  /// staircase "for lower dimensions ... by enumerating all possible
+  /// color assignments").
+  bool IsColorableWith(std::uint32_t colors) const;
+
+ private:
+  std::size_t dim_;
+};
+
+}  // namespace parsim
+
+#endif  // PARSIM_SRC_CORE_DISK_ASSIGNMENT_GRAPH_H_

@@ -1,0 +1,42 @@
+#include "src/core/folding.h"
+
+#include "src/util/bits.h"
+#include "src/util/check.h"
+
+namespace parsim {
+
+ColorFolding::ColorFolding(std::uint32_t num_colors, std::uint32_t num_disks)
+    : num_disks_(num_disks) {
+  PARSIM_CHECK(num_colors >= 1);
+  PARSIM_CHECK(IsPow2(num_colors));
+  PARSIM_CHECK(num_disks >= 1 && num_disks <= num_colors);
+
+  table_.resize(num_colors);
+  for (std::uint32_t c = 0; c < num_colors; ++c) table_[c] = c;
+
+  // Repeatedly fold the upper half [m/2, m) onto the binary complement of
+  // the lower half: c -> (m-1) - c (equal to (m-1) XOR c in log2(m) bits).
+  std::uint32_t m = num_colors;
+  while (num_disks <= m / 2) {
+    for (std::uint32_t c = 0; c < num_colors; ++c) {
+      if (table_[c] >= m / 2) table_[c] = (m - 1) - table_[c];
+    }
+    m /= 2;
+  }
+  // Now m/2 < num_disks <= m: fold only the highest m - n colors.
+  if (num_disks < m) {
+    for (std::uint32_t c = 0; c < num_colors; ++c) {
+      if (table_[c] >= num_disks) table_[c] = (m - 1) - table_[c];
+    }
+  }
+  for (std::uint32_t c = 0; c < num_colors; ++c) {
+    PARSIM_CHECK(table_[c] < num_disks);
+  }
+}
+
+std::uint32_t ColorFolding::DiskOf(Color color) const {
+  PARSIM_CHECK(color < table_.size());
+  return table_[color];
+}
+
+}  // namespace parsim

@@ -1,0 +1,47 @@
+// Color folding: adapting `col` to an arbitrary number of disks
+// (Section 4.3, first extension).
+//
+// col requires C = 2^ceil(log2(d+1)) disks. When only n < C disks exist,
+// the paper repeatedly maps the upper half of the color range onto the
+// *binary complement* of the lower half (complementary colors have
+// maximal Hamming distance, so most direct neighbors stay on different
+// disks), halving the range until n is reachable, then folds the
+// remaining excess the same way. The mapping is precomputed into a
+// lookup table; disk lookup is a single table access.
+
+#ifndef PARSIM_SRC_CORE_FOLDING_H_
+#define PARSIM_SRC_CORE_FOLDING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/coloring.h"
+
+namespace parsim {
+
+/// The color -> disk lookup table for folding C colors onto n disks.
+class ColorFolding {
+ public:
+  /// `num_colors` must be a power of two (what col produces);
+  /// 1 <= num_disks <= num_colors.
+  ColorFolding(std::uint32_t num_colors, std::uint32_t num_disks);
+
+  std::uint32_t num_colors() const {
+    return static_cast<std::uint32_t>(table_.size());
+  }
+  std::uint32_t num_disks() const { return num_disks_; }
+
+  /// Disk of a color; O(1). Requires color < num_colors().
+  std::uint32_t DiskOf(Color color) const;
+
+  /// The full table (diagnostics, tests).
+  const std::vector<std::uint32_t>& table() const { return table_; }
+
+ private:
+  std::uint32_t num_disks_;
+  std::vector<std::uint32_t> table_;
+};
+
+}  // namespace parsim
+
+#endif  // PARSIM_SRC_CORE_FOLDING_H_

@@ -1,0 +1,44 @@
+#include "src/core/near_optimal.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace parsim {
+namespace {
+
+// col distributes over at most NumColors(d) disks; extra disks beyond
+// that stay idle (the bucket granularity cannot address them — a finer
+// distribution requires the recursive extension).
+std::uint32_t UsableDisks(std::size_t dim, std::uint32_t num_disks) {
+  PARSIM_CHECK(num_disks >= 1);
+  return std::min(num_disks, NumColors(dim));
+}
+
+}  // namespace
+
+NearOptimalDeclusterer::NearOptimalDeclusterer(std::size_t dim,
+                                               std::uint32_t num_disks)
+    : bucketizer_(dim),
+      folding_(NumColors(dim), UsableDisks(dim, num_disks)) {}
+
+NearOptimalDeclusterer::NearOptimalDeclusterer(Bucketizer bucketizer,
+                                               std::uint32_t num_disks)
+    : bucketizer_(std::move(bucketizer)),
+      folding_(NumColors(bucketizer_.dim()),
+               UsableDisks(bucketizer_.dim(), num_disks)) {}
+
+DiskId NearOptimalDeclusterer::DiskOfPoint(PointView p, PointId /*id*/) const {
+  return DiskOfBucket(bucketizer_.BucketOf(p));
+}
+
+void NearOptimalDeclusterer::set_bucketizer(Bucketizer bucketizer) {
+  PARSIM_CHECK(bucketizer.dim() == bucketizer_.dim());
+  bucketizer_ = std::move(bucketizer);
+}
+
+DiskId NearOptimalDeclusterer::DiskOfBucket(BucketId bucket) const {
+  return folding_.DiskOf(ColorOf(bucket));
+}
+
+}  // namespace parsim

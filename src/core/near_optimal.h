@@ -1,0 +1,51 @@
+// The paper's near-optimal declusterer (Section 4): quadrant buckets,
+// the `col` vertex coloring, and color folding for arbitrary disk counts.
+//
+// Guarantee (Lemma 5): with n >= NumColors(d) disks, buckets that are
+// direct or indirect neighbors are always stored on different disks.
+// With fewer disks the folding of Section 4.3 preserves the property for
+// most direct neighbors.
+
+#ifndef PARSIM_SRC_CORE_NEAR_OPTIMAL_H_
+#define PARSIM_SRC_CORE_NEAR_OPTIMAL_H_
+
+#include <string>
+
+#include "src/core/bucket.h"
+#include "src/core/coloring.h"
+#include "src/core/declusterer.h"
+#include "src/core/folding.h"
+
+namespace parsim {
+
+/// The near-optimal declusterer ("new" in the paper's figures).
+class NearOptimalDeclusterer : public Declusterer {
+ public:
+  /// Midpoint splits (uniform data).
+  NearOptimalDeclusterer(std::size_t dim, std::uint32_t num_disks);
+
+  /// Custom split values, e.g. α-quantiles for skewed data (Section 4.3).
+  NearOptimalDeclusterer(Bucketizer bucketizer, std::uint32_t num_disks);
+
+  DiskId DiskOfPoint(PointView p, PointId id) const override;
+  std::uint32_t num_disks() const override { return folding_.num_disks(); }
+  std::string name() const override { return "near-optimal"; }
+
+  std::size_t dim() const { return bucketizer_.dim(); }
+  const Bucketizer& bucketizer() const { return bucketizer_; }
+  const ColorFolding& folding() const { return folding_; }
+
+  /// Replaces the split values (after a quantile reorganization).
+  void set_bucketizer(Bucketizer bucketizer);
+
+  /// The bucket-level mapping: fold(col(bucket)).
+  DiskId DiskOfBucket(BucketId bucket) const;
+
+ private:
+  Bucketizer bucketizer_;
+  ColorFolding folding_;
+};
+
+}  // namespace parsim
+
+#endif  // PARSIM_SRC_CORE_NEAR_OPTIMAL_H_

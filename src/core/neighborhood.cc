@@ -1,0 +1,65 @@
+#include "src/core/neighborhood.h"
+
+#include "src/util/bits.h"
+#include "src/util/check.h"
+
+namespace parsim {
+
+bool AreDirectNeighbors(BucketId b, BucketId c) {
+  return HammingDistance(b, c) == 1;
+}
+
+bool AreIndirectNeighbors(BucketId b, BucketId c) {
+  return HammingDistance(b, c) == 2;
+}
+
+bool AreNeighbors(BucketId b, BucketId c) {
+  const int h = HammingDistance(b, c);
+  return h == 1 || h == 2;
+}
+
+std::vector<BucketId> DirectNeighbors(BucketId b, std::size_t dim) {
+  PARSIM_CHECK(dim >= 1 && dim <= kMaxBucketDims);
+  std::vector<BucketId> out;
+  out.reserve(dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    out.push_back(b ^ (BucketId{1} << i));
+  }
+  return out;
+}
+
+std::vector<BucketId> IndirectNeighbors(BucketId b, std::size_t dim) {
+  PARSIM_CHECK(dim >= 1 && dim <= kMaxBucketDims);
+  std::vector<BucketId> out;
+  out.reserve(dim * (dim - 1) / 2);
+  for (std::size_t i = 0; i < dim; ++i) {
+    for (std::size_t j = i + 1; j < dim; ++j) {
+      out.push_back(b ^ (BucketId{1} << i) ^ (BucketId{1} << j));
+    }
+  }
+  return out;
+}
+
+std::vector<BucketId> AllNeighbors(BucketId b, std::size_t dim) {
+  std::vector<BucketId> out = DirectNeighbors(b, dim);
+  std::vector<BucketId> indirect = IndirectNeighbors(b, dim);
+  out.insert(out.end(), indirect.begin(), indirect.end());
+  return out;
+}
+
+std::uint64_t NeighborhoodSize(std::size_t dim, int levels) {
+  PARSIM_CHECK(dim >= 1);
+  PARSIM_CHECK(levels >= 0 && static_cast<std::size_t>(levels) <= dim);
+  std::uint64_t total = 1;  // the bucket itself
+  std::uint64_t binom = 1;  // C(dim, 0)
+  for (int k = 1; k <= levels; ++k) {
+    // C(d, k) = C(d, k-1) * (d-k+1) / k — exact at every step.
+    binom = binom * (static_cast<std::uint64_t>(dim) -
+                     static_cast<std::uint64_t>(k) + 1) /
+            static_cast<std::uint64_t>(k);
+    total += binom;
+  }
+  return total;
+}
+
+}  // namespace parsim

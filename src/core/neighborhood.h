@@ -1,0 +1,46 @@
+// Direct and indirect bucket neighborhood (Definition 3).
+//
+// Two buckets are *direct* neighbors when their coordinate bitstrings
+// differ in exactly one dimension (they share a (d-1)-dimensional
+// surface), and *indirect* neighbors when they differ in exactly two
+// (they share a (d-2)-dimensional surface). The XOR of neighbors is thus
+// a bitstring with popcount 1 or 2.
+
+#ifndef PARSIM_SRC_CORE_NEIGHBORHOOD_H_
+#define PARSIM_SRC_CORE_NEIGHBORHOOD_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/core/bucket.h"
+
+namespace parsim {
+
+/// True iff b and c differ in exactly one coordinate.
+bool AreDirectNeighbors(BucketId b, BucketId c);
+
+/// True iff b and c differ in exactly two coordinates.
+bool AreIndirectNeighbors(BucketId b, BucketId c);
+
+/// True iff direct or indirect neighbors (the edge relation of the disk
+/// assignment graph, Definition 5).
+bool AreNeighbors(BucketId b, BucketId c);
+
+/// All d direct neighbors of `b` in a d-dimensional space.
+std::vector<BucketId> DirectNeighbors(BucketId b, std::size_t dim);
+
+/// All d*(d-1)/2 indirect neighbors of `b`.
+std::vector<BucketId> IndirectNeighbors(BucketId b, std::size_t dim);
+
+/// Direct and indirect neighbors of `b` (degree d + d(d-1)/2 per vertex).
+std::vector<BucketId> AllNeighbors(BucketId b, std::size_t dim);
+
+/// Number of buckets within `levels` levels of indirection of any bucket:
+/// 1 + sum_{k=1..levels} C(d, k). The paper (Section 3.2) uses this count
+/// to argue that more than two levels is infeasible: for levels=2, d=16
+/// the count is 137, but it grows like d^levels.
+std::uint64_t NeighborhoodSize(std::size_t dim, int levels);
+
+}  // namespace parsim
+
+#endif  // PARSIM_SRC_CORE_NEIGHBORHOOD_H_

@@ -1,0 +1,77 @@
+#include "src/core/quantile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace parsim {
+
+std::vector<Scalar> EstimateQuantileSplits(const PointSet& points,
+                                           double alpha) {
+  PARSIM_CHECK(!points.empty());
+  PARSIM_CHECK(alpha > 0.0 && alpha < 1.0);
+  const std::size_t d = points.dim();
+  const std::size_t n = points.size();
+  std::vector<Scalar> splits(d);
+  std::vector<Scalar> column(n);
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = 0; j < n; ++j) column[j] = points[j][i];
+    const std::size_t rank = std::min(
+        n - 1, static_cast<std::size_t>(alpha * static_cast<double>(n)));
+    std::nth_element(column.begin(),
+                     column.begin() + static_cast<std::ptrdiff_t>(rank),
+                     column.end());
+    splits[i] = column[rank];
+  }
+  return splits;
+}
+
+QuantileSplitter::QuantileSplitter(std::size_t dim, double alpha,
+                                   double imbalance_threshold)
+    : alpha_(alpha),
+      imbalance_threshold_(imbalance_threshold),
+      splits_(dim, Scalar{0.5}),
+      below_(dim, 0),
+      above_(dim, 0) {
+  PARSIM_CHECK(dim >= 1 && dim <= kMaxBucketDims);
+  PARSIM_CHECK(alpha > 0.0 && alpha < 1.0);
+  PARSIM_CHECK(imbalance_threshold > 1.0);
+}
+
+void QuantileSplitter::Record(PointView p) {
+  PARSIM_DCHECK(p.size() == splits_.size());
+  for (std::size_t i = 0; i < splits_.size(); ++i) {
+    if (p[i] >= splits_[i]) {
+      ++above_[i];
+    } else {
+      ++below_[i];
+    }
+  }
+  ++recorded_;
+}
+
+bool QuantileSplitter::NeedsReorganization() const {
+  if (recorded_ < 64) return false;
+  for (std::size_t i = 0; i < splits_.size(); ++i) {
+    const double lo = static_cast<double>(std::min(below_[i], above_[i]));
+    const double hi = static_cast<double>(std::max(below_[i], above_[i]));
+    // An empty side is maximal imbalance.
+    if (lo == 0.0 || hi / lo > imbalance_threshold_) return true;
+  }
+  return false;
+}
+
+bool QuantileSplitter::Reorganize(const PointSet& data) {
+  PARSIM_CHECK(data.dim() == splits_.size());
+  std::vector<Scalar> next = EstimateQuantileSplits(data, alpha_);
+  const bool changed = next != splits_;
+  splits_ = std::move(next);
+  std::fill(below_.begin(), below_.end(), 0);
+  std::fill(above_.begin(), above_.end(), 0);
+  recorded_ = 0;
+  ++reorganization_count_;
+  return changed;
+}
+
+}  // namespace parsim

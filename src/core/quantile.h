@@ -1,0 +1,66 @@
+// α-quantile split values for skewed data (Section 4.3, second extension).
+//
+// With midpoint splits, clustered data loads a few disks heavily. The
+// paper splits each dimension at its 0.5-quantile (median) instead, and
+// adapts dynamically: it records how many points fall below/above the
+// current split per dimension and reorganizes when the ratio exceeds a
+// threshold.
+
+#ifndef PARSIM_SRC_CORE_QUANTILE_H_
+#define PARSIM_SRC_CORE_QUANTILE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/bucket.h"
+#include "src/geometry/point.h"
+
+namespace parsim {
+
+/// Computes per-dimension α-quantiles of a point set (the split values).
+std::vector<Scalar> EstimateQuantileSplits(const PointSet& points,
+                                           double alpha = 0.5);
+
+/// Tracks split balance online and triggers reorganization.
+class QuantileSplitter {
+ public:
+  /// Starts with midpoint splits for the unit data space.
+  /// `imbalance_threshold` > 1: reorganize when, in any dimension,
+  /// max(below, above) / min(below, above) exceeds it.
+  explicit QuantileSplitter(std::size_t dim, double alpha = 0.5,
+                            double imbalance_threshold = 2.0);
+
+  std::size_t dim() const { return splits_.size(); }
+  double alpha() const { return alpha_; }
+  const std::vector<Scalar>& splits() const { return splits_; }
+
+  /// Records one inserted point against the current splits.
+  void Record(PointView p);
+
+  /// True when any dimension's below/above ratio exceeds the threshold
+  /// (requires a minimum of 64 recorded points to avoid noise).
+  bool NeedsReorganization() const;
+
+  /// Recomputes the splits as α-quantiles of `data` and resets the
+  /// counters. Returns true if any split value changed.
+  bool Reorganize(const PointSet& data);
+
+  /// Number of reorganizations performed so far.
+  int reorganization_count() const { return reorganization_count_; }
+
+  /// A Bucketizer over the current split values.
+  Bucketizer MakeBucketizer() const { return Bucketizer(splits_); }
+
+ private:
+  double alpha_;
+  double imbalance_threshold_;
+  std::vector<Scalar> splits_;
+  std::vector<std::uint64_t> below_;
+  std::vector<std::uint64_t> above_;
+  std::uint64_t recorded_ = 0;
+  int reorganization_count_ = 0;
+};
+
+}  // namespace parsim
+
+#endif  // PARSIM_SRC_CORE_QUANTILE_H_

@@ -1,0 +1,164 @@
+#include "src/core/recursive.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "src/core/coloring.h"
+#include "src/core/quantile.h"
+#include "src/util/check.h"
+
+namespace parsim {
+
+struct RecursiveDeclusterer::Node {
+  Node(Bucketizer b, Rect r, std::uint32_t rot)
+      : bucketizer(std::move(b)), region(std::move(r)), rotation(rot) {}
+
+  Bucketizer bucketizer;
+  Rect region;
+  std::uint32_t rotation;
+  std::map<BucketId, std::unique_ptr<Node>> children;
+};
+
+namespace {
+
+std::uint32_t UsableDisks(std::size_t dim, std::uint32_t num_disks) {
+  PARSIM_CHECK(num_disks >= 1);
+  return std::min(num_disks, NumColors(dim));
+}
+
+}  // namespace
+
+RecursiveDeclusterer::RecursiveDeclusterer(std::size_t dim,
+                                           std::uint32_t num_disks,
+                                           RecursiveOptions options)
+    : RecursiveDeclusterer(Bucketizer(dim), num_disks, options) {}
+
+RecursiveDeclusterer::RecursiveDeclusterer(Bucketizer top_level,
+                                           std::uint32_t num_disks,
+                                           RecursiveOptions options)
+    : dim_(top_level.dim()),
+      num_disks_(num_disks),
+      options_(options),
+      folding_(NumColors(top_level.dim()), UsableDisks(dim_, num_disks)),
+      root_(std::make_unique<Node>(std::move(top_level), Rect::UnitCube(dim_),
+                                   0)) {
+  PARSIM_CHECK(options_.overload_threshold > 1.0);
+  PARSIM_CHECK(options_.max_passes >= 0);
+}
+
+RecursiveDeclusterer::~RecursiveDeclusterer() = default;
+
+DiskId RecursiveDeclusterer::Resolve(const Node& node, PointView p) const {
+  const BucketId bucket = node.bucketizer.BucketOf(p);
+  const auto it = node.children.find(bucket);
+  if (it != node.children.end()) return Resolve(*it->second, p);
+  const Color color = static_cast<Color>(
+      (ColorOf(bucket) + node.rotation) % folding_.num_colors());
+  return folding_.DiskOf(color);
+}
+
+DiskId RecursiveDeclusterer::DiskOfPoint(PointView p, PointId /*id*/) const {
+  PARSIM_DCHECK(p.size() == dim_);
+  return Resolve(*root_, p);
+}
+
+int RecursiveDeclusterer::Fit(const PointSet& points) {
+  PARSIM_CHECK(points.dim() == dim_);
+  int passes = 0;
+  for (; passes < options_.max_passes; ++passes) {
+    // Current per-disk loads and per-leaf point lists.
+    std::vector<std::uint64_t> loads(num_disks_, 0);
+    // Leaf identity: (node, bucket). Points are grouped per leaf so the
+    // overloaded disk's buckets can be split in one pass.
+    std::map<std::pair<Node*, BucketId>, std::vector<std::uint32_t>> leaves;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const PointView p = points[i];
+      Node* node = root_.get();
+      BucketId bucket = node->bucketizer.BucketOf(p);
+      for (;;) {
+        auto it = node->children.find(bucket);
+        if (it == node->children.end()) break;
+        node = it->second.get();
+        bucket = node->bucketizer.BucketOf(p);
+      }
+      const Color color = static_cast<Color>(
+          (ColorOf(bucket) + node->rotation) % folding_.num_colors());
+      ++loads[folding_.DiskOf(color)];
+      leaves[{node, bucket}].push_back(static_cast<std::uint32_t>(i));
+    }
+    if (LoadImbalance(loads) <= options_.overload_threshold) break;
+
+    // The paper's step: decluster all buckets of the single most
+    // overloaded disk.
+    const DiskId busiest = static_cast<DiskId>(std::distance(
+        loads.begin(), std::max_element(loads.begin(), loads.end())));
+    bool split_any = false;
+    for (auto& [leaf, members] : leaves) {
+      Node* node = leaf.first;
+      const BucketId bucket = leaf.second;
+      const Color color = static_cast<Color>(
+          (ColorOf(bucket) + node->rotation) % folding_.num_colors());
+      if (folding_.DiskOf(color) != busiest) continue;
+      if (members.size() < options_.min_bucket_points) continue;
+
+      const Rect region = node->bucketizer.BucketRegion(bucket, node->region);
+      std::vector<Scalar> splits(dim_);
+      if (options_.quantile_splits) {
+        PointSet group(dim_);
+        group.Reserve(members.size());
+        for (std::uint32_t idx : members) group.Add(points[idx]);
+        splits = EstimateQuantileSplits(group, 0.5);
+      } else {
+        const Point center = region.Center();
+        for (std::size_t i = 0; i < dim_; ++i) splits[i] = center[i];
+      }
+      // Clamp splits strictly inside the region so both sub-halves are
+      // non-degenerate bucket regions.
+      for (std::size_t i = 0; i < dim_; ++i) {
+        splits[i] = std::clamp(splits[i], region.lo(i), region.hi(i));
+      }
+      // Color permutation heuristic: advance the rotation per level and
+      // per source color so sibling refinements interleave differently.
+      const std::uint32_t rotation =
+          (node->rotation + 1u + color) % folding_.num_colors();
+      node->children[bucket] =
+          std::make_unique<Node>(Bucketizer(std::move(splits)), region,
+                                 rotation);
+      split_any = true;
+    }
+    if (!split_any) break;  // nothing left to refine
+  }
+  return passes;
+}
+
+// MaxDepth/NumSplitBuckets need Node's definition; small recursive walks.
+int RecursiveDeclusterer::MaxDepth() const {
+  struct Walker {
+    static int Depth(const Node& node) {
+      int best = 0;
+      for (const auto& [bucket, child] : node.children) {
+        (void)bucket;
+        best = std::max(best, 1 + Depth(*child));
+      }
+      return best;
+    }
+  };
+  return Walker::Depth(*root_);
+}
+
+std::uint64_t RecursiveDeclusterer::NumSplitBuckets() const {
+  struct Walker {
+    static std::uint64_t Count(const Node& node) {
+      std::uint64_t total = node.children.size();
+      for (const auto& [bucket, child] : node.children) {
+        (void)bucket;
+        total += Count(*child);
+      }
+      return total;
+    }
+  };
+  return Walker::Count(*root_);
+}
+
+}  // namespace parsim

@@ -1,0 +1,89 @@
+// Recursive declustering for highly clustered / correlated data
+// (Section 4.3, third extension; Figure 16).
+//
+// When points concentrate in few quadrants, a single-level declustering
+// loads few disks. The paper's remedy: recursively decluster all buckets
+// of the most-overloaded disk in one step, re-running `col` on the
+// sub-quadrants of each such bucket with a permuted color assignment
+// ("permuting the colors using a simple heuristic when going to the next
+// level of recursion provides good speed-ups"). Declustering the full
+// O(2^d)-entry bucket table is infeasible in high d, so only overloaded
+// buckets grow sub-levels.
+
+#ifndef PARSIM_SRC_CORE_RECURSIVE_H_
+#define PARSIM_SRC_CORE_RECURSIVE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/core/bucket.h"
+#include "src/core/declusterer.h"
+#include "src/core/folding.h"
+
+namespace parsim {
+
+/// Tuning knobs of the recursive extension.
+struct RecursiveOptions {
+  /// Reorganize while max-disk load exceeds `overload_threshold` x the
+  /// average load.
+  double overload_threshold = 1.5;
+  /// Maximum number of reorganization passes (each pass declusters the
+  /// buckets of one disk, exactly as in the paper).
+  int max_passes = 8;
+  /// Do not split buckets holding fewer points than this.
+  std::uint64_t min_bucket_points = 64;
+  /// Split sub-buckets at the medians of the contained points (true) or
+  /// at region midpoints (false). The α-quantile variant is the paper's
+  /// recommendation for skewed data.
+  bool quantile_splits = true;
+};
+
+/// Near-optimal declustering with recursive refinement of overloaded
+/// buckets. Use Fit() once over (a sample of) the data; assignment is
+/// then a pure function of the point.
+class RecursiveDeclusterer : public Declusterer {
+ public:
+  /// Top-level splits are midpoints of the unit space; pass a custom
+  /// Bucketizer for quantile top-level splits.
+  RecursiveDeclusterer(std::size_t dim, std::uint32_t num_disks,
+                       RecursiveOptions options = {});
+  RecursiveDeclusterer(Bucketizer top_level, std::uint32_t num_disks,
+                       RecursiveOptions options = {});
+  ~RecursiveDeclusterer() override;
+
+  RecursiveDeclusterer(const RecursiveDeclusterer&) = delete;
+  RecursiveDeclusterer& operator=(const RecursiveDeclusterer&) = delete;
+
+  /// Runs reorganization passes until the load is balanced (or limits are
+  /// hit). Returns the number of passes performed.
+  int Fit(const PointSet& points);
+
+  DiskId DiskOfPoint(PointView p, PointId id) const override;
+  std::uint32_t num_disks() const override { return num_disks_; }
+  std::string name() const override { return "near-optimal+recursive"; }
+
+  std::size_t dim() const { return dim_; }
+
+  /// Depth of the deepest refinement (0 = no recursion happened).
+  int MaxDepth() const;
+
+  /// Number of refined (split) buckets across all levels.
+  std::uint64_t NumSplitBuckets() const;
+
+ private:
+  struct Node;
+
+  DiskId Resolve(const Node& node, PointView p) const;
+
+  std::size_t dim_;
+  std::uint32_t num_disks_;
+  RecursiveOptions options_;
+  ColorFolding folding_;
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace parsim
+
+#endif  // PARSIM_SRC_CORE_RECURSIVE_H_

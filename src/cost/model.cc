@@ -1,0 +1,105 @@
+#include "src/cost/model.h"
+
+#include <cmath>
+
+#include "src/core/bucket.h"
+#include "src/geometry/rect.h"
+#include "src/util/check.h"
+
+namespace parsim {
+
+double SurfaceProbability(std::size_t dim, double eps) {
+  PARSIM_CHECK(dim >= 1);
+  PARSIM_CHECK(eps >= 0.0 && eps <= 0.5);
+  return 1.0 - std::pow(1.0 - 2.0 * eps, static_cast<double>(dim));
+}
+
+double UnitBallVolume(std::size_t dim) {
+  PARSIM_CHECK(dim >= 1);
+  const double d = static_cast<double>(dim);
+  return std::pow(M_PI, d / 2.0) / std::tgamma(d / 2.0 + 1.0);
+}
+
+double ExpectedNnDistance(std::uint64_t num_points, std::size_t dim,
+                          std::uint64_t k) {
+  PARSIM_CHECK(num_points >= 1);
+  PARSIM_CHECK(k >= 1);
+  const double d = static_cast<double>(dim);
+  const double volume_needed =
+      static_cast<double>(k) / static_cast<double>(num_points);
+  return std::pow(volume_needed / UnitBallVolume(dim), 1.0 / d);
+}
+
+double MonteCarloQuadrantsIntersected(std::size_t dim, double radius,
+                                      std::size_t samples, Rng* rng) {
+  PARSIM_CHECK(rng != nullptr);
+  PARSIM_CHECK(samples >= 1);
+  PARSIM_CHECK(radius >= 0.0);
+  const Bucketizer bucketizer(dim);
+  const Rect space = Rect::UnitCube(dim);
+  double total = 0.0;
+  Point q(dim);
+  for (std::size_t s = 0; s < samples; ++s) {
+    for (std::size_t j = 0; j < dim; ++j) {
+      q[j] = static_cast<Scalar>(rng->NextDouble());
+    }
+    total += static_cast<double>(
+        bucketizer.BucketsIntersectingBall(q, radius, space).size());
+  }
+  return total / static_cast<double>(samples);
+}
+
+double MinkowskiCubeBallVolume(std::size_t dim, double edge, double radius) {
+  PARSIM_CHECK(dim >= 1);
+  PARSIM_CHECK(edge >= 0.0);
+  PARSIM_CHECK(radius >= 0.0);
+  // sum over i of C(d, i) * edge^(d-i) * V_i * radius^i, with V_0 = 1.
+  double total = 0.0;
+  double binom = 1.0;  // C(d, 0)
+  for (std::size_t i = 0; i <= dim; ++i) {
+    const double ball_volume = i == 0 ? 1.0 : UnitBallVolume(i);
+    total += binom * std::pow(edge, static_cast<double>(dim - i)) *
+             ball_volume * std::pow(radius, static_cast<double>(i));
+    binom = binom * static_cast<double>(dim - i) / static_cast<double>(i + 1);
+  }
+  return total;
+}
+
+double ExpectedNnPageAccesses(std::uint64_t num_points, std::size_t dim,
+                              std::size_t points_per_page, std::uint64_t k) {
+  PARSIM_CHECK(num_points >= 1);
+  PARSIM_CHECK(points_per_page >= 1);
+  const double pages = std::max(
+      1.0, static_cast<double>(num_points) /
+               static_cast<double>(points_per_page));
+  // A page region is modeled as a cube holding points_per_page points.
+  const double page_volume =
+      static_cast<double>(points_per_page) / static_cast<double>(num_points);
+  const double edge = std::pow(std::min(1.0, page_volume),
+                               1.0 / static_cast<double>(dim));
+  const double radius = ExpectedNnDistance(num_points, dim, k);
+  const double p_intersect =
+      std::min(1.0, MinkowskiCubeBallVolume(dim, edge, radius));
+  return pages * p_intersect;
+}
+
+double MonteCarloSurfaceProbability(std::size_t dim, double eps,
+                                    std::size_t samples, Rng* rng) {
+  PARSIM_CHECK(rng != nullptr);
+  PARSIM_CHECK(samples >= 1);
+  std::size_t hits = 0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    bool near_surface = false;
+    for (std::size_t j = 0; j < dim; ++j) {
+      const double v = rng->NextDouble();
+      if (v < eps || v > 1.0 - eps) {
+        near_surface = true;
+        break;
+      }
+    }
+    if (near_surface) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(samples);
+}
+
+}  // namespace parsim

@@ -1,0 +1,64 @@
+// Analytic cost model of high-dimensional nearest-neighbor search, after
+// the paper's Section 3.1 and its companion model [BBKK 97].
+//
+// Three effects drive the declustering design:
+//   1. points concentrate near the data-space surface (Eq. 1 / Fig. 5);
+//   2. the NN-sphere radius grows quickly with dimension;
+//   3. hence the sphere intersects many quadrants, which must be spread
+//      over disks.
+
+#ifndef PARSIM_SRC_COST_MODEL_H_
+#define PARSIM_SRC_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "src/util/random.h"
+
+namespace parsim {
+
+/// Probability that a uniform point of [0,1]^d lies within `eps` of the
+/// data-space surface: 1 - (1 - 2*eps)^d (Eq. 1; the paper's example uses
+/// eps = 0.1 and reports > 97% for d = 16).
+double SurfaceProbability(std::size_t dim, double eps = 0.1);
+
+/// Volume of the d-dimensional unit-radius L2 ball:
+/// pi^(d/2) / Gamma(d/2 + 1).
+double UnitBallVolume(std::size_t dim);
+
+/// Expected k-NN distance for N uniform points in [0,1]^d under the
+/// Poisson approximation (boundary effects ignored):
+/// r ~ (k / (N * V_ball(d)))^(1/d). This is the [BBKK 97]-style estimate
+/// of the NN-sphere radius; it grows rapidly with d at fixed N.
+double ExpectedNnDistance(std::uint64_t num_points, std::size_t dim,
+                          std::uint64_t k = 1);
+
+/// Expected number of quadrants (of the 2^d midpoint buckets) intersected
+/// by a ball of radius `radius` around a uniformly random query point,
+/// estimated by Monte Carlo with `samples` queries.
+double MonteCarloQuadrantsIntersected(std::size_t dim, double radius,
+                                      std::size_t samples, Rng* rng);
+
+/// Monte Carlo check of SurfaceProbability (used by tests and by the
+/// Fig. 5 bench to display analytic vs simulated columns side by side).
+double MonteCarloSurfaceProbability(std::size_t dim, double eps,
+                                    std::size_t samples, Rng* rng);
+
+/// Volume of the Minkowski sum of a d-cube with edge `a` and an L2 ball
+/// of radius `r`:  sum_i C(d,i) a^(d-i) V_i r^i  (V_i = unit i-ball
+/// volume, V_0 = 1). The probability that a cube-shaped page intersects
+/// the NN sphere is this volume (clipped to the data space).
+double MinkowskiCubeBallVolume(std::size_t dim, double edge, double radius);
+
+/// [BBKK 97]-style estimate of the number of *data pages* a k-NN query
+/// reads on N uniform points in [0,1]^d with `points_per_page` entries
+/// per page: pages x P(page intersects NN sphere), modelling pages as
+/// cubes of volume points_per_page/N. Boundary effects are ignored, so
+/// the estimate is an upper-bound-flavored approximation that becomes
+/// loose as the sphere radius approaches the data-space extent.
+double ExpectedNnPageAccesses(std::uint64_t num_points, std::size_t dim,
+                              std::size_t points_per_page,
+                              std::uint64_t k = 1);
+
+}  // namespace parsim
+
+#endif  // PARSIM_SRC_COST_MODEL_H_

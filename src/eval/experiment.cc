@@ -1,0 +1,89 @@
+#include "src/eval/experiment.h"
+
+#include "src/core/baselines.h"
+#include "src/core/near_optimal.h"
+#include "src/util/check.h"
+
+namespace parsim {
+
+WorkloadResult RunKnnWorkload(const ParallelSearchEngine& engine,
+                              const PointSet& queries, std::size_t k) {
+  PARSIM_CHECK(queries.dim() == engine.dim());
+  PARSIM_CHECK(!queries.empty());
+  WorkloadResult out;
+  out.num_queries = queries.size();
+  QueryStats stats;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    (void)engine.Query(queries[i], k, &stats);
+    out.avg_parallel_ms += stats.parallel_ms;
+    out.avg_sum_ms += stats.sum_ms;
+    out.avg_max_pages += static_cast<double>(stats.max_pages);
+    out.avg_total_pages += static_cast<double>(stats.total_pages);
+    out.avg_balance += stats.balance;
+  }
+  const double n = static_cast<double>(queries.size());
+  out.avg_parallel_ms /= n;
+  out.avg_sum_ms /= n;
+  out.avg_max_pages /= n;
+  out.avg_total_pages /= n;
+  out.avg_balance /= n;
+  return out;
+}
+
+double Speedup(const WorkloadResult& sequential,
+               const WorkloadResult& parallel) {
+  PARSIM_CHECK(parallel.avg_parallel_ms > 0.0);
+  return sequential.avg_parallel_ms / parallel.avg_parallel_ms;
+}
+
+double ImprovementFactor(const WorkloadResult& theirs,
+                         const WorkloadResult& ours) {
+  PARSIM_CHECK(ours.avg_parallel_ms > 0.0);
+  return theirs.avg_parallel_ms / ours.avg_parallel_ms;
+}
+
+const char* DeclustererKindToString(DeclustererKind kind) {
+  switch (kind) {
+    case DeclustererKind::kRoundRobin:
+      return "RR";
+    case DeclustererKind::kDiskModulo:
+      return "DM";
+    case DeclustererKind::kFx:
+      return "FX";
+    case DeclustererKind::kHilbert:
+      return "HIL";
+    case DeclustererKind::kNearOptimal:
+      return "new";
+  }
+  return "UNKNOWN";
+}
+
+std::unique_ptr<Declusterer> MakeDeclusterer(DeclustererKind kind,
+                                             std::size_t dim,
+                                             std::uint32_t num_disks) {
+  switch (kind) {
+    case DeclustererKind::kRoundRobin:
+      return std::make_unique<RoundRobinDeclusterer>(num_disks);
+    case DeclustererKind::kDiskModulo:
+      return std::make_unique<DiskModuloDeclusterer>(dim, num_disks);
+    case DeclustererKind::kFx:
+      return std::make_unique<FxDeclusterer>(dim, num_disks);
+    case DeclustererKind::kHilbert:
+      return std::make_unique<HilbertDeclusterer>(dim, num_disks);
+    case DeclustererKind::kNearOptimal:
+      return std::make_unique<NearOptimalDeclusterer>(dim, num_disks);
+  }
+  PARSIM_CHECK(false);
+}
+
+std::unique_ptr<ParallelSearchEngine> BuildEngine(
+    const PointSet& data, std::unique_ptr<Declusterer> declusterer,
+    EngineOptions options) {
+  auto engine = std::make_unique<ParallelSearchEngine>(
+      data.dim(), std::move(declusterer), options);
+  const Status s = engine->Build(data);
+  PARSIM_CHECK(s.ok());
+  return engine;
+}
+
+}  // namespace parsim

@@ -1,0 +1,68 @@
+// Experiment runner shared by the figure benchmarks: build an engine for
+// a (declusterer, data) pair, run a k-NN query workload, and report the
+// paper's metrics (search time of the busiest disk, speed-up against the
+// sequential X-tree, improvement factors).
+
+#ifndef PARSIM_SRC_EVAL_EXPERIMENT_H_
+#define PARSIM_SRC_EVAL_EXPERIMENT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/core/declusterer.h"
+#include "src/parallel/engine.h"
+
+namespace parsim {
+
+/// Averages over a query workload.
+struct WorkloadResult {
+  double avg_parallel_ms = 0.0;
+  double avg_sum_ms = 0.0;
+  double avg_max_pages = 0.0;
+  double avg_total_pages = 0.0;
+  double avg_balance = 1.0;
+  std::size_t num_queries = 0;
+};
+
+/// Runs every query in `queries` as a k-NN search and averages the
+/// simulated costs (the paper repeats each experiment and averages;
+/// with the deterministic simulator one pass per query suffices).
+WorkloadResult RunKnnWorkload(const ParallelSearchEngine& engine,
+                              const PointSet& queries, std::size_t k);
+
+/// Speed-up of a parallel run against a sequential baseline, by the
+/// paper's definition: sequential search time / parallel search time.
+double Speedup(const WorkloadResult& sequential,
+               const WorkloadResult& parallel);
+
+/// Improvement factor of `ours` over `theirs` (their time / our time).
+double ImprovementFactor(const WorkloadResult& theirs,
+                         const WorkloadResult& ours);
+
+/// Known declustering methods, addressable by the names used in the
+/// paper's figures.
+enum class DeclustererKind {
+  kRoundRobin,    // "RR"
+  kDiskModulo,    // "DM"
+  kFx,            // "FX"
+  kHilbert,       // "HIL"
+  kNearOptimal,   // "new"
+};
+
+const char* DeclustererKindToString(DeclustererKind kind);
+
+/// Creates a declusterer of the given kind for (dim, num_disks).
+std::unique_ptr<Declusterer> MakeDeclusterer(DeclustererKind kind,
+                                             std::size_t dim,
+                                             std::uint32_t num_disks);
+
+/// Builds an engine over `data` with the given declusterer and options.
+/// Convenience wrapper used by nearly every figure benchmark.
+std::unique_ptr<ParallelSearchEngine> BuildEngine(
+    const PointSet& data, std::unique_ptr<Declusterer> declusterer,
+    EngineOptions options = {});
+
+}  // namespace parsim
+
+#endif  // PARSIM_SRC_EVAL_EXPERIMENT_H_

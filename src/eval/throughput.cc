@@ -1,0 +1,56 @@
+#include "src/eval/throughput.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace parsim {
+
+ThroughputResult SimulateThroughput(const ParallelSearchEngine& engine,
+                                    const PointSet& queries, std::size_t k) {
+  PARSIM_CHECK(queries.dim() == engine.dim());
+  PARSIM_CHECK(!queries.empty());
+  const std::size_t disks = engine.num_disks();
+  const double page_ms =
+      engine.options().disk_parameters.PageAccessMs();
+
+  ThroughputResult out;
+  out.num_queries = queries.size();
+  out.pages_per_disk.assign(disks, 0);
+  double host_ms_total = 0.0;
+  QueryStats stats;
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    (void)engine.Query(queries[qi], k, &stats);
+    out.avg_latency_ms += stats.parallel_ms;
+    // Host share of this query's time (directory work on the shared
+    // architecture; zero for federated ones).
+    double disks_only = 0.0;
+    for (std::size_t d = 0; d < disks; ++d) {
+      out.pages_per_disk[d] += stats.pages_per_disk[d];
+      disks_only = std::max(
+          disks_only, static_cast<double>(stats.pages_per_disk[d]) * page_ms);
+    }
+    host_ms_total += std::max(0.0, stats.parallel_ms - disks_only);
+  }
+  out.avg_latency_ms /= static_cast<double>(queries.size());
+
+  double busiest_ms = 0.0;
+  double busy_sum_ms = 0.0;
+  for (std::size_t d = 0; d < disks; ++d) {
+    const double disk_ms =
+        static_cast<double>(out.pages_per_disk[d]) * page_ms;
+    busiest_ms = std::max(busiest_ms, disk_ms);
+    busy_sum_ms += disk_ms;
+  }
+  out.makespan_ms = host_ms_total + busiest_ms;
+  PARSIM_CHECK(out.makespan_ms > 0.0);
+  out.throughput_qps =
+      static_cast<double>(queries.size()) / (out.makespan_ms / 1000.0);
+  out.avg_disk_utilization =
+      busiest_ms > 0.0
+          ? busy_sum_ms / (static_cast<double>(disks) * busiest_ms)
+          : 1.0;
+  return out;
+}
+
+}  // namespace parsim

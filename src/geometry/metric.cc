@@ -1,0 +1,80 @@
+#include "src/geometry/metric.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace parsim {
+
+const char* MetricKindToString(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kL1:
+      return "L1";
+    case MetricKind::kL2:
+      return "L2";
+    case MetricKind::kLmax:
+      return "Lmax";
+  }
+  return "UNKNOWN";
+}
+
+double SquaredL2(PointView a, PointView b) {
+  PARSIM_DCHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double diff = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+double L2(PointView a, PointView b) { return std::sqrt(SquaredL2(a, b)); }
+
+double L1(PointView a, PointView b) {
+  PARSIM_DCHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    sum += std::abs(static_cast<double>(a[i]) - static_cast<double>(b[i]));
+  }
+  return sum;
+}
+
+double Lmax(PointView a, PointView b) {
+  PARSIM_DCHECK(a.size() == b.size());
+  double best = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    best = std::max(
+        best, std::abs(static_cast<double>(a[i]) - static_cast<double>(b[i])));
+  }
+  return best;
+}
+
+double Metric::Distance(PointView a, PointView b) const {
+  switch (kind_) {
+    case MetricKind::kL1:
+      return L1(a, b);
+    case MetricKind::kL2:
+      return L2(a, b);
+    case MetricKind::kLmax:
+      return Lmax(a, b);
+  }
+  PARSIM_CHECK(false);
+}
+
+double Metric::Comparable(PointView a, PointView b) const {
+  if (kind_ == MetricKind::kL2) return SquaredL2(a, b);
+  return Distance(a, b);
+}
+
+double Metric::ToComparable(double distance) const {
+  if (kind_ == MetricKind::kL2) return distance * distance;
+  return distance;
+}
+
+double Metric::FromComparable(double comparable) const {
+  if (kind_ == MetricKind::kL2) return std::sqrt(comparable);
+  return comparable;
+}
+
+}  // namespace parsim

@@ -1,0 +1,65 @@
+// Lp distance metrics over feature vectors.
+//
+// Similarity of two multimedia objects is the proximity of their feature
+// vectors (Section 1 of the paper); the default metric is Euclidean (L2),
+// with L1 and Lmax provided for applications that need them.
+
+#ifndef PARSIM_SRC_GEOMETRY_METRIC_H_
+#define PARSIM_SRC_GEOMETRY_METRIC_H_
+
+#include "src/geometry/point.h"
+
+namespace parsim {
+
+/// Which Lp norm a Metric computes.
+enum class MetricKind {
+  kL1,
+  kL2,
+  kLmax,
+};
+
+const char* MetricKindToString(MetricKind kind);
+
+/// Squared Euclidean distance (the hot-path primitive: comparisons of
+/// distances never need the square root).
+double SquaredL2(PointView a, PointView b);
+
+/// Euclidean distance.
+double L2(PointView a, PointView b);
+
+/// Manhattan distance.
+double L1(PointView a, PointView b);
+
+/// Chebyshev / maximum distance.
+double Lmax(PointView a, PointView b);
+
+/// A metric as a small value object, so indexes and search algorithms can
+/// be parameterized without virtual dispatch on the innermost loop.
+class Metric {
+ public:
+  explicit Metric(MetricKind kind = MetricKind::kL2) : kind_(kind) {}
+
+  MetricKind kind() const { return kind_; }
+
+  /// The actual distance.
+  double Distance(PointView a, PointView b) const;
+
+  /// A monotone surrogate of Distance: cheaper, order-preserving.
+  /// For L2 this is the squared distance; for L1/Lmax it is the distance
+  /// itself. Use with ToComparable below.
+  double Comparable(PointView a, PointView b) const;
+
+  /// Maps a real distance into the Comparable scale (e.g. squares it
+  /// for L2) so pruning thresholds can be pre-transformed once.
+  double ToComparable(double distance) const;
+
+  /// Inverse of ToComparable.
+  double FromComparable(double comparable) const;
+
+ private:
+  MetricKind kind_;
+};
+
+}  // namespace parsim
+
+#endif  // PARSIM_SRC_GEOMETRY_METRIC_H_

@@ -1,0 +1,19 @@
+#include "src/geometry/point.h"
+
+#include <cstdio>
+
+namespace parsim {
+
+std::string Point::ToString() const {
+  std::string out = "(";
+  char buf[32];
+  for (std::size_t i = 0; i < coords_.size(); ++i) {
+    if (i > 0) out += ", ";
+    std::snprintf(buf, sizeof(buf), "%g", static_cast<double>(coords_[i]));
+    out += buf;
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace parsim

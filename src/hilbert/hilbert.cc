@@ -1,0 +1,171 @@
+#include "src/hilbert/hilbert.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace parsim {
+
+bool operator<(const HilbertIndex& a, const HilbertIndex& b) {
+  const std::size_t n = std::max(a.words.size(), b.words.size());
+  for (std::size_t i = n; i-- > 0;) {
+    const std::uint64_t wa = i < a.words.size() ? a.words[i] : 0;
+    const std::uint64_t wb = i < b.words.size() ? b.words[i] : 0;
+    if (wa != wb) return wa < wb;
+  }
+  return false;
+}
+
+HilbertCurve::HilbertCurve(std::size_t dim, int bits) : dim_(dim), bits_(bits) {
+  PARSIM_CHECK(dim >= 1);
+  PARSIM_CHECK(bits >= 1 && bits <= 32);
+}
+
+void HilbertCurve::AxesToTranspose(std::vector<GridCoord>* x) const {
+  // Skilling (2004). On return, *x holds the Hilbert index in "transposed"
+  // form: bit j of the index at global position (j % dim) of level
+  // (j / dim).
+  std::vector<GridCoord>& X = *x;
+  const std::size_t n = dim_;
+  const GridCoord M = GridCoord{1} << (bits_ - 1);
+  // Inverse undo.
+  for (GridCoord Q = M; Q > 1; Q >>= 1) {
+    const GridCoord P = Q - 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (X[i] & Q) {
+        X[0] ^= P;  // invert low bits of X[0]
+      } else {
+        const GridCoord t = (X[0] ^ X[i]) & P;
+        X[0] ^= t;
+        X[i] ^= t;
+      }
+    }
+  }
+  // Gray encode.
+  for (std::size_t i = 1; i < n; ++i) X[i] ^= X[i - 1];
+  GridCoord t = 0;
+  for (GridCoord Q = M; Q > 1; Q >>= 1) {
+    if (X[n - 1] & Q) t ^= Q - 1;
+  }
+  for (std::size_t i = 0; i < n; ++i) X[i] ^= t;
+}
+
+void HilbertCurve::TransposeToAxes(std::vector<GridCoord>* x) const {
+  std::vector<GridCoord>& X = *x;
+  const std::size_t n = dim_;
+  const GridCoord M = GridCoord{2} << (bits_ - 1);
+  // Gray decode by H ^ (H/2).
+  GridCoord t = X[n - 1] >> 1;
+  for (std::size_t i = n; i-- > 1;) X[i] ^= X[i - 1];
+  X[0] ^= t;
+  // Undo excess work.
+  for (GridCoord Q = 2; Q != M; Q <<= 1) {
+    const GridCoord P = Q - 1;
+    for (std::size_t i = n; i-- > 0;) {
+      if (X[i] & Q) {
+        X[0] ^= P;
+      } else {
+        const GridCoord tt = (X[0] ^ X[i]) & P;
+        X[0] ^= tt;
+        X[i] ^= tt;
+      }
+    }
+  }
+}
+
+HilbertIndex HilbertCurve::Encode(const std::vector<GridCoord>& coords) const {
+  PARSIM_CHECK(coords.size() == dim_);
+  const GridCoord limit =
+      bits_ == 32 ? ~GridCoord{0}
+                  : static_cast<GridCoord>((GridCoord{1} << bits_) - 1);
+  for (GridCoord c : coords) PARSIM_CHECK(c <= limit);
+
+  std::vector<GridCoord> x = coords;
+  AxesToTranspose(&x);
+
+  // Pack the transposed form into a linear big integer, MSB first:
+  // for level j = bits-1 .. 0, for dimension i = 0 .. dim-1, the next bit
+  // (from most significant) is bit j of x[i].
+  const int total = total_bits();
+  HilbertIndex out;
+  out.words.assign(static_cast<std::size_t>((total + 63) / 64), 0);
+  int pos = total - 1;  // global bit position to write, MSB first
+  for (int j = bits_ - 1; j >= 0; --j) {
+    for (std::size_t i = 0; i < dim_; ++i) {
+      if ((x[i] >> j) & 1u) {
+        out.words[static_cast<std::size_t>(pos / 64)] |=
+            (std::uint64_t{1} << (pos % 64));
+      }
+      --pos;
+    }
+  }
+  PARSIM_DCHECK(pos == -1);
+  return out;
+}
+
+std::vector<GridCoord> HilbertCurve::Decode(const HilbertIndex& index) const {
+  const int total = total_bits();
+  PARSIM_CHECK(index.words.size() ==
+               static_cast<std::size_t>((total + 63) / 64));
+  std::vector<GridCoord> x(dim_, 0);
+  int pos = total - 1;
+  for (int j = bits_ - 1; j >= 0; --j) {
+    for (std::size_t i = 0; i < dim_; ++i) {
+      const std::uint64_t word = index.words[static_cast<std::size_t>(pos / 64)];
+      if ((word >> (pos % 64)) & 1u) {
+        x[i] |= (GridCoord{1} << j);
+      }
+      --pos;
+    }
+  }
+  TransposeToAxes(&x);
+  return x;
+}
+
+std::uint64_t HilbertCurve::EncodeU64(
+    const std::vector<GridCoord>& coords) const {
+  PARSIM_CHECK(total_bits() <= 64);
+  return Encode(coords).words[0];
+}
+
+std::vector<GridCoord> HilbertCurve::DecodeU64(std::uint64_t index) const {
+  PARSIM_CHECK(total_bits() <= 64);
+  HilbertIndex h;
+  h.words = {index};
+  return Decode(h);
+}
+
+std::vector<GridCoord> HilbertCurve::CellOf(PointView p) const {
+  PARSIM_CHECK(p.size() == dim_);
+  const double cells = std::ldexp(1.0, bits_);  // 2^bits
+  std::vector<GridCoord> out(dim_);
+  for (std::size_t i = 0; i < dim_; ++i) {
+    double scaled = static_cast<double>(p[i]) * cells;
+    // Clamp: coordinate 1.0 maps to the last cell.
+    if (scaled < 0.0) scaled = 0.0;
+    if (scaled >= cells) scaled = cells - 1.0;
+    out[i] = static_cast<GridCoord>(scaled);
+  }
+  return out;
+}
+
+HilbertIndex HilbertCurve::IndexOfPoint(PointView p) const {
+  return Encode(CellOf(p));
+}
+
+std::uint64_t HilbertIndexMod(const HilbertIndex& index, std::uint64_t n) {
+  PARSIM_CHECK(n >= 1);
+  // n is a disk count in practice; capping it below 2^32 lets Horner's
+  // rule run in plain 64-bit arithmetic, 32 bits at a time.
+  PARSIM_CHECK(n < (std::uint64_t{1} << 32));
+  std::uint64_t rem = 0;
+  for (std::size_t i = index.words.size(); i-- > 0;) {
+    const std::uint64_t w = index.words[i];
+    rem = ((rem << 32) | (w >> 32)) % n;
+    rem = ((rem << 32) | (w & 0xffffffffull)) % n;
+  }
+  return rem;
+}
+
+}  // namespace parsim

@@ -1,0 +1,82 @@
+// d-dimensional Hilbert space-filling curve.
+//
+// The Hilbert declustering baseline (Faloutsos & Bhagwat [FB 93], the
+// strongest prior method the paper compares against) stores a point on
+// disk `Hilbert(c_0,...,c_{d-1}) mod n`. This module provides the
+// d-dimensional Hilbert encode/decode after Skilling's compact algorithm
+// ("Programming the Hilbert curve", AIP 2004), which operates directly on
+// per-dimension bit words.
+//
+// Indices can exceed 64 bits for high (dim x bits); the multi-word
+// HilbertIndex representation plus HilbertIndexMod cover that case.
+
+#ifndef PARSIM_SRC_HILBERT_HILBERT_H_
+#define PARSIM_SRC_HILBERT_HILBERT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/geometry/point.h"
+
+namespace parsim {
+
+/// Per-dimension grid coordinate (bits-per-dimension <= 32).
+using GridCoord = std::uint32_t;
+
+/// A Hilbert index of dim*bits bits, stored as little-endian 64-bit words
+/// (words[0] holds the least-significant bits).
+struct HilbertIndex {
+  std::vector<std::uint64_t> words;
+
+  friend bool operator==(const HilbertIndex& a, const HilbertIndex& b) {
+    return a.words == b.words;
+  }
+  /// Numeric (unsigned big-integer) comparison.
+  friend bool operator<(const HilbertIndex& a, const HilbertIndex& b);
+};
+
+/// Encoder/decoder for a fixed (dim, bits) Hilbert curve.
+///
+/// `dim` >= 1 dimensions, `bits` in [1, 32] bits of resolution per
+/// dimension: the curve visits the 2^(dim*bits) grid cells in Hilbert
+/// order.
+class HilbertCurve {
+ public:
+  HilbertCurve(std::size_t dim, int bits);
+
+  std::size_t dim() const { return dim_; }
+  int bits() const { return bits_; }
+  int total_bits() const { return static_cast<int>(dim_) * bits_; }
+
+  /// Hilbert index of a grid cell. `coords` must have size dim() with
+  /// each value < 2^bits().
+  HilbertIndex Encode(const std::vector<GridCoord>& coords) const;
+
+  /// Inverse of Encode.
+  std::vector<GridCoord> Decode(const HilbertIndex& index) const;
+
+  /// Convenience for total_bits() <= 64.
+  std::uint64_t EncodeU64(const std::vector<GridCoord>& coords) const;
+  std::vector<GridCoord> DecodeU64(std::uint64_t index) const;
+
+  /// Grid cell of a point in [0,1]^d (values clamped into range).
+  std::vector<GridCoord> CellOf(PointView p) const;
+
+  /// Hilbert index of a point in [0,1]^d.
+  HilbertIndex IndexOfPoint(PointView p) const;
+
+ private:
+  // Skilling's transforms on the "transposed" index representation.
+  void AxesToTranspose(std::vector<GridCoord>* x) const;
+  void TransposeToAxes(std::vector<GridCoord>* x) const;
+
+  std::size_t dim_;
+  int bits_;
+};
+
+/// value mod n for a multi-word index; n >= 1.
+std::uint64_t HilbertIndexMod(const HilbertIndex& index, std::uint64_t n);
+
+}  // namespace parsim
+
+#endif  // PARSIM_SRC_HILBERT_HILBERT_H_

@@ -1,0 +1,252 @@
+#include "src/index/knn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "src/util/check.h"
+
+namespace parsim {
+
+double MinDistComparable(const Rect& rect, PointView query,
+                         const Metric& metric) {
+  PARSIM_DCHECK(rect.dim() == query.size());
+  switch (metric.kind()) {
+    case MetricKind::kL2:
+      return rect.SquaredMinDist(query);
+    case MetricKind::kL1: {
+      double sum = 0.0;
+      for (std::size_t i = 0; i < query.size(); ++i) {
+        if (query[i] < rect.lo(i)) {
+          sum += static_cast<double>(rect.lo(i)) - query[i];
+        } else if (query[i] > rect.hi(i)) {
+          sum += static_cast<double>(query[i]) - rect.hi(i);
+        }
+      }
+      return sum;
+    }
+    case MetricKind::kLmax: {
+      double best = 0.0;
+      for (std::size_t i = 0; i < query.size(); ++i) {
+        double diff = 0.0;
+        if (query[i] < rect.lo(i)) {
+          diff = static_cast<double>(rect.lo(i)) - query[i];
+        } else if (query[i] > rect.hi(i)) {
+          diff = static_cast<double>(query[i]) - rect.hi(i);
+        }
+        best = std::max(best, diff);
+      }
+      return best;
+    }
+  }
+  PARSIM_CHECK(false);
+}
+
+namespace {
+
+/// Bounded max-heap of the k best candidates in the Comparable scale.
+class TopK {
+ public:
+  explicit TopK(std::size_t k) : k_(k) { PARSIM_CHECK(k >= 1); }
+
+  /// The pruning threshold: the k-th best comparable distance so far, or
+  /// +inf while fewer than k candidates are known.
+  double Threshold() const {
+    return heap_.size() < k_ ? std::numeric_limits<double>::infinity()
+                             : heap_.front().first;
+  }
+
+  void Offer(double comparable, PointId id) {
+    if (heap_.size() < k_) {
+      heap_.emplace_back(comparable, id);
+      std::push_heap(heap_.begin(), heap_.end());
+    } else if (comparable < heap_.front().first) {
+      std::pop_heap(heap_.begin(), heap_.end());
+      heap_.back() = {comparable, id};
+      std::push_heap(heap_.begin(), heap_.end());
+    }
+  }
+
+  KnnResult Finish(const Metric& metric) && {
+    std::sort(heap_.begin(), heap_.end());
+    KnnResult out;
+    out.reserve(heap_.size());
+    for (const auto& [comparable, id] : heap_) {
+      out.push_back(Neighbor{id, metric.FromComparable(comparable)});
+    }
+    return out;
+  }
+
+ private:
+  std::size_t k_;
+  // (comparable distance, id); max-heap on distance.
+  std::vector<std::pair<double, PointId>> heap_;
+};
+
+}  // namespace
+
+KnnResult HsKnn(const TreeBase& tree, PointView query, std::size_t k,
+                const Metric& metric) {
+  PARSIM_CHECK(query.size() == tree.dim());
+  PARSIM_CHECK(k >= 1);
+  KnnResult result;
+  if (tree.root_id() == kInvalidNodeId) return result;
+
+  // The queue holds nodes (is_point == false) keyed by MINDIST and data
+  // points keyed by their actual distance, both in the Comparable scale.
+  struct Item {
+    double key;
+    bool is_point;
+    std::uint32_t ref;  // NodeId or PointId
+  };
+  const auto greater_key = [](const Item& a, const Item& b) {
+    return a.key > b.key;
+  };
+  std::priority_queue<Item, std::vector<Item>, decltype(greater_key)> queue(
+      greater_key);
+  queue.push(Item{0.0, false, tree.root_id()});
+  while (!queue.empty() && result.size() < k) {
+    const Item item = queue.top();
+    queue.pop();
+    if (item.is_point) {
+      result.push_back(Neighbor{item.ref, metric.FromComparable(item.key)});
+      continue;
+    }
+    const Node& node = tree.AccessNode(item.ref);
+    if (node.IsLeaf()) {
+      tree.ChargeNodeDistances(node, node.entries.size());
+      for (const NodeEntry& e : node.entries) {
+        queue.push(Item{metric.Comparable(query, e.AsPoint()), true, e.child});
+      }
+    } else {
+      for (const NodeEntry& e : node.entries) {
+        queue.push(
+            Item{MinDistComparable(e.rect, query, metric), false, e.child});
+      }
+    }
+  }
+  return result;
+}
+
+namespace {
+
+void RkvVisit(const TreeBase& tree, NodeId node_id, PointView query,
+              std::size_t k, const Metric& metric, TopK* best) {
+  const Node& node = tree.AccessNode(node_id);
+  if (node.IsLeaf()) {
+    tree.ChargeNodeDistances(node, node.entries.size());
+    for (const NodeEntry& e : node.entries) {
+      best->Offer(metric.Comparable(query, e.AsPoint()), e.child);
+    }
+    return;
+  }
+  struct Branch {
+    double mindist;
+    double minmaxdist;
+    NodeId child;
+  };
+  std::vector<Branch> branches;
+  branches.reserve(node.entries.size());
+  for (const NodeEntry& e : node.entries) {
+    branches.push_back(Branch{e.rect.SquaredMinDist(query),
+                              e.rect.SquaredMinMaxDist(query), e.child});
+  }
+  std::sort(branches.begin(), branches.end(),
+            [](const Branch& a, const Branch& b) {
+              return a.mindist < b.mindist;
+            });
+  // MINMAXDIST pruning (k == 1): some object within the branch lies at
+  // distance <= minmaxdist, so the NN distance cannot exceed the smallest
+  // minmaxdist; branches whose mindist is beyond it are dead.
+  double upper = std::numeric_limits<double>::infinity();
+  if (k == 1) {
+    for (const Branch& b : branches) upper = std::min(upper, b.minmaxdist);
+  }
+  for (const Branch& b : branches) {
+    if (b.mindist > best->Threshold()) break;  // sorted: rest are worse
+    if (b.mindist > upper) break;
+    RkvVisit(tree, b.child, query, k, metric, best);
+  }
+}
+
+}  // namespace
+
+KnnResult RkvKnn(const TreeBase& tree, PointView query, std::size_t k,
+                 const Metric& metric) {
+  PARSIM_CHECK(query.size() == tree.dim());
+  PARSIM_CHECK(k >= 1);
+  PARSIM_CHECK(metric.kind() == MetricKind::kL2);
+  TopK best(k);
+  if (tree.root_id() != kInvalidNodeId) {
+    RkvVisit(tree, tree.root_id(), query, k, metric, &best);
+  }
+  return std::move(best).Finish(metric);
+}
+
+KnnResult BallQuery(const TreeBase& tree, PointView query, double radius,
+                    const Metric& metric) {
+  PARSIM_CHECK(query.size() == tree.dim());
+  PARSIM_CHECK(radius >= 0.0);
+  KnnResult out;
+  if (tree.root_id() == kInvalidNodeId) return out;
+  const double threshold = metric.ToComparable(radius);
+  std::vector<NodeId> stack = {tree.root_id()};
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    const Node& node = tree.AccessNode(id);
+    if (node.IsLeaf()) {
+      tree.ChargeNodeDistances(node, node.entries.size());
+      for (const NodeEntry& e : node.entries) {
+        const double comparable = metric.Comparable(query, e.AsPoint());
+        if (comparable <= threshold) {
+          out.push_back(Neighbor{e.child, metric.FromComparable(comparable)});
+        }
+      }
+    } else {
+      for (const NodeEntry& e : node.entries) {
+        if (MinDistComparable(e.rect, query, metric) <= threshold) {
+          stack.push_back(e.child);
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Neighbor& a, const Neighbor& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.id < b.id;
+  });
+  return out;
+}
+
+KnnResult BruteForceBallQuery(const PointSet& points, PointView query,
+                              double radius, const Metric& metric) {
+  PARSIM_CHECK(radius >= 0.0);
+  const double threshold = metric.ToComparable(radius);
+  KnnResult out;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const double comparable = metric.Comparable(query, points[i]);
+    if (comparable <= threshold) {
+      out.push_back(Neighbor{static_cast<PointId>(i),
+                             metric.FromComparable(comparable)});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Neighbor& a, const Neighbor& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.id < b.id;
+  });
+  return out;
+}
+
+KnnResult BruteForceKnn(const PointSet& points, PointView query,
+                        std::size_t k, const Metric& metric) {
+  PARSIM_CHECK(query.size() == points.dim() || points.empty());
+  PARSIM_CHECK(k >= 1);
+  TopK best(k);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    best.Offer(metric.Comparable(query, points[i]), static_cast<PointId>(i));
+  }
+  return std::move(best).Finish(metric);
+}
+
+}  // namespace parsim

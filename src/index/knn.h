@@ -1,0 +1,68 @@
+// k-nearest-neighbor search algorithms over the tree family:
+//
+//   * HsKnn  — incremental best-first search of Hjaltason & Samet
+//              [HS 95]: a priority queue ordered by MINDIST; optimal in
+//              the number of pages read. The default in the engine.
+//   * RkvKnn — depth-first branch-and-bound of Roussopoulos, Kelley &
+//              Vincent [RKV 95] with MINDIST ordering and MINMAXDIST
+//              pruning; the algorithm the paper used on the X-tree.
+//   * BruteForceKnn — exact linear scan; the test oracle.
+
+#ifndef PARSIM_SRC_INDEX_KNN_H_
+#define PARSIM_SRC_INDEX_KNN_H_
+
+#include <vector>
+
+#include "src/geometry/metric.h"
+#include "src/geometry/point.h"
+#include "src/index/tree_base.h"
+
+namespace parsim {
+
+/// One answer of a k-NN query.
+struct Neighbor {
+  PointId id = kInvalidPointId;
+  /// Real (not squared) distance.
+  double distance = 0.0;
+
+  friend bool operator==(const Neighbor& a, const Neighbor& b) {
+    return a.id == b.id && a.distance == b.distance;
+  }
+};
+
+/// Result of a k-NN query: at most k neighbors, ascending by distance.
+using KnnResult = std::vector<Neighbor>;
+
+/// Best-first (Hjaltason-Samet) k-NN. Charges page reads and distance
+/// computations to the tree's disk. Supports L1, L2 and Lmax.
+KnnResult HsKnn(const TreeBase& tree, PointView query, std::size_t k,
+                const Metric& metric = Metric());
+
+/// Branch-and-bound (RKV) k-NN with MINDIST ordering; MINMAXDIST pruning
+/// is applied for k == 1 (its classic form). L2 only.
+KnnResult RkvKnn(const TreeBase& tree, PointView query, std::size_t k,
+                 const Metric& metric = Metric());
+
+/// Linear-scan oracle over a PointSet (ids are positions).
+KnnResult BruteForceKnn(const PointSet& points, PointView query,
+                        std::size_t k, const Metric& metric = Metric());
+
+/// ε-similarity (ball) query: every stored object within `radius` of
+/// `query` (inclusive), ascending by distance. The similarity-threshold
+/// counterpart of k-NN ("all images at least this similar"). Charges
+/// page reads like the other searches.
+KnnResult BallQuery(const TreeBase& tree, PointView query, double radius,
+                    const Metric& metric = Metric());
+
+/// Linear-scan oracle for BallQuery.
+KnnResult BruteForceBallQuery(const PointSet& points, PointView query,
+                              double radius, const Metric& metric = Metric());
+
+/// MINDIST between a query point and a rectangle in the metric's
+/// Comparable scale (squared for L2).
+double MinDistComparable(const Rect& rect, PointView query,
+                         const Metric& metric);
+
+}  // namespace parsim
+
+#endif  // PARSIM_SRC_INDEX_KNN_H_

@@ -1,0 +1,29 @@
+#include "src/index/node.h"
+
+#include "src/util/check.h"
+
+namespace parsim {
+
+Rect Node::ComputeMbr(std::size_t dim) const {
+  Rect mbr = Rect::Empty(dim);
+  for (const NodeEntry& e : entries) mbr.ExtendToInclude(e.rect);
+  return mbr;
+}
+
+std::size_t LeafCapacityPerPage(std::size_t dim) {
+  PARSIM_CHECK(dim >= 1);
+  const std::size_t record = dim * sizeof(Scalar) + sizeof(PointId);
+  const std::size_t capacity = kPageSizeBytes / record;
+  PARSIM_CHECK(capacity >= 2);  // a page must hold at least two records
+  return capacity;
+}
+
+std::size_t DirCapacityPerPage(std::size_t dim) {
+  PARSIM_CHECK(dim >= 1);
+  const std::size_t record = 2 * dim * sizeof(Scalar) + sizeof(NodeId);
+  const std::size_t capacity = kPageSizeBytes / record;
+  PARSIM_CHECK(capacity >= 2);
+  return capacity;
+}
+
+}  // namespace parsim

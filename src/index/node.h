@@ -1,0 +1,62 @@
+// On-"disk" node layout of the R*-tree / X-tree family.
+//
+// Nodes live on a simulated disk: a directory node or leaf normally
+// occupies one 4 KB page; X-tree supernodes span several contiguous
+// pages and charge that many page accesses when read.
+
+#ifndef PARSIM_SRC_INDEX_NODE_H_
+#define PARSIM_SRC_INDEX_NODE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/geometry/point.h"
+#include "src/geometry/rect.h"
+#include "src/io/disk_model.h"
+
+namespace parsim {
+
+/// Identifier of a node within one tree.
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNodeId = static_cast<NodeId>(-1);
+
+/// One slot of a node: an MBR plus either a child node (directory levels)
+/// or a data object id (leaf level). Leaf entries carry the degenerate
+/// rectangle of their point, which keeps the split/MBR machinery uniform
+/// across levels.
+struct NodeEntry {
+  Rect rect;
+  std::uint32_t child = 0;  // NodeId (directory) or PointId (leaf)
+
+  /// The point of a leaf entry (its rect is degenerate).
+  PointView AsPoint() const { return rect.lo(); }
+};
+
+/// A tree node. `level` 0 is the leaf level.
+struct Node {
+  NodeId id = kInvalidNodeId;
+  int level = 0;
+  /// Number of disk pages the node occupies (> 1 only for X-tree
+  /// supernodes).
+  std::uint32_t pages = 1;
+  /// Dimensions used by splits in this node's history (X-tree split
+  /// history, one bit per dimension). Propagated to split siblings.
+  std::uint32_t split_history = 0;
+  std::vector<NodeEntry> entries;
+
+  bool IsLeaf() const { return level == 0; }
+
+  /// The MBR of all entries.
+  Rect ComputeMbr(std::size_t dim) const;
+};
+
+/// Entries per leaf page: a leaf record is the point plus its id.
+std::size_t LeafCapacityPerPage(std::size_t dim);
+
+/// Entries per directory page: a directory record is an MBR (lo and hi)
+/// plus a child pointer.
+std::size_t DirCapacityPerPage(std::size_t dim);
+
+}  // namespace parsim
+
+#endif  // PARSIM_SRC_INDEX_NODE_H_

@@ -1,0 +1,10 @@
+#include "src/index/rstar_tree.h"
+
+namespace parsim {
+
+NodeId RStarTree::SplitNode(NodeId node_id) {
+  SplitResult split = ComputeRStarSplit(PeekNode(node_id));
+  return ApplySplit(node_id, std::move(split));
+}
+
+}  // namespace parsim

@@ -1,0 +1,28 @@
+// The R*-tree of Beckmann, Kriegel, Schneider & Seeger [BKSS 90]:
+// R* ChooseSubtree + forced reinsert (in TreeBase) and the topological
+// R* split applied unconditionally.
+
+#ifndef PARSIM_SRC_INDEX_RSTAR_TREE_H_
+#define PARSIM_SRC_INDEX_RSTAR_TREE_H_
+
+#include <string>
+
+#include "src/index/tree_base.h"
+
+namespace parsim {
+
+/// A classic R*-tree over a simulated disk.
+class RStarTree : public TreeBase {
+ public:
+  RStarTree(std::size_t dim, SimulatedDisk* disk, TreeOptions options = {})
+      : TreeBase(dim, disk, options) {}
+
+  std::string name() const override { return "R*-tree"; }
+
+ protected:
+  NodeId SplitNode(NodeId node_id) override;
+};
+
+}  // namespace parsim
+
+#endif  // PARSIM_SRC_INDEX_RSTAR_TREE_H_

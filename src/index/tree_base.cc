@@ -1,0 +1,852 @@
+#include "src/index/tree_base.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "src/geometry/metric.h"
+#include "src/hilbert/hilbert.h"
+#include "src/util/check.h"
+
+namespace parsim {
+
+TreeBase::TreeBase(std::size_t dim, SimulatedDisk* disk, TreeOptions options)
+    : dim_(dim),
+      disk_(disk),
+      options_(options),
+      leaf_capacity_(LeafCapacityPerPage(dim)),
+      dir_capacity_(DirCapacityPerPage(dim)) {
+  PARSIM_CHECK(dim >= 1);
+  PARSIM_CHECK(disk != nullptr);
+  PARSIM_CHECK(options_.min_fill > 0.0 && options_.min_fill <= 0.5);
+  PARSIM_CHECK(options_.reinsert_fraction > 0.0 &&
+               options_.reinsert_fraction < 1.0);
+  PARSIM_CHECK(options_.bulk_load_fill > 0.0 && options_.bulk_load_fill <= 1.0);
+}
+
+int TreeBase::height() const {
+  if (root_ == kInvalidNodeId) return 0;
+  return nodes_[root_]->level + 1;
+}
+
+std::size_t TreeBase::CapacityOf(const Node& node) const {
+  const std::size_t per_page = node.IsLeaf() ? leaf_capacity_ : dir_capacity_;
+  return per_page * node.pages;
+}
+
+std::size_t TreeBase::MinEntriesOf(const Node& node) const {
+  const std::size_t per_page = node.IsLeaf() ? leaf_capacity_ : dir_capacity_;
+  const auto m = static_cast<std::size_t>(
+      options_.min_fill * static_cast<double>(per_page));
+  return std::max<std::size_t>(1, m);
+}
+
+bool TreeBase::Overflowing(const Node& node) const {
+  return node.entries.size() > CapacityOf(node);
+}
+
+Node& TreeBase::MutableNode(NodeId id) {
+  PARSIM_CHECK(id < nodes_.size());
+  return *nodes_[id];
+}
+
+NodeId TreeBase::AllocateNode(int level) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  auto node = std::make_unique<Node>();
+  node->id = id;
+  node->level = level;
+  nodes_.push_back(std::move(node));
+  disk_->WritePages(1);
+  return id;
+}
+
+const Node& TreeBase::AccessNode(NodeId id) const {
+  PARSIM_CHECK(id < nodes_.size());
+  const Node& node = *nodes_[id];
+  SimulatedDisk* disk =
+      node_disk_resolver_ ? node_disk_resolver_(node) : disk_;
+  PARSIM_CHECK(disk != nullptr);
+  if (node.IsLeaf()) {
+    disk->ReadDataPagesBuffered(node.id, node.pages);
+  } else {
+    disk->ReadDirectoryPagesBuffered(node.id, node.pages);
+  }
+  return node;
+}
+
+void TreeBase::ChargeNodeDistances(const Node& node, std::uint64_t n) const {
+  SimulatedDisk* disk =
+      node_disk_resolver_ ? node_disk_resolver_(node) : disk_;
+  PARSIM_CHECK(disk != nullptr);
+  disk->ChargeDistanceComputations(n);
+}
+
+const Node& TreeBase::PeekNode(NodeId id) const {
+  PARSIM_CHECK(id < nodes_.size());
+  return *nodes_[id];
+}
+
+Status TreeBase::Insert(PointView p, PointId id) {
+  if (p.size() != dim_) {
+    return Status::InvalidArgument("point dimension mismatch");
+  }
+  if (root_ == kInvalidNodeId) {
+    root_ = AllocateNode(/*level=*/0);
+  }
+  NodeEntry entry;
+  entry.rect = Rect::AroundPoint(p);
+  entry.child = id;
+  std::vector<bool> reinsert_done(static_cast<std::size_t>(height()) + 2,
+                                  false);
+  InsertEntryAtLevel(std::move(entry), /*target_level=*/0, &reinsert_done);
+  ++size_;
+  return Status::Ok();
+}
+
+std::vector<NodeId> TreeBase::ChoosePath(const Rect& rect,
+                                         int target_level) const {
+  PARSIM_CHECK(root_ != kInvalidNodeId);
+  std::vector<NodeId> path;
+  NodeId current = root_;
+  for (;;) {
+    path.push_back(current);
+    const Node& node = *nodes_[current];
+    if (node.level == target_level) break;
+    PARSIM_CHECK(node.level > target_level);
+    PARSIM_CHECK(!node.entries.empty());
+
+    std::size_t best = 0;
+    if (node.level == 1 && target_level == 0) {
+      // Children are leaves: R* picks by (nearly) minimum overlap
+      // enlargement among the candidates with least area enlargement.
+      constexpr std::size_t kOverlapCandidates = 8;
+      std::vector<std::size_t> order(node.entries.size());
+      std::iota(order.begin(), order.end(), 0);
+      auto area_enlargement = [&](std::size_t i) {
+        const Rect& r = node.entries[i].rect;
+        return Rect::Union(r, rect).Volume() - r.Volume();
+      };
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return area_enlargement(a) < area_enlargement(b);
+      });
+      const std::size_t candidates =
+          std::min(kOverlapCandidates, order.size());
+      double best_overlap = std::numeric_limits<double>::infinity();
+      double best_area_enl = std::numeric_limits<double>::infinity();
+      double best_area = std::numeric_limits<double>::infinity();
+      for (std::size_t c = 0; c < candidates; ++c) {
+        const std::size_t i = order[c];
+        const Rect enlarged = Rect::Union(node.entries[i].rect, rect);
+        double overlap_delta = 0.0;
+        for (std::size_t j = 0; j < node.entries.size(); ++j) {
+          if (j == i) continue;
+          overlap_delta +=
+              enlarged.OverlapVolume(node.entries[j].rect) -
+              node.entries[i].rect.OverlapVolume(node.entries[j].rect);
+        }
+        const double enl = area_enlargement(i);
+        const double area = node.entries[i].rect.Volume();
+        if (overlap_delta < best_overlap ||
+            (overlap_delta == best_overlap &&
+             (enl < best_area_enl ||
+              (enl == best_area_enl && area < best_area)))) {
+          best_overlap = overlap_delta;
+          best_area_enl = enl;
+          best_area = area;
+          best = i;
+        }
+      }
+    } else {
+      // Inner levels: least area enlargement, ties by least area.
+      double best_enl = std::numeric_limits<double>::infinity();
+      double best_area = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < node.entries.size(); ++i) {
+        const Rect& r = node.entries[i].rect;
+        const double enl = Rect::Union(r, rect).Volume() - r.Volume();
+        const double area = r.Volume();
+        if (enl < best_enl || (enl == best_enl && area < best_area)) {
+          best_enl = enl;
+          best_area = area;
+          best = i;
+        }
+      }
+    }
+    current = node.entries[best].child;
+  }
+  return path;
+}
+
+void TreeBase::RefreshPathMbrs(const std::vector<NodeId>& path) {
+  // Bottom-up: make each parent entry's rect exactly its child's MBR.
+  for (std::size_t i = path.size(); i-- > 1;) {
+    const NodeId child = path[i];
+    const NodeId parent = path[i - 1];
+    const Rect mbr = nodes_[child]->ComputeMbr(dim_);
+    bool found = false;
+    for (NodeEntry& e : nodes_[parent]->entries) {
+      if (e.child == child) {
+        e.rect = mbr;
+        found = true;
+        break;
+      }
+    }
+    PARSIM_CHECK(found);
+  }
+}
+
+void TreeBase::InsertEntryAtLevel(NodeEntry entry, int target_level,
+                                  std::vector<bool>* reinsert_done) {
+  std::vector<NodeId> path = ChoosePath(entry.rect, target_level);
+  nodes_[path.back()]->entries.push_back(std::move(entry));
+  RefreshPathMbrs(path);
+
+  // Overflow treatment bottom-up along the insertion path.
+  std::size_t i = path.size();
+  while (i-- > 0) {
+    const NodeId nid = path[i];
+    if (!Overflowing(*nodes_[nid])) break;
+    const int level = nodes_[nid]->level;
+    const bool is_root = (nid == root_);
+    if (!is_root && options_.forced_reinsert &&
+        static_cast<std::size_t>(level) < reinsert_done->size() &&
+        !(*reinsert_done)[static_cast<std::size_t>(level)]) {
+      (*reinsert_done)[static_cast<std::size_t>(level)] = true;
+      std::vector<NodeId> prefix(path.begin(),
+                                 path.begin() + static_cast<std::ptrdiff_t>(i) +
+                                     1);
+      ForcedReinsert(nid, prefix, reinsert_done);
+      // The reinsertions ran their own overflow treatment; ancestors on
+      // `path` may have been restructured, so stop here.
+      break;
+    }
+    const NodeId sibling = SplitNode(nid);
+    if (sibling == kInvalidNodeId) break;  // absorbed in place (supernode)
+    if (is_root) {
+      GrowRoot(nid, sibling);
+      break;
+    }
+    // Register the sibling with the parent; the parent's own MBR does not
+    // change (the entries were partitioned), so ancestors stay exact.
+    const NodeId parent = path[i - 1];
+    Node& pnode = *nodes_[parent];
+    bool found = false;
+    for (NodeEntry& e : pnode.entries) {
+      if (e.child == nid) {
+        e.rect = nodes_[nid]->ComputeMbr(dim_);
+        found = true;
+        break;
+      }
+    }
+    PARSIM_CHECK(found);
+    NodeEntry sibling_entry;
+    sibling_entry.rect = nodes_[sibling]->ComputeMbr(dim_);
+    sibling_entry.child = sibling;
+    pnode.entries.push_back(std::move(sibling_entry));
+    // Continue: the parent may now overflow.
+  }
+}
+
+void TreeBase::ForcedReinsert(NodeId node_id, const std::vector<NodeId>& path,
+                              std::vector<bool>* reinsert_done) {
+  Node& node = *nodes_[node_id];
+  const Rect mbr = node.ComputeMbr(dim_);
+  const Point center = mbr.Center();
+  // Sort entries by distance of their rect center to the node center,
+  // descending; the farthest `reinsert_fraction` leave the node.
+  std::vector<std::size_t> order(node.entries.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> dist(node.entries.size());
+  for (std::size_t i = 0; i < node.entries.size(); ++i) {
+    dist[i] = SquaredL2(node.entries[i].rect.Center(), center);
+  }
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return dist[a] > dist[b]; });
+  const auto k = std::max<std::size_t>(
+      1, static_cast<std::size_t>(options_.reinsert_fraction *
+                                  static_cast<double>(node.entries.size())));
+  std::vector<NodeEntry> removed;
+  removed.reserve(k);
+  std::vector<bool> take(node.entries.size(), false);
+  for (std::size_t i = 0; i < k; ++i) take[order[i]] = true;
+  std::vector<NodeEntry> kept;
+  kept.reserve(node.entries.size() - k);
+  for (std::size_t i = 0; i < node.entries.size(); ++i) {
+    if (take[i]) {
+      removed.push_back(std::move(node.entries[i]));
+    } else {
+      kept.push_back(std::move(node.entries[i]));
+    }
+  }
+  node.entries = std::move(kept);
+  RefreshPathMbrs(path);
+  const int level = node.level;
+  // Reinsert closest-first (R* found this ordering best).
+  for (std::size_t i = removed.size(); i-- > 0;) {
+    InsertEntryAtLevel(std::move(removed[i]), level, reinsert_done);
+  }
+}
+
+void TreeBase::GrowRoot(NodeId left, NodeId right) {
+  const int new_level = nodes_[left]->level + 1;
+  const NodeId new_root = AllocateNode(new_level);
+  Node& root_node = *nodes_[new_root];
+  NodeEntry le;
+  le.rect = nodes_[left]->ComputeMbr(dim_);
+  le.child = left;
+  NodeEntry re;
+  re.rect = nodes_[right]->ComputeMbr(dim_);
+  re.child = right;
+  root_node.entries.push_back(std::move(le));
+  root_node.entries.push_back(std::move(re));
+  root_ = new_root;
+}
+
+TreeBase::SplitResult TreeBase::ComputeRStarSplit(const Node& node) const {
+  const std::size_t total = node.entries.size();
+  PARSIM_CHECK(total >= 2);
+  const auto m = std::max<std::size_t>(
+      1, static_cast<std::size_t>(options_.min_fill *
+                                  static_cast<double>(total)));
+  PARSIM_CHECK(m <= total - m);
+
+  // For one sorted order, evaluate all legal distributions and
+  // accumulate the margin sum; track the best (overlap, area) choice.
+  struct Best {
+    double overlap = std::numeric_limits<double>::infinity();
+    double area = std::numeric_limits<double>::infinity();
+    std::size_t cut = 0;
+    std::vector<std::size_t> order;
+    int axis = -1;
+  };
+
+  double best_margin_sum = std::numeric_limits<double>::infinity();
+  int best_axis = -1;
+  std::vector<std::vector<std::size_t>> best_axis_orders;
+
+  std::vector<std::size_t> order(total);
+  for (std::size_t axis = 0; axis < dim_; ++axis) {
+    double margin_sum = 0.0;
+    std::vector<std::vector<std::size_t>> orders(2);
+    for (int by_hi = 0; by_hi < 2; ++by_hi) {
+      std::iota(order.begin(), order.end(), 0);
+      std::sort(order.begin(), order.end(),
+                [&](std::size_t a, std::size_t b) {
+                  const Rect& ra = node.entries[a].rect;
+                  const Rect& rb = node.entries[b].rect;
+                  if (by_hi) {
+                    if (ra.hi(axis) != rb.hi(axis)) {
+                      return ra.hi(axis) < rb.hi(axis);
+                    }
+                    return ra.lo(axis) < rb.lo(axis);
+                  }
+                  if (ra.lo(axis) != rb.lo(axis)) {
+                    return ra.lo(axis) < rb.lo(axis);
+                  }
+                  return ra.hi(axis) < rb.hi(axis);
+                });
+      // Prefix and suffix MBRs for O(total) distribution evaluation.
+      std::vector<Rect> prefix(total), suffix(total);
+      Rect acc = Rect::Empty(dim_);
+      for (std::size_t i = 0; i < total; ++i) {
+        acc.ExtendToInclude(node.entries[order[i]].rect);
+        prefix[i] = acc;
+      }
+      acc = Rect::Empty(dim_);
+      for (std::size_t i = total; i-- > 0;) {
+        acc.ExtendToInclude(node.entries[order[i]].rect);
+        suffix[i] = acc;
+      }
+      for (std::size_t k = m; k + m <= total; ++k) {
+        margin_sum += prefix[k - 1].Margin() + suffix[k].Margin();
+      }
+      orders[static_cast<std::size_t>(by_hi)] = order;
+    }
+    if (margin_sum < best_margin_sum) {
+      best_margin_sum = margin_sum;
+      best_axis = static_cast<int>(axis);
+      best_axis_orders = std::move(orders);
+    }
+  }
+  PARSIM_CHECK(best_axis >= 0);
+
+  // Along the chosen axis, pick the distribution with minimal overlap
+  // volume (ties: minimal total area).
+  Best best;
+  for (const auto& ord : best_axis_orders) {
+    std::vector<Rect> prefix(total), suffix(total);
+    Rect acc = Rect::Empty(dim_);
+    for (std::size_t i = 0; i < total; ++i) {
+      acc.ExtendToInclude(node.entries[ord[i]].rect);
+      prefix[i] = acc;
+    }
+    acc = Rect::Empty(dim_);
+    for (std::size_t i = total; i-- > 0;) {
+      acc.ExtendToInclude(node.entries[ord[i]].rect);
+      suffix[i] = acc;
+    }
+    for (std::size_t k = m; k + m <= total; ++k) {
+      const double overlap = prefix[k - 1].OverlapVolume(suffix[k]);
+      const double area = prefix[k - 1].Volume() + suffix[k].Volume();
+      if (overlap < best.overlap ||
+          (overlap == best.overlap && area < best.area)) {
+        best.overlap = overlap;
+        best.area = area;
+        best.cut = k;
+        best.order = ord;
+        best.axis = best_axis;
+      }
+    }
+  }
+  PARSIM_CHECK(!best.order.empty());
+
+  SplitResult split;
+  split.axis = best.axis;
+  split.overlap_volume = best.overlap;
+  split.left.reserve(best.cut);
+  split.right.reserve(total - best.cut);
+  for (std::size_t i = 0; i < total; ++i) {
+    const NodeEntry& e = node.entries[best.order[i]];
+    if (i < best.cut) {
+      split.left.push_back(e);
+    } else {
+      split.right.push_back(e);
+    }
+  }
+  return split;
+}
+
+NodeId TreeBase::ApplySplit(NodeId node_id, SplitResult split) {
+  Node& node = *nodes_[node_id];
+  const NodeId sibling_id = AllocateNode(node.level);
+  Node& sibling = *nodes_[sibling_id];  // note: AllocateNode may reallocate
+  Node& left_node = *nodes_[node_id];
+
+  const std::uint32_t history =
+      split.axis >= 0 && split.axis < 32
+          ? (left_node.split_history | (1u << split.axis))
+          : left_node.split_history;
+  left_node.entries = std::move(split.left);
+  left_node.split_history = history;
+  sibling.entries = std::move(split.right);
+  sibling.split_history = history;
+
+  const std::size_t per_page =
+      left_node.IsLeaf() ? leaf_capacity_ : dir_capacity_;
+  auto pages_for = [per_page](std::size_t count) {
+    return static_cast<std::uint32_t>(
+        std::max<std::size_t>(1, (count + per_page - 1) / per_page));
+  };
+  left_node.pages = pages_for(left_node.entries.size());
+  sibling.pages = pages_for(sibling.entries.size());
+  disk_->WritePages(left_node.pages + sibling.pages);
+  return sibling_id;
+}
+
+Status TreeBase::BulkLoad(const PointSet& points,
+                          const std::vector<PointId>* ids) {
+  if (points.dim() != dim_) {
+    return Status::InvalidArgument("point set dimension mismatch");
+  }
+  if (ids != nullptr && ids->size() != points.size()) {
+    return Status::InvalidArgument("ids size must match points size");
+  }
+  if (!empty() || root_ != kInvalidNodeId) {
+    return Status::FailedPrecondition("BulkLoad requires an empty tree");
+  }
+  const std::size_t n = points.size();
+  if (n == 0) return Status::Ok();
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  if (options_.bulk_load_order == BulkLoadOrder::kHilbert) {
+    // Hilbert-order the points (8 bits of resolution per dimension).
+    const HilbertCurve curve(dim_, /*bits=*/8);
+    std::vector<HilbertIndex> keys;
+    keys.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      keys.push_back(curve.IndexOfPoint(points[i]));
+    }
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return keys[a] < keys[b];
+    });
+  } else {
+    // Sort-Tile-Recursive: sort by the first dimension, cut into slabs
+    // holding whole columns of leaves, recurse on the remaining
+    // dimensions within each slab.
+    const std::size_t leaf_points = std::max<std::size_t>(
+        1, static_cast<std::size_t>(options_.bulk_load_fill *
+                                    static_cast<double>(leaf_capacity_)));
+    std::function<void(std::size_t, std::size_t, std::size_t)> tile =
+        [&](std::size_t begin, std::size_t end, std::size_t dim_index) {
+          const std::size_t count = end - begin;
+          if (count <= leaf_points || dim_index >= dim_) return;
+          std::sort(order.begin() + static_cast<std::ptrdiff_t>(begin),
+                    order.begin() + static_cast<std::ptrdiff_t>(end),
+                    [&](std::size_t a, std::size_t b) {
+                      return points[a][dim_index] < points[b][dim_index];
+                    });
+          if (dim_index + 1 >= dim_) return;  // last dim: sorted run packs
+          const double leaves = std::ceil(static_cast<double>(count) /
+                                          static_cast<double>(leaf_points));
+          const double dims_left = static_cast<double>(dim_ - dim_index);
+          const auto slabs = static_cast<std::size_t>(
+              std::ceil(std::pow(leaves, 1.0 / dims_left)));
+          const std::size_t slab_size = (count + slabs - 1) / slabs;
+          for (std::size_t s = begin; s < end; s += slab_size) {
+            tile(s, std::min(end, s + slab_size), dim_index + 1);
+          }
+        };
+    tile(0, n, 0);
+  }
+
+  // Group sizes for one packed level: as close to the target fill as
+  // possible, spread evenly so every group respects the minimum fill
+  // (a single group — the future root — may underfill).
+  const auto pack_groups = [](std::size_t total, std::size_t fill,
+                              std::size_t min_fill, std::size_t capacity) {
+    PARSIM_CHECK(min_fill <= fill && fill <= capacity);
+    std::size_t groups = (total + fill - 1) / fill;
+    // Even distribution must keep every group >= min_fill; shrink the
+    // group count if the remainder would dilute groups below it.
+    if (groups > 1 && total / groups < min_fill) {
+      groups = std::max<std::size_t>(1, total / min_fill);
+    }
+    // ...but never exceed capacity.
+    while ((total + groups - 1) / groups > capacity) ++groups;
+    std::vector<std::size_t> sizes(groups, total / groups);
+    for (std::size_t i = 0; i < total % groups; ++i) ++sizes[i];
+    return sizes;
+  };
+
+  // Pack the leaf level.
+  const auto leaf_fill = std::max<std::size_t>(
+      MinEntriesOf(Node{}),  // Node{} is a leaf (level 0)
+      static_cast<std::size_t>(options_.bulk_load_fill *
+                               static_cast<double>(leaf_capacity_)));
+  std::vector<NodeId> level_nodes;
+  std::size_t start = 0;
+  for (const std::size_t count :
+       pack_groups(n, leaf_fill, MinEntriesOf(Node{}), leaf_capacity_)) {
+    const NodeId id = AllocateNode(/*level=*/0);
+    Node& leaf = *nodes_[id];
+    leaf.entries.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t src = order[start + i];
+      NodeEntry e;
+      e.rect = Rect::AroundPoint(points[src]);
+      e.child = ids != nullptr ? (*ids)[src] : static_cast<PointId>(src);
+      leaf.entries.push_back(std::move(e));
+    }
+    start += count;
+    level_nodes.push_back(id);
+  }
+  PARSIM_CHECK(start == n);
+
+  // Build directory levels bottom-up.
+  int level = 1;
+  Node dir_probe;
+  dir_probe.level = 1;
+  const std::size_t dir_min = MinEntriesOf(dir_probe);
+  const auto dir_fill = std::max<std::size_t>(
+      2, static_cast<std::size_t>(options_.bulk_load_fill *
+                                  static_cast<double>(dir_capacity_)));
+  while (level_nodes.size() > 1) {
+    std::vector<NodeId> next_level;
+    std::size_t child_index = 0;
+    for (const std::size_t count : pack_groups(level_nodes.size(), dir_fill,
+                                               dir_min, dir_capacity_)) {
+      const NodeId id = AllocateNode(level);
+      Node& dir = *nodes_[id];
+      dir.entries.reserve(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        const NodeId child = level_nodes[child_index++];
+        NodeEntry e;
+        e.rect = nodes_[child]->ComputeMbr(dim_);
+        e.child = child;
+        dir.entries.push_back(std::move(e));
+      }
+      next_level.push_back(id);
+    }
+    PARSIM_CHECK(child_index == level_nodes.size());
+    level_nodes = std::move(next_level);
+    ++level;
+  }
+  root_ = level_nodes.front();
+  size_ = n;
+  return Status::Ok();
+}
+
+std::vector<NodeId> TreeBase::FindLeafPath(PointView p, PointId id) const {
+  if (root_ == kInvalidNodeId) return {};
+  const Rect probe = Rect::AroundPoint(p);
+  std::vector<NodeId> path;
+  // Depth-first search with an explicit path stack (several subtrees may
+  // cover the probe point).
+  std::function<bool(NodeId)> descend = [&](NodeId nid) -> bool {
+    path.push_back(nid);
+    const Node& node = *nodes_[nid];
+    if (node.IsLeaf()) {
+      for (const NodeEntry& e : node.entries) {
+        if (e.child == id && e.rect == probe) return true;
+      }
+    } else {
+      for (const NodeEntry& e : node.entries) {
+        if (!e.rect.ContainsRect(probe)) continue;
+        if (descend(e.child)) return true;
+      }
+    }
+    path.pop_back();
+    return false;
+  };
+  if (!descend(root_)) return {};
+  return path;
+}
+
+Status TreeBase::Delete(PointView p, PointId id) {
+  if (p.size() != dim_) {
+    return Status::InvalidArgument("point dimension mismatch");
+  }
+  const std::vector<NodeId> path = FindLeafPath(p, id);
+  if (path.empty()) return Status::NotFound("record not stored");
+  Node& leaf = *nodes_[path.back()];
+  const Rect probe = Rect::AroundPoint(p);
+  bool removed = false;
+  for (std::size_t i = 0; i < leaf.entries.size(); ++i) {
+    if (leaf.entries[i].child == id && leaf.entries[i].rect == probe) {
+      leaf.entries.erase(leaf.entries.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+      removed = true;
+      break;
+    }
+  }
+  PARSIM_CHECK(removed);
+  --size_;
+  CondenseTree(path);
+  return Status::Ok();
+}
+
+void TreeBase::CondenseTree(const std::vector<NodeId>& path) {
+  // Walk bottom-up: dissolve underfull non-root nodes, collecting their
+  // surviving entries (with the level they must be reinserted at).
+  struct Orphan {
+    NodeEntry entry;
+    int level;
+  };
+  std::vector<Orphan> orphans;
+  for (std::size_t i = path.size(); i-- > 1;) {
+    Node& node = *nodes_[path[i]];
+    Node& parent = *nodes_[path[i - 1]];
+    if (node.entries.size() < MinEntriesOf(node)) {
+      // Dissolve: unhook from the parent, queue the entries.
+      for (NodeEntry& e : node.entries) {
+        orphans.push_back(Orphan{std::move(e), node.level});
+      }
+      node.entries.clear();
+      bool unhooked = false;
+      for (std::size_t j = 0; j < parent.entries.size(); ++j) {
+        if (parent.entries[j].child == path[i]) {
+          parent.entries.erase(parent.entries.begin() +
+                               static_cast<std::ptrdiff_t>(j));
+          unhooked = true;
+          break;
+        }
+      }
+      PARSIM_CHECK(unhooked);
+    } else {
+      // Keep, but tighten the parent entry's MBR.
+      const Rect mbr = node.ComputeMbr(dim_);
+      for (NodeEntry& e : parent.entries) {
+        if (e.child == path[i]) {
+          e.rect = mbr;
+          break;
+        }
+      }
+    }
+  }
+  // The bottom-up loop above already tightened every surviving
+  // parent-child MBR along the path; now shrink the root. A directory
+  // root with one child hands over; an empty root empties the tree.
+  while (root_ != kInvalidNodeId) {
+    Node& root_node = *nodes_[root_];
+    if (!root_node.IsLeaf() && root_node.entries.size() == 1) {
+      root_ = root_node.entries[0].child;
+      continue;
+    }
+    if (root_node.entries.empty()) {
+      root_ = kInvalidNodeId;
+    }
+    break;
+  }
+
+  // Reinsert orphans. Subtree entries go back at their original level
+  // when the tree is still tall enough; otherwise (the tree shrank) the
+  // subtree is unpacked into its points, which always reinsert cleanly.
+  std::function<void(const NodeEntry&, int, std::vector<NodeEntry>*)>
+      collect_points = [&](const NodeEntry& entry, int level,
+                           std::vector<NodeEntry>* out) {
+        if (level == 0) {
+          out->push_back(entry);
+          return;
+        }
+        const Node& child = *nodes_[entry.child];
+        for (const NodeEntry& e : child.entries) {
+          collect_points(e, level - 1, out);
+        }
+      };
+  // Deepest (lowest-level) entries first so the tree regains height
+  // before higher-level subtrees arrive.
+  std::sort(orphans.begin(), orphans.end(),
+            [](const Orphan& a, const Orphan& b) { return a.level < b.level; });
+  for (Orphan& orphan : orphans) {
+    if (root_ == kInvalidNodeId) {
+      root_ = AllocateNode(0);
+    }
+    if (orphan.level < height()) {
+      std::vector<bool> reinsert_done(static_cast<std::size_t>(height()) + 2,
+                                      false);
+      InsertEntryAtLevel(std::move(orphan.entry), orphan.level,
+                         &reinsert_done);
+      continue;
+    }
+    std::vector<NodeEntry> points;
+    collect_points(orphan.entry, orphan.level, &points);
+    for (NodeEntry& e : points) {
+      std::vector<bool> reinsert_done(static_cast<std::size_t>(height()) + 2,
+                                      false);
+      InsertEntryAtLevel(std::move(e), /*target_level=*/0, &reinsert_done);
+    }
+  }
+}
+
+std::vector<PointId> TreeBase::RangeQuery(const Rect& query) const {
+  std::vector<PointId> out;
+  if (root_ == kInvalidNodeId) return out;
+  std::vector<NodeId> stack = {root_};
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    const Node& node = AccessNode(id);
+    for (const NodeEntry& e : node.entries) {
+      if (!query.Intersects(e.rect)) continue;
+      if (node.IsLeaf()) {
+        out.push_back(e.child);
+      } else {
+        stack.push_back(e.child);
+      }
+    }
+  }
+  return out;
+}
+
+bool TreeBase::Contains(PointView p, PointId id) const {
+  if (root_ == kInvalidNodeId) return false;
+  const Rect probe = Rect::AroundPoint(p);
+  std::vector<NodeId> stack = {root_};
+  while (!stack.empty()) {
+    const NodeId nid = stack.back();
+    stack.pop_back();
+    const Node& node = AccessNode(nid);
+    for (const NodeEntry& e : node.entries) {
+      if (!e.rect.ContainsRect(probe)) continue;
+      if (node.IsLeaf()) {
+        if (e.child == id && e.rect == probe) return true;
+      } else {
+        stack.push_back(e.child);
+      }
+    }
+  }
+  return false;
+}
+
+TreeBase::Stats TreeBase::ComputeStats() const {
+  Stats stats;
+  stats.height = height();
+  if (root_ == kInvalidNodeId) return stats;
+  std::size_t leaf_entries = 0, dir_entries = 0, dir_nodes = 0;
+  std::vector<NodeId> stack = {root_};
+  while (!stack.empty()) {
+    const Node& node = *nodes_[stack.back()];
+    stack.pop_back();
+    ++stats.num_nodes;
+    stats.total_pages += node.pages;
+    if (node.pages > 1) ++stats.num_supernodes;
+    if (node.IsLeaf()) {
+      ++stats.num_leaves;
+      leaf_entries += node.entries.size();
+    } else {
+      ++dir_nodes;
+      dir_entries += node.entries.size();
+      for (const NodeEntry& e : node.entries) stack.push_back(e.child);
+    }
+  }
+  if (stats.num_leaves > 0) {
+    stats.avg_leaf_fill =
+        static_cast<double>(leaf_entries) /
+        (static_cast<double>(stats.num_leaves * leaf_capacity_));
+  }
+  if (dir_nodes > 0) {
+    stats.avg_dir_fill = static_cast<double>(dir_entries) /
+                         (static_cast<double>(dir_nodes * dir_capacity_));
+  }
+  return stats;
+}
+
+Status TreeBase::ValidateInvariants() const {
+  if (root_ == kInvalidNodeId) {
+    if (size_ != 0) return Status::Internal("empty tree with nonzero size");
+    return Status::Ok();
+  }
+  std::size_t points_seen = 0;
+  Status s = ValidateSubtree(root_, nodes_[root_]->level, /*is_root=*/true,
+                             &points_seen);
+  if (!s.ok()) return s;
+  if (points_seen != size_) {
+    return Status::Internal("stored point count does not match size()");
+  }
+  return Status::Ok();
+}
+
+Status TreeBase::ValidateSubtree(NodeId id, int expected_level, bool is_root,
+                                 std::size_t* points_seen) const {
+  if (id >= nodes_.size()) return Status::Internal("dangling node id");
+  const Node& node = *nodes_[id];
+  if (node.level != expected_level) {
+    return Status::Internal("node level inconsistent with tree structure");
+  }
+  if (node.entries.size() > CapacityOf(node)) {
+    return Status::Internal("node exceeds its capacity");
+  }
+  if (!is_root && node.entries.size() < MinEntriesOf(node)) {
+    return Status::Internal("non-root node under minimum fill");
+  }
+  if (is_root && node.entries.empty() && size_ != 0) {
+    return Status::Internal("root empty but tree non-empty");
+  }
+  if (node.IsLeaf()) {
+    for (const NodeEntry& e : node.entries) {
+      for (std::size_t i = 0; i < dim_; ++i) {
+        if (e.rect.lo(i) != e.rect.hi(i)) {
+          return Status::Internal("leaf entry rect is not a point");
+        }
+      }
+    }
+    *points_seen += node.entries.size();
+    return Status::Ok();
+  }
+  for (const NodeEntry& e : node.entries) {
+    if (e.child >= nodes_.size()) {
+      return Status::Internal("dangling child id");
+    }
+    const Rect child_mbr = nodes_[e.child]->ComputeMbr(dim_);
+    if (!(e.rect == child_mbr)) {
+      return Status::Internal("directory entry rect is not the child MBR");
+    }
+    Status s = ValidateSubtree(e.child, node.level - 1, /*is_root=*/false,
+                               points_seen);
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+}  // namespace parsim

@@ -1,0 +1,67 @@
+// The X-tree of Berchtold, Keim & Kriegel [BKK 96]: an R*-tree variant
+// for high-dimensional data that avoids directory degeneration.
+//
+// Split cascade on directory overflow:
+//   1. topological (R*) split — accepted if the resulting sibling MBRs
+//      overlap little;
+//   2. overlap-minimal split — the best balanced single-axis split over
+//      all axes (guided by the node's split history); accepted under the
+//      same overlap bound;
+//   3. otherwise the node becomes / extends a *supernode*: it keeps all
+//      entries and occupies one more disk page (reading it charges that
+//      many page accesses).
+//
+// Leaves always split topologically (supernodes are a directory concept).
+
+#ifndef PARSIM_SRC_INDEX_XTREE_H_
+#define PARSIM_SRC_INDEX_XTREE_H_
+
+#include <string>
+
+#include "src/index/tree_base.h"
+
+namespace parsim {
+
+/// X-tree tuning parameters.
+struct XTreeOptions : TreeOptions {
+  /// Maximum tolerated overlap of a directory split, as a fraction of the
+  /// two siblings' combined volume (the X-tree paper's MAX_OVERLAP is
+  /// 20%).
+  double max_overlap = 0.2;
+  /// Disable to degrade the X-tree into an R*-tree with X-tree splits
+  /// (ablation).
+  bool enable_supernodes = true;
+};
+
+/// An X-tree over a simulated disk.
+class XTree : public TreeBase {
+ public:
+  XTree(std::size_t dim, SimulatedDisk* disk, XTreeOptions options = {})
+      : TreeBase(dim, disk, options), xtree_options_(options) {}
+
+  std::string name() const override { return "X-tree"; }
+
+  const XTreeOptions& xtree_options() const { return xtree_options_; }
+
+  /// Number of supernode extensions performed (diagnostics).
+  std::uint64_t supernode_extensions() const { return supernode_extensions_; }
+
+ protected:
+  NodeId SplitNode(NodeId node_id) override;
+
+ private:
+  /// Relative overlap of a computed split: overlap volume divided by the
+  /// combined volume of the two sides (0 when both sides are empty-volume).
+  double RelativeOverlap(const SplitResult& split) const;
+
+  /// Best balanced single-axis split by ascending-center ordering;
+  /// axes from the split history are preferred. Returns the best found.
+  SplitResult ComputeOverlapMinimalSplit(const Node& node) const;
+
+  XTreeOptions xtree_options_;
+  std::uint64_t supernode_extensions_ = 0;
+};
+
+}  // namespace parsim
+
+#endif  // PARSIM_SRC_INDEX_XTREE_H_

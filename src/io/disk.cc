@@ -1,0 +1,4 @@
+#include "src/io/disk.h"
+
+// SimulatedDisk is header-only today; this translation unit anchors the
+// library target and is the home for any future out-of-line method.

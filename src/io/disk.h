@@ -1,0 +1,94 @@
+// One simulated disk: a page-access meter.
+//
+// Indexes charge every node they touch to their disk; experiment code
+// snapshots / resets the counters around each query.
+
+#ifndef PARSIM_SRC_IO_DISK_H_
+#define PARSIM_SRC_IO_DISK_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/io/disk_model.h"
+#include "src/util/lru_cache.h"
+
+namespace parsim {
+
+/// Identifier of a disk within a DiskArray.
+using DiskId = std::uint32_t;
+
+/// A simulated disk. Not thread-safe; the simulator is single-threaded by
+/// design (simulated time is computed, not measured).
+class SimulatedDisk {
+ public:
+  explicit SimulatedDisk(DiskId id, DiskParameters params = {})
+      : id_(id), params_(params) {}
+
+  DiskId id() const { return id_; }
+  const DiskParameters& parameters() const { return params_; }
+
+  /// Charges one data-page (leaf) read. `pages` > 1 models a multi-page
+  /// read, e.g. an X-tree supernode.
+  void ReadDataPages(std::uint64_t pages = 1) {
+    stats_.data_pages_read += pages;
+  }
+
+  /// Charges one directory-page (inner node) read.
+  void ReadDirectoryPages(std::uint64_t pages = 1) {
+    stats_.directory_pages_read += pages;
+  }
+
+  /// Installs a main-memory page buffer of `pages` pages (0 removes it).
+  /// Resident blocks are served without I/O charges. The buffer persists
+  /// across ResetStats() — that is its purpose.
+  void ConfigureBuffer(std::uint64_t pages) {
+    buffer_ = pages == 0 ? nullptr
+                         : std::make_unique<LruCache<std::uint64_t>>(pages);
+  }
+
+  bool has_buffer() const { return buffer_ != nullptr; }
+
+  /// Buffered variant of ReadDataPages: `key` identifies the block (a
+  /// node id); hits charge nothing but are counted.
+  void ReadDataPagesBuffered(std::uint64_t key, std::uint64_t pages = 1) {
+    if (buffer_ != nullptr && buffer_->Touch(key, pages)) {
+      stats_.buffer_hit_pages += pages;
+      return;
+    }
+    stats_.data_pages_read += pages;
+  }
+
+  /// Buffered variant of ReadDirectoryPages.
+  void ReadDirectoryPagesBuffered(std::uint64_t key, std::uint64_t pages = 1) {
+    if (buffer_ != nullptr && buffer_->Touch(key, pages)) {
+      stats_.buffer_hit_pages += pages;
+      return;
+    }
+    stats_.directory_pages_read += pages;
+  }
+
+  /// Charges page writes (index construction).
+  void WritePages(std::uint64_t pages = 1) { stats_.pages_written += pages; }
+
+  /// Charges CPU for distance computations.
+  void ChargeDistanceComputations(std::uint64_t n = 1) {
+    stats_.distance_computations += n;
+  }
+
+  const DiskStats& stats() const { return stats_; }
+
+  /// Simulated elapsed time for everything charged since the last reset.
+  double ElapsedMs() const { return parsim::ElapsedMs(stats_, params_); }
+
+  void ResetStats() { stats_ = DiskStats{}; }
+
+ private:
+  DiskId id_;
+  DiskParameters params_;
+  DiskStats stats_;
+  std::unique_ptr<LruCache<std::uint64_t>> buffer_;
+};
+
+}  // namespace parsim
+
+#endif  // PARSIM_SRC_IO_DISK_H_

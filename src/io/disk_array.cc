@@ -1,0 +1,83 @@
+#include "src/io/disk_array.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace parsim {
+
+DiskArray::DiskArray(std::size_t n, DiskParameters params) {
+  PARSIM_CHECK(n >= 1);
+  disks_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    disks_.emplace_back(static_cast<DiskId>(i), params);
+  }
+}
+
+SimulatedDisk& DiskArray::disk(DiskId id) {
+  PARSIM_CHECK(id < disks_.size());
+  return disks_[id];
+}
+
+const SimulatedDisk& DiskArray::disk(DiskId id) const {
+  PARSIM_CHECK(id < disks_.size());
+  return disks_[id];
+}
+
+double DiskArray::ParallelElapsedMs() const {
+  double worst = 0.0;
+  for (const auto& d : disks_) worst = std::max(worst, d.ElapsedMs());
+  return worst;
+}
+
+double DiskArray::SequentialElapsedMs() const {
+  double total = 0.0;
+  for (const auto& d : disks_) total += d.ElapsedMs();
+  return total;
+}
+
+DiskId DiskArray::BusiestDisk() const {
+  DiskId best = 0;
+  double worst = -1.0;
+  for (const auto& d : disks_) {
+    if (d.ElapsedMs() > worst) {
+      worst = d.ElapsedMs();
+      best = d.id();
+    }
+  }
+  return best;
+}
+
+std::uint64_t DiskArray::MaxPagesRead() const {
+  std::uint64_t worst = 0;
+  for (const auto& d : disks_) {
+    worst = std::max(worst, d.stats().TotalPagesRead());
+  }
+  return worst;
+}
+
+std::uint64_t DiskArray::TotalPagesRead() const {
+  std::uint64_t total = 0;
+  for (const auto& d : disks_) total += d.stats().TotalPagesRead();
+  return total;
+}
+
+DiskStats DiskArray::TotalStats() const {
+  DiskStats total;
+  for (const auto& d : disks_) total += d.stats();
+  return total;
+}
+
+double DiskArray::BalanceRatio() const {
+  const std::uint64_t max_pages = MaxPagesRead();
+  if (max_pages == 0) return 1.0;
+  const double avg = static_cast<double>(TotalPagesRead()) /
+                     static_cast<double>(disks_.size());
+  return avg / static_cast<double>(max_pages);
+}
+
+void DiskArray::ResetStats() {
+  for (auto& d : disks_) d.ResetStats();
+}
+
+}  // namespace parsim

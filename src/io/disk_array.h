@@ -1,0 +1,62 @@
+// An array of n simulated disks served in parallel.
+//
+// The parallel-response-time rule is the paper's own: the elapsed time of
+// a parallel operation is the elapsed time of the *slowest* disk (all
+// disks work concurrently, the query completes when the last one does).
+
+#ifndef PARSIM_SRC_IO_DISK_ARRAY_H_
+#define PARSIM_SRC_IO_DISK_ARRAY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/io/disk.h"
+#include "src/io/disk_model.h"
+
+namespace parsim {
+
+/// A fixed-size array of simulated disks.
+class DiskArray {
+ public:
+  /// Creates `n` disks (n >= 1) with identical parameters.
+  explicit DiskArray(std::size_t n, DiskParameters params = {});
+
+  std::size_t size() const { return disks_.size(); }
+
+  SimulatedDisk& disk(DiskId id);
+  const SimulatedDisk& disk(DiskId id) const;
+
+  /// Elapsed time of a parallel operation: max over disks. This is the
+  /// paper's measurement rule (Section 5).
+  double ParallelElapsedMs() const;
+
+  /// Elapsed time if the same accesses were served by one disk: sum over
+  /// disks. ParallelElapsedMs()/SequentialElapsedMs() of the same access
+  /// trace bounds the achievable speed-up (ablation: "sum vs max").
+  double SequentialElapsedMs() const;
+
+  /// The id of the disk with the largest elapsed time.
+  DiskId BusiestDisk() const;
+
+  /// Total page reads of the busiest disk (the paper's raw metric).
+  std::uint64_t MaxPagesRead() const;
+
+  /// Total page reads across all disks.
+  std::uint64_t TotalPagesRead() const;
+
+  /// Aggregated stats over all disks.
+  DiskStats TotalStats() const;
+
+  /// Load-balance quality in [1/n, 1]: average load / max load. 1 means
+  /// perfectly even page distribution across disks.
+  double BalanceRatio() const;
+
+  void ResetStats();
+
+ private:
+  std::vector<SimulatedDisk> disks_;
+};
+
+}  // namespace parsim
+
+#endif  // PARSIM_SRC_IO_DISK_ARRAY_H_

@@ -1,0 +1,409 @@
+#include "src/parallel/engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <thread>
+
+#include "src/index/rstar_tree.h"
+#include "src/index/xtree.h"
+#include "src/util/check.h"
+
+namespace parsim {
+
+ParallelSearchEngine::ParallelSearchEngine(
+    std::size_t dim, std::unique_ptr<Declusterer> declusterer,
+    EngineOptions options)
+    : dim_(dim),
+      declusterer_(std::move(declusterer)),
+      options_(options),
+      disks_(declusterer_ ? declusterer_->num_disks() : 1,
+             options.disk_parameters),
+      host_(static_cast<DiskId>(declusterer_ ? declusterer_->num_disks() : 1),
+            options.disk_parameters) {
+  PARSIM_CHECK(dim >= 1);
+  PARSIM_CHECK(declusterer_ != nullptr);
+  if (options_.buffer_pages_per_disk > 0) {
+    for (std::size_t i = 0; i < disks_.size(); ++i) {
+      disks_.disk(static_cast<DiskId>(i))
+          .ConfigureBuffer(options_.buffer_pages_per_disk);
+    }
+    host_.ConfigureBuffer(options_.buffer_pages_per_disk);
+  }
+  switch (options_.architecture) {
+    case Architecture::kSharedTree:
+      // One global tree. Structural (build-time) charges go to the host;
+      // query-time charges are routed per node by the resolver below.
+      trees_.push_back(MakeTree(&host_));
+      trees_[0]->set_node_disk_resolver([this](const Node& node) {
+        if (!node.IsLeaf()) return &host_;
+        return &disks_.disk(DiskOfLeaf(node));
+      });
+      break;
+    case Architecture::kFederatedTrees:
+      trees_.reserve(disks_.size());
+      for (std::size_t i = 0; i < disks_.size(); ++i) {
+        trees_.push_back(MakeTree(&disks_.disk(static_cast<DiskId>(i))));
+      }
+      break;
+    case Architecture::kFederatedScan:
+      scan_partitions_.reserve(disks_.size());
+      scan_ids_.resize(disks_.size());
+      for (std::size_t i = 0; i < disks_.size(); ++i) {
+        scan_partitions_.emplace_back(dim_);
+      }
+      break;
+  }
+}
+
+ParallelSearchEngine::~ParallelSearchEngine() = default;
+
+std::unique_ptr<TreeBase> ParallelSearchEngine::MakeTree(
+    SimulatedDisk* disk) const {
+  if (options_.tree_kind == TreeKind::kRStarTree) {
+    return std::make_unique<RStarTree>(dim_, disk);
+  }
+  return std::make_unique<XTree>(dim_, disk);
+}
+
+std::uint32_t ParallelSearchEngine::num_disks() const {
+  return static_cast<std::uint32_t>(disks_.size());
+}
+
+const TreeBase& ParallelSearchEngine::tree(DiskId disk) const {
+  PARSIM_CHECK(options_.architecture != Architecture::kFederatedScan);
+  if (options_.architecture == Architecture::kSharedTree) {
+    return *trees_[0];
+  }
+  PARSIM_CHECK(disk < trees_.size());
+  return *trees_[disk];
+}
+
+DiskId ParallelSearchEngine::DiskOfLeaf(const Node& leaf) const {
+  // A data page is "the bucket" of the paper: it is assigned to a disk
+  // by the region it covers. The page's MBR center stands in for the
+  // bucket coordinates; id-based declusterers (round robin) use the
+  // node id as the item index.
+  PARSIM_DCHECK(leaf.IsLeaf());
+  const Point center = leaf.ComputeMbr(dim_).Center();
+  return declusterer_->DiskOfPoint(center, leaf.id);
+}
+
+Status ParallelSearchEngine::Build(const PointSet& points) {
+  if (points.dim() != dim_) {
+    return Status::InvalidArgument("point set dimension mismatch");
+  }
+  if (size_ != 0) {
+    return Status::FailedPrecondition("Build may only be called once");
+  }
+  if (options_.architecture == Architecture::kFederatedScan) {
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      Status s = Insert(points[i], static_cast<PointId>(i));
+      if (!s.ok()) return s;
+    }
+  } else if (options_.architecture == Architecture::kSharedTree) {
+    if (options_.bulk_load) {
+      Status s = trees_[0]->BulkLoad(points);
+      if (!s.ok()) return s;
+    } else {
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        Status s = trees_[0]->Insert(points[i], static_cast<PointId>(i));
+        if (!s.ok()) return s;
+      }
+    }
+    size_ = points.size();
+  } else if (options_.bulk_load) {
+    // Partition into per-disk point sets, then Hilbert-bulk-load each
+    // with the original ids.
+    std::vector<PointSet> partitions;
+    partitions.reserve(disks_.size());
+    std::vector<std::vector<PointId>> ids(disks_.size());
+    for (std::size_t d = 0; d < disks_.size(); ++d) {
+      partitions.emplace_back(dim_);
+    }
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const DiskId disk =
+          declusterer_->DiskOfPoint(points[i], static_cast<PointId>(i));
+      PARSIM_CHECK(disk < disks_.size());
+      partitions[disk].Add(points[i]);
+      ids[disk].push_back(static_cast<PointId>(i));
+    }
+    for (std::size_t d = 0; d < disks_.size(); ++d) {
+      if (partitions[d].empty()) continue;
+      Status s = trees_[d]->BulkLoad(partitions[d], &ids[d]);
+      if (!s.ok()) return s;
+    }
+    size_ = points.size();
+  } else {
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      Status s = Insert(points[i], static_cast<PointId>(i));
+      if (!s.ok()) return s;
+    }
+  }
+  build_stats_ = disks_.TotalStats();
+  build_stats_ += host_.stats();
+  disks_.ResetStats();
+  host_.ResetStats();
+  return Status::Ok();
+}
+
+Status ParallelSearchEngine::Insert(PointView p, PointId id) {
+  if (p.size() != dim_) {
+    return Status::InvalidArgument("point dimension mismatch");
+  }
+  if (options_.architecture == Architecture::kSharedTree) {
+    Status s = trees_[0]->Insert(p, id);
+    if (!s.ok()) return s;
+  } else if (options_.architecture == Architecture::kFederatedScan) {
+    const DiskId disk = declusterer_->DiskOfPoint(p, id);
+    PARSIM_CHECK(disk < scan_partitions_.size());
+    scan_partitions_[disk].Add(p);
+    scan_ids_[disk].push_back(id);
+  } else {
+    const DiskId disk = declusterer_->DiskOfPoint(p, id);
+    PARSIM_CHECK(disk < trees_.size());
+    Status s = trees_[disk]->Insert(p, id);
+    if (!s.ok()) return s;
+  }
+  ++size_;
+  return Status::Ok();
+}
+
+Status ParallelSearchEngine::Remove(PointView p, PointId id) {
+  if (p.size() != dim_) {
+    return Status::InvalidArgument("point dimension mismatch");
+  }
+  Status s = Status::Ok();
+  if (options_.architecture == Architecture::kSharedTree) {
+    s = trees_[0]->Delete(p, id);
+  } else if (options_.architecture == Architecture::kFederatedScan) {
+    const DiskId disk = declusterer_->DiskOfPoint(p, id);
+    PARSIM_CHECK(disk < scan_partitions_.size());
+    PointSet& part = scan_partitions_[disk];
+    std::vector<PointId>& ids = scan_ids_[disk];
+    s = Status::NotFound("record not stored");
+    for (std::size_t i = 0; i < part.size(); ++i) {
+      if (ids[i] != id) continue;
+      bool equal = true;
+      const PointView stored = part[i];
+      for (std::size_t j = 0; j < dim_; ++j) {
+        if (stored[j] != p[j]) {
+          equal = false;
+          break;
+        }
+      }
+      if (!equal) continue;
+      // Swap-with-last removal; PointSet has no erase, so rebuild the
+      // tail in place.
+      const std::size_t last = part.size() - 1;
+      if (i != last) {
+        const PointView moved = part[last];
+        std::vector<Scalar> buffer(moved.begin(), moved.end());
+        std::copy(buffer.begin(), buffer.end(), part.Mutable(i).begin());
+        ids[i] = ids[last];
+      }
+      part.PopBack();
+      ids.pop_back();
+      s = Status::Ok();
+      break;
+    }
+  } else {
+    const DiskId disk = declusterer_->DiskOfPoint(p, id);
+    PARSIM_CHECK(disk < trees_.size());
+    s = trees_[disk]->Delete(p, id);
+  }
+  if (s.ok()) --size_;
+  return s;
+}
+
+KnnResult ParallelSearchEngine::ScanQuery(PointView query,
+                                          std::size_t k) const {
+  KnnResult merged;
+  const std::size_t per_page = LeafCapacityPerPage(dim_);
+  for (std::size_t d = 0; d < scan_partitions_.size(); ++d) {
+    const PointSet& part = scan_partitions_[d];
+    if (part.empty()) continue;
+    SimulatedDisk& disk = disks_.disk(static_cast<DiskId>(d));
+    disk.ReadDataPages((part.size() + per_page - 1) / per_page);
+    disk.ChargeDistanceComputations(part.size());
+    KnnResult local = BruteForceKnn(part, query, k, options_.metric);
+    for (Neighbor& n : local) n.id = scan_ids_[d][n.id];
+    merged.insert(merged.end(), local.begin(), local.end());
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const Neighbor& a, const Neighbor& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.id < b.id;
+            });
+  if (merged.size() > k) merged.resize(k);
+  return merged;
+}
+
+KnnResult ParallelSearchEngine::RunKnn(const TreeBase& tree, PointView query,
+                                       std::size_t k) const {
+  if (options_.knn_algorithm == KnnAlgorithm::kRkv) {
+    return RkvKnn(tree, query, k, options_.metric);
+  }
+  return HsKnn(tree, query, k, options_.metric);
+}
+
+void ParallelSearchEngine::FillStats(QueryStats* stats) const {
+  stats->parallel_ms = host_.ElapsedMs() + disks_.ParallelElapsedMs();
+  stats->sum_ms = host_.ElapsedMs() + disks_.SequentialElapsedMs();
+  stats->max_pages = disks_.MaxPagesRead();
+  stats->total_pages = disks_.TotalPagesRead();
+  stats->directory_pages = host_.stats().directory_pages_read +
+                           disks_.TotalStats().directory_pages_read;
+  stats->buffer_hit_pages = host_.stats().buffer_hit_pages +
+                            disks_.TotalStats().buffer_hit_pages;
+  stats->balance = disks_.BalanceRatio();
+  stats->pages_per_disk.clear();
+  for (std::size_t d = 0; d < disks_.size(); ++d) {
+    stats->pages_per_disk.push_back(
+        disks_.disk(static_cast<DiskId>(d)).stats().TotalPagesRead());
+  }
+}
+
+std::vector<PointId> ParallelSearchEngine::RangeQuery(
+    const Rect& query, QueryStats* stats) const {
+  PARSIM_CHECK(query.dim() == dim_);
+  disks_.ResetStats();
+  host_.ResetStats();
+  std::vector<PointId> out;
+  if (options_.architecture == Architecture::kSharedTree) {
+    out = trees_[0]->RangeQuery(query);
+  } else if (options_.architecture == Architecture::kFederatedScan) {
+    const std::size_t per_page = LeafCapacityPerPage(dim_);
+    for (std::size_t d = 0; d < scan_partitions_.size(); ++d) {
+      const PointSet& part = scan_partitions_[d];
+      if (part.empty()) continue;
+      SimulatedDisk& disk = disks_.disk(static_cast<DiskId>(d));
+      disk.ReadDataPages((part.size() + per_page - 1) / per_page);
+      for (std::size_t i = 0; i < part.size(); ++i) {
+        if (query.Contains(part[i])) out.push_back(scan_ids_[d][i]);
+      }
+    }
+  } else {
+    for (const auto& tree : trees_) {
+      if (tree->empty()) continue;
+      const std::vector<PointId> local = tree->RangeQuery(query);
+      out.insert(out.end(), local.begin(), local.end());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  if (stats != nullptr) FillStats(stats);
+  return out;
+}
+
+std::vector<PointId> ParallelSearchEngine::PartialMatchQuery(
+    const std::vector<std::pair<std::size_t, Scalar>>& fixed,
+    Scalar tolerance, QueryStats* stats) const {
+  PARSIM_CHECK(tolerance >= 0);
+  // Unfixed dimensions span a generous cover of the data space; the
+  // engine does not constrain coordinates to [0,1], so use wide bounds.
+  std::vector<Scalar> lo(dim_, std::numeric_limits<Scalar>::lowest());
+  std::vector<Scalar> hi(dim_, std::numeric_limits<Scalar>::max());
+  for (const auto& [dim_index, value] : fixed) {
+    PARSIM_CHECK(dim_index < dim_);
+    lo[dim_index] = value - tolerance;
+    hi[dim_index] = value + tolerance;
+  }
+  return RangeQuery(Rect(std::move(lo), std::move(hi)), stats);
+}
+
+KnnResult ParallelSearchEngine::SimilarityQuery(PointView query,
+                                                double radius,
+                                                QueryStats* stats) const {
+  PARSIM_CHECK(query.size() == dim_);
+  PARSIM_CHECK(radius >= 0.0);
+  disks_.ResetStats();
+  host_.ResetStats();
+  KnnResult merged;
+  if (options_.architecture == Architecture::kSharedTree) {
+    merged = BallQuery(*trees_[0], query, radius, options_.metric);
+  } else if (options_.architecture == Architecture::kFederatedScan) {
+    const std::size_t per_page = LeafCapacityPerPage(dim_);
+    for (std::size_t d = 0; d < scan_partitions_.size(); ++d) {
+      const PointSet& part = scan_partitions_[d];
+      if (part.empty()) continue;
+      SimulatedDisk& disk = disks_.disk(static_cast<DiskId>(d));
+      disk.ReadDataPages((part.size() + per_page - 1) / per_page);
+      disk.ChargeDistanceComputations(part.size());
+      KnnResult local =
+          BruteForceBallQuery(part, query, radius, options_.metric);
+      for (Neighbor& n : local) n.id = scan_ids_[d][n.id];
+      merged.insert(merged.end(), local.begin(), local.end());
+    }
+  } else {
+    for (const auto& tree : trees_) {
+      if (tree->empty()) continue;
+      const KnnResult local = BallQuery(*tree, query, radius, options_.metric);
+      merged.insert(merged.end(), local.begin(), local.end());
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const Neighbor& a, const Neighbor& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.id < b.id;
+            });
+  if (stats != nullptr) FillStats(stats);
+  return merged;
+}
+
+KnnResult ParallelSearchEngine::Query(PointView query, std::size_t k,
+                                      QueryStats* stats) const {
+  PARSIM_CHECK(query.size() == dim_);
+  PARSIM_CHECK(k >= 1);
+  disks_.ResetStats();
+  host_.ResetStats();
+
+  KnnResult merged;
+  if (options_.architecture == Architecture::kSharedTree) {
+    merged = RunKnn(*trees_[0], query, k);
+  } else if (options_.architecture == Architecture::kFederatedScan) {
+    merged = ScanQuery(query, k);
+  } else {
+    // Fan out: every disk answers the query over its local tree; merge
+    // the per-disk top-k lists. With parallel_workers > 1, the local
+    // searches run on real threads — each worker only touches its own
+    // tree and its own SimulatedDisk, so the accounting stays exact.
+    std::vector<KnnResult> local(trees_.size());
+    const unsigned workers =
+        std::min<unsigned>(options_.parallel_workers,
+                           static_cast<unsigned>(trees_.size()));
+    if (workers > 1) {
+      std::atomic<std::size_t> next{0};
+      std::vector<std::thread> pool;
+      pool.reserve(workers);
+      for (unsigned w = 0; w < workers; ++w) {
+        pool.emplace_back([&]() {
+          for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= trees_.size()) return;
+            if (!trees_[i]->empty()) {
+              local[i] = RunKnn(*trees_[i], query, k);
+            }
+          }
+        });
+      }
+      for (std::thread& t : pool) t.join();
+    } else {
+      for (std::size_t i = 0; i < trees_.size(); ++i) {
+        if (!trees_[i]->empty()) local[i] = RunKnn(*trees_[i], query, k);
+      }
+    }
+    for (const KnnResult& r : local) {
+      merged.insert(merged.end(), r.begin(), r.end());
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const Neighbor& a, const Neighbor& b) {
+                if (a.distance != b.distance) return a.distance < b.distance;
+                return a.id < b.id;
+              });
+    if (merged.size() > k) merged.resize(k);
+  }
+  if (stats != nullptr) FillStats(stats);
+  return merged;
+}
+
+}  // namespace parsim

@@ -1,0 +1,74 @@
+// Bit-manipulation helpers used throughout the declustering code.
+//
+// Bucket numbers (Definition 2 of the paper) are bitstrings c_{d-1}...c_0
+// stored in unsigned integers, so Hamming distance, per-bit access and
+// power-of-two rounding are the vocabulary of the whole core library.
+
+#ifndef PARSIM_SRC_UTIL_BITS_H_
+#define PARSIM_SRC_UTIL_BITS_H_
+
+#include <bit>
+#include <cstdint>
+
+#include "src/util/check.h"
+
+namespace parsim {
+
+/// Number of set bits.
+inline int Popcount(std::uint64_t x) { return std::popcount(x); }
+
+/// Hamming distance between two bitstrings.
+inline int HammingDistance(std::uint64_t a, std::uint64_t b) {
+  return std::popcount(a ^ b);
+}
+
+/// True iff bit `i` of `x` is set. Requires 0 <= i < 64.
+inline bool BitSet(std::uint64_t x, int i) {
+  PARSIM_DCHECK(i >= 0 && i < 64);
+  return ((x >> i) & 1u) != 0;
+}
+
+/// Returns `x` with bit `i` set.
+inline std::uint64_t WithBit(std::uint64_t x, int i) {
+  PARSIM_DCHECK(i >= 0 && i < 64);
+  return x | (std::uint64_t{1} << i);
+}
+
+/// Returns `x` with bit `i` cleared.
+inline std::uint64_t WithoutBit(std::uint64_t x, int i) {
+  PARSIM_DCHECK(i >= 0 && i < 64);
+  return x & ~(std::uint64_t{1} << i);
+}
+
+/// Returns `x` with bit `i` flipped.
+inline std::uint64_t FlipBit(std::uint64_t x, int i) {
+  PARSIM_DCHECK(i >= 0 && i < 64);
+  return x ^ (std::uint64_t{1} << i);
+}
+
+/// ceil(log2(x)) for x >= 1; Log2Ceil(1) == 0.
+inline int Log2Ceil(std::uint64_t x) {
+  PARSIM_CHECK(x >= 1);
+  if (x == 1) return 0;
+  return 64 - std::countl_zero(x - 1);
+}
+
+/// floor(log2(x)) for x >= 1.
+inline int Log2Floor(std::uint64_t x) {
+  PARSIM_CHECK(x >= 1);
+  return 63 - std::countl_zero(x);
+}
+
+/// Smallest power of two >= x. The paper's |a| ("rounding to the
+/// next-higher power of two", Lemma 6) is NextPow2(a).
+inline std::uint64_t NextPow2(std::uint64_t x) {
+  if (x <= 1) return 1;
+  return std::uint64_t{1} << (64 - std::countl_zero(x - 1));
+}
+
+/// True iff x is a power of two (x > 0).
+inline bool IsPow2(std::uint64_t x) { return x > 0 && (x & (x - 1)) == 0; }
+
+}  // namespace parsim
+
+#endif  // PARSIM_SRC_UTIL_BITS_H_

@@ -1,0 +1,40 @@
+// Lightweight precondition / invariant checking.
+//
+// PARSIM_CHECK is always on (it guards API misuse and on-disk invariants,
+// which must hold in release builds too); PARSIM_DCHECK compiles away in
+// NDEBUG builds and is used on hot paths.
+
+#ifndef PARSIM_SRC_UTIL_CHECK_H_
+#define PARSIM_SRC_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace parsim {
+namespace internal_check {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "%s:%d: PARSIM_CHECK failed: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace internal_check
+}  // namespace parsim
+
+#define PARSIM_CHECK(expr)                                            \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::parsim::internal_check::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                                 \
+  } while (false)
+
+#ifdef NDEBUG
+#define PARSIM_DCHECK(expr) \
+  do {                      \
+  } while (false)
+#else
+#define PARSIM_DCHECK(expr) PARSIM_CHECK(expr)
+#endif
+
+#endif  // PARSIM_SRC_UTIL_CHECK_H_

@@ -1,0 +1,83 @@
+// A weighted LRU cache of keys (no values): the page-buffer bookkeeping
+// of the simulated disks. Touch() reports whether the key was resident
+// and promotes/inserts it, evicting least-recently-used keys when the
+// configured weight capacity is exceeded.
+
+#ifndef PARSIM_SRC_UTIL_LRU_CACHE_H_
+#define PARSIM_SRC_UTIL_LRU_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "src/util/check.h"
+
+namespace parsim {
+
+/// An LRU set with per-entry weights (e.g. pages of a supernode).
+template <typename Key>
+class LruCache {
+ public:
+  /// `capacity` is the total weight the cache may hold; 0 disables it
+  /// (every Touch misses and stores nothing).
+  explicit LruCache(std::uint64_t capacity) : capacity_(capacity) {}
+
+  std::uint64_t capacity() const { return capacity_; }
+  std::uint64_t weight() const { return weight_; }
+  std::size_t size() const { return map_.size(); }
+
+  /// Looks up `key`; on hit, promotes it to most-recently-used and
+  /// returns true. On miss, inserts it with `entry_weight` (evicting LRU
+  /// entries as needed) and returns false. Entries heavier than the
+  /// whole capacity are not cached.
+  bool Touch(const Key& key, std::uint64_t entry_weight = 1) {
+    PARSIM_DCHECK(entry_weight >= 1);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      order_.splice(order_.begin(), order_, it->second.position);
+      return true;
+    }
+    if (entry_weight > capacity_) return false;
+    while (weight_ + entry_weight > capacity_) {
+      EvictOne();
+    }
+    order_.push_front(key);
+    map_.emplace(key, Entry{order_.begin(), entry_weight});
+    weight_ += entry_weight;
+    return false;
+  }
+
+  /// True iff `key` is resident (no promotion).
+  bool Contains(const Key& key) const { return map_.count(key) != 0; }
+
+  void Clear() {
+    map_.clear();
+    order_.clear();
+    weight_ = 0;
+  }
+
+ private:
+  struct Entry {
+    typename std::list<Key>::iterator position;
+    std::uint64_t entry_weight;
+  };
+
+  void EvictOne() {
+    PARSIM_CHECK(!order_.empty());
+    const Key& victim = order_.back();
+    auto it = map_.find(victim);
+    PARSIM_CHECK(it != map_.end());
+    weight_ -= it->second.entry_weight;
+    map_.erase(it);
+    order_.pop_back();
+  }
+
+  std::uint64_t capacity_;
+  std::uint64_t weight_ = 0;
+  std::list<Key> order_;
+  std::unordered_map<Key, Entry> map_;
+};
+
+}  // namespace parsim
+
+#endif  // PARSIM_SRC_UTIL_LRU_CACHE_H_

@@ -1,0 +1,135 @@
+#include "src/util/random.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace parsim {
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t* state) {
+  std::uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+  // xoshiro must not be seeded with all zeros; SplitMix64 of any seed
+  // cannot produce four zero words, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::NextUint64() {
+  const std::uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::NextBounded(std::uint64_t bound) {
+  PARSIM_CHECK(bound > 0);
+  // Debiased modulo (Lemire-style rejection on the low zone).
+  std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    std::uint64_t r = NextUint64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::NextDouble() {
+  // 53 top bits -> uniform double in [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextUniform(double lo, double hi) {
+  PARSIM_CHECK(lo <= hi);
+  return lo + (hi - lo) * NextDouble();
+}
+
+double Rng::NextGaussian() {
+  if (have_spare_gaussian_) {
+    have_spare_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * NextDouble() - 1.0;
+    v = 2.0 * NextDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_gaussian_ = v * factor;
+  have_spare_gaussian_ = true;
+  return u * factor;
+}
+
+double Rng::NextGaussian(double mean, double stddev) {
+  PARSIM_CHECK(stddev >= 0.0);
+  return mean + stddev * NextGaussian();
+}
+
+double Rng::NextExponential(double lambda) {
+  PARSIM_CHECK(lambda > 0.0);
+  // 1 - NextDouble() is in (0, 1], so the log is finite.
+  return -std::log(1.0 - NextDouble()) / lambda;
+}
+
+bool Rng::NextBernoulli(double p) {
+  PARSIM_CHECK(p >= 0.0 && p <= 1.0);
+  return NextDouble() < p;
+}
+
+std::uint64_t Rng::NextZipf(std::uint64_t n, double s) {
+  PARSIM_CHECK(n >= 1);
+  PARSIM_CHECK(s > 0.0);
+  if (n == 1) return 1;
+  // Rejection-inversion sampling after Hörmann & Derflinger (1996), as used
+  // by Apache Commons. H(x) is an antiderivative of the density x^-s.
+  auto h_integral = [s](double x) {
+    const double log_x = std::log(x);
+    if (std::abs(1.0 - s) < 1e-12) return log_x;
+    return (std::exp((1.0 - s) * log_x) - 1.0) / (1.0 - s);
+  };
+  auto h = [s](double x) { return std::exp(-s * std::log(x)); };
+  if (zipf_n_ != n || zipf_s_ != s) {
+    zipf_n_ = n;
+    zipf_s_ = s;
+    zipf_h_x1_ = h_integral(1.5) - 1.0;
+    zipf_h_n_ = h_integral(static_cast<double>(n) + 0.5);
+    zipf_c_ = zipf_h_n_ - zipf_h_x1_;
+  }
+  auto h_integral_inverse = [s](double x) {
+    if (std::abs(1.0 - s) < 1e-12) return std::exp(x);
+    double t = x * (1.0 - s);
+    if (t < -1.0) t = -1.0;  // clamp against round-off
+    return std::exp(std::log1p(t) / (1.0 - s));
+  };
+  for (;;) {
+    const double u = zipf_h_n_ - NextDouble() * zipf_c_;
+    const double x = h_integral_inverse(u);
+    double kd = std::floor(x + 0.5);
+    if (kd < 1.0) kd = 1.0;
+    if (kd > static_cast<double>(n)) kd = static_cast<double>(n);
+    const std::uint64_t k = static_cast<std::uint64_t>(kd);
+    if (kd - x <= zipf_h_x1_ ||
+        u >= h_integral(kd + 0.5) - h(kd)) {
+      return k;
+    }
+  }
+}
+
+}  // namespace parsim

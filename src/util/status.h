@@ -1,0 +1,123 @@
+// Status / Result<T> error handling, RocksDB-style: no exceptions on the
+// query path; fallible operations return a Status (or Result<T> carrying a
+// value) that callers must inspect.
+
+#ifndef PARSIM_SRC_UTIL_STATUS_H_
+#define PARSIM_SRC_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "src/util/check.h"
+
+namespace parsim {
+
+/// Canonical error space, loosely following absl::StatusCode.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a stable human-readable name, e.g. "INVALID_ARGUMENT".
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error value. Cheap to copy in the success case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    PARSIM_CHECK(code != StatusCode::kOk);
+  }
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error; holds T on success, Status on failure.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value and from error Status by design: both directions
+  /// are the natural "return x;" spellings at call sites.
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT
+    PARSIM_CHECK(!std::get<Status>(rep_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// Requires ok().
+  const T& value() const& {
+    PARSIM_CHECK(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    PARSIM_CHECK(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    PARSIM_CHECK(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  /// Requires !ok().
+  const Status& status() const {
+    PARSIM_CHECK(!ok());
+    return std::get<Status>(rep_);
+  }
+
+  const T& value_or(const T& fallback) const {
+    return ok() ? std::get<T>(rep_) : fallback;
+  }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace parsim
+
+#endif  // PARSIM_SRC_UTIL_STATUS_H_

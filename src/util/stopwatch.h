@@ -1,0 +1,31 @@
+// Wall-clock stopwatch for the (real-time) portions of the harness.
+// Simulated time comes from src/io/disk_model.h, not from here.
+
+#ifndef PARSIM_SRC_UTIL_STOPWATCH_H_
+#define PARSIM_SRC_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace parsim {
+
+/// Measures elapsed wall time since construction or the last Restart().
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace parsim
+
+#endif  // PARSIM_SRC_UTIL_STOPWATCH_H_

@@ -1,0 +1,50 @@
+// Plain-text table formatting for the experiment harness.
+//
+// Every figure benchmark prints its result series as an aligned table (the
+// "rows the paper reports") plus an optional CSV dump for plotting.
+
+#ifndef PARSIM_SRC_UTIL_TABLE_H_
+#define PARSIM_SRC_UTIL_TABLE_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace parsim {
+
+/// An aligned fixed-column text table.
+///
+/// Usage:
+///   Table t({"disks", "speed-up NN", "speed-up 10-NN"});
+///   t.AddRow({"2", "1.9", "2.0"});
+///   t.Print(stdout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 2);
+  static std::string Int(long long v);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_columns() const { return header_.size(); }
+
+  /// Renders the aligned table (header, rule, rows).
+  std::string ToString() const;
+
+  /// Renders RFC-4180-ish CSV (no quoting needed for our numeric cells).
+  std::string ToCsv() const;
+
+  void Print(std::FILE* out) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace parsim
+
+#endif  // PARSIM_SRC_UTIL_TABLE_H_

@@ -1,0 +1,197 @@
+#include "src/workload/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace parsim {
+
+std::size_t NumPointsForMegabytes(double megabytes, std::size_t dim) {
+  PARSIM_CHECK(megabytes > 0.0);
+  PARSIM_CHECK(dim >= 1);
+  const double record_bytes =
+      static_cast<double>(dim * sizeof(Scalar) + sizeof(PointId));
+  return static_cast<std::size_t>(megabytes * 1024.0 * 1024.0 / record_bytes);
+}
+
+double MegabytesForPoints(std::size_t n, std::size_t dim) {
+  const double record_bytes =
+      static_cast<double>(dim * sizeof(Scalar) + sizeof(PointId));
+  return static_cast<double>(n) * record_bytes / (1024.0 * 1024.0);
+}
+
+PointSet GenerateUniform(std::size_t n, std::size_t dim, std::uint64_t seed) {
+  PARSIM_CHECK(dim >= 1);
+  Rng rng(seed);
+  PointSet out(dim);
+  out.Reserve(n);
+  Point p(dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < dim; ++j) {
+      p[j] = static_cast<Scalar>(rng.NextDouble());
+    }
+    out.Add(p);
+  }
+  return out;
+}
+
+PointSet GenerateClusteredGaussian(std::size_t n, std::size_t dim,
+                                   std::size_t clusters, double stddev,
+                                   std::uint64_t seed) {
+  PARSIM_CHECK(dim >= 1);
+  PARSIM_CHECK(clusters >= 1);
+  PARSIM_CHECK(stddev > 0.0);
+  Rng rng(seed);
+  // Cluster centers stay away from the border so the mass is not clipped
+  // too asymmetrically.
+  const double margin = std::min(0.25, 3.0 * stddev);
+  PointSet centers(dim);
+  centers.Reserve(clusters);
+  Point c(dim);
+  for (std::size_t i = 0; i < clusters; ++i) {
+    for (std::size_t j = 0; j < dim; ++j) {
+      c[j] = static_cast<Scalar>(rng.NextUniform(margin, 1.0 - margin));
+    }
+    centers.Add(c);
+  }
+  PointSet out(dim);
+  out.Reserve(n);
+  Point p(dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    const PointView center = centers[rng.NextBounded(clusters)];
+    for (std::size_t j = 0; j < dim; ++j) {
+      const double v = rng.NextGaussian(static_cast<double>(center[j]), stddev);
+      p[j] = static_cast<Scalar>(std::clamp(v, 0.0, 1.0));
+    }
+    out.Add(p);
+  }
+  return out;
+}
+
+PointSet GenerateFourierPoints(std::size_t n, std::size_t dim,
+                               std::uint64_t seed, FourierOptions options) {
+  PARSIM_CHECK(dim >= 1);
+  PARSIM_CHECK(options.base_shapes >= 1);
+  PARSIM_CHECK(options.variation >= 0.0);
+  PARSIM_CHECK(options.decay > 0.0);
+  PARSIM_CHECK(options.latent_dim >= 1);
+  PARSIM_CHECK(options.ambient_noise >= 0.0);
+  Rng rng(seed);
+  const std::size_t s = options.latent_dim;
+
+  // Coefficient k (0-based) corresponds to harmonic h = k/2 + 1 and has
+  // scale sigma_k = 1/h^decay (smooth contours decay fast).
+  std::vector<double> sigma(dim);
+  for (std::size_t k = 0; k < dim; ++k) {
+    const double h = static_cast<double>(k / 2 + 1);
+    sigma[k] = 1.0 / std::pow(h, options.decay);
+  }
+
+  // A fixed mixing matrix maps the s latent shape parameters to the d
+  // coefficients; each row is normalized to length sigma_k so the
+  // spectral profile is preserved while all coefficients stay strongly
+  // correlated (the shapes have only s degrees of freedom).
+  std::vector<std::vector<double>> mix(dim, std::vector<double>(s));
+  for (std::size_t k = 0; k < dim; ++k) {
+    double norm_sq = 0.0;
+    for (std::size_t j = 0; j < s; ++j) {
+      mix[k][j] = rng.NextGaussian();
+      norm_sq += mix[k][j] * mix[k][j];
+    }
+    const double scale = sigma[k] / std::sqrt(std::max(norm_sq, 1e-30));
+    for (std::size_t j = 0; j < s; ++j) mix[k][j] *= scale;
+  }
+
+  // Base shapes are latent vectors; variants perturb them.
+  std::vector<std::vector<double>> bases(options.base_shapes,
+                                         std::vector<double>(s));
+  for (auto& base : bases) {
+    for (std::size_t j = 0; j < s; ++j) base[j] = rng.NextGaussian();
+  }
+
+  PointSet out(dim);
+  out.Reserve(n);
+  Point p(dim);
+  std::vector<double> latent(s);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& base = bases[rng.NextBounded(options.base_shapes)];
+    for (std::size_t j = 0; j < s; ++j) {
+      latent[j] = base[j] + rng.NextGaussian(0.0, options.variation);
+    }
+    for (std::size_t k = 0; k < dim; ++k) {
+      double coeff = 0.0;
+      for (std::size_t j = 0; j < s; ++j) coeff += mix[k][j] * latent[j];
+      coeff += rng.NextGaussian(0.0, options.ambient_noise * sigma[k]);
+      // Affine map: +-3 sigma -> [0,1], clamped.
+      const double mapped = coeff / (6.0 * sigma[k]) + 0.5;
+      p[k] = static_cast<Scalar>(std::clamp(mapped, 0.0, 1.0));
+    }
+    out.Add(p);
+  }
+  return out;
+}
+
+PointSet GenerateTextDescriptors(std::size_t n, std::size_t dim,
+                                 std::uint64_t seed) {
+  PARSIM_CHECK(dim >= 1);
+  Rng rng(seed);
+  // A substring of ~kSubstringLength characters; each character belongs
+  // to one of `dim` letter groups with Zipf-distributed popularity. The
+  // descriptor is the per-group frequency, normalized by the substring
+  // length — most groups are rare, so most coordinates sit near zero.
+  constexpr std::size_t kSubstringLength = 64;
+  // Fixed random permutation so the popular groups are not always the
+  // low dimensions.
+  std::vector<std::size_t> group_of_rank(dim);
+  for (std::size_t i = 0; i < dim; ++i) group_of_rank[i] = i;
+  rng.Shuffle(&group_of_rank);
+
+  PointSet out(dim);
+  out.Reserve(n);
+  std::vector<std::uint32_t> counts(dim);
+  Point p(dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::fill(counts.begin(), counts.end(), 0);
+    for (std::size_t c = 0; c < kSubstringLength; ++c) {
+      const std::uint64_t rank = rng.NextZipf(dim, /*s=*/1.2);
+      ++counts[group_of_rank[rank - 1]];
+    }
+    for (std::size_t j = 0; j < dim; ++j) {
+      p[j] = static_cast<Scalar>(static_cast<double>(counts[j]) /
+                                 static_cast<double>(kSubstringLength));
+    }
+    out.Add(p);
+  }
+  return out;
+}
+
+PointSet GenerateUniformQueries(std::size_t n, std::size_t dim,
+                                std::uint64_t seed) {
+  // Uniform queries are uniform points; a distinct entry point keeps the
+  // workload intent readable at call sites.
+  return GenerateUniform(n, dim, seed);
+}
+
+PointSet SampleQueriesFromData(const PointSet& data, std::size_t n,
+                               double jitter, std::uint64_t seed) {
+  PARSIM_CHECK(!data.empty());
+  PARSIM_CHECK(jitter >= 0.0);
+  Rng rng(seed);
+  const std::size_t dim = data.dim();
+  PointSet out(dim);
+  out.Reserve(n);
+  Point p(dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    const PointView source = data[rng.NextBounded(data.size())];
+    for (std::size_t j = 0; j < dim; ++j) {
+      const double v =
+          rng.NextGaussian(static_cast<double>(source[j]), jitter);
+      p[j] = static_cast<Scalar>(std::clamp(v, 0.0, 1.0));
+    }
+    out.Add(p);
+  }
+  return out;
+}
+
+}  // namespace parsim

@@ -1,0 +1,157 @@
+#include "src/core/baselines.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+#include "src/workload/generators.h"
+
+namespace parsim {
+namespace {
+
+TEST(RoundRobinTest, CyclesThroughDisks) {
+  const RoundRobinDeclusterer rr(4);
+  const Point p = {0.5f, 0.5f};
+  EXPECT_EQ(rr.DiskOfPoint(p, 0), 0u);
+  EXPECT_EQ(rr.DiskOfPoint(p, 1), 1u);
+  EXPECT_EQ(rr.DiskOfPoint(p, 4), 0u);
+  EXPECT_EQ(rr.DiskOfPoint(p, 7), 3u);
+  EXPECT_EQ(rr.num_disks(), 4u);
+  EXPECT_EQ(rr.name(), "RR");
+}
+
+TEST(RoundRobinTest, IgnoresGeometry) {
+  const RoundRobinDeclusterer rr(3);
+  EXPECT_EQ(rr.DiskOfPoint(Point({0.0f}), 5),
+            rr.DiskOfPoint(Point({1.0f}), 5));
+}
+
+TEST(RoundRobinTest, PerfectLoadBalance) {
+  const RoundRobinDeclusterer rr(8);
+  const PointSet data = GenerateUniform(800, 4, 1);
+  const auto loads = DiskLoads(rr, data);
+  for (std::uint64_t l : loads) EXPECT_EQ(l, 100u);
+  EXPECT_DOUBLE_EQ(LoadImbalance(loads), 1.0);
+}
+
+TEST(GridDeclustererTest, CellOfBinaryGridIsQuadrant) {
+  const DiskModuloDeclusterer dm(3, 4, /*grid_bits=*/1);
+  EXPECT_EQ(dm.CellOf(Point({0.2f, 0.7f, 0.9f})),
+            (std::vector<GridCoord>{0, 1, 1}));
+  EXPECT_EQ(dm.CellOf(Point({0.49f, 0.5f, 0.0f})),
+            (std::vector<GridCoord>{0, 1, 0}));
+}
+
+TEST(GridDeclustererTest, CellOfClampsOutOfRange) {
+  const DiskModuloDeclusterer dm(2, 4, /*grid_bits=*/2);
+  EXPECT_EQ(dm.CellOf(Point({-1.0f, 2.0f})), (std::vector<GridCoord>{0, 3}));
+}
+
+TEST(DiskModuloTest, SumFormula) {
+  const DiskModuloDeclusterer dm(3, 5, /*grid_bits=*/4);
+  EXPECT_EQ(dm.DiskOfCell({1, 2, 3}), (1u + 2 + 3) % 5);
+  EXPECT_EQ(dm.DiskOfCell({15, 15, 15}), 45u % 5);
+  EXPECT_EQ(dm.name(), "DM");
+}
+
+TEST(DiskModuloTest, DirectGridNeighborsOnDifferentDisks) {
+  // The classic DM property: cells differing by 1 in one coordinate get
+  // different disks (when n >= 2).
+  const DiskModuloDeclusterer dm(2, 3, /*grid_bits=*/3);
+  for (GridCoord x = 0; x < 7; ++x) {
+    for (GridCoord y = 0; y < 8; ++y) {
+      EXPECT_NE(dm.DiskOfCell({x, y}), dm.DiskOfCell({x + 1, y}));
+    }
+  }
+}
+
+TEST(FxTest, XorFormula) {
+  const FxDeclusterer fx(3, 8, /*grid_bits=*/4);
+  EXPECT_EQ(fx.DiskOfCell({1, 2, 4}), (1u ^ 2 ^ 4) % 8);
+  EXPECT_EQ(fx.DiskOfCell({5, 5, 0}), 0u);
+  EXPECT_EQ(fx.name(), "FX");
+}
+
+TEST(HilbertDeclustererTest, ModOfHilbertValue) {
+  const HilbertDeclusterer hil(2, 3, /*grid_bits=*/1);
+  // The 2-d first-order curve is a permutation of the 4 cells; mod 3
+  // therefore uses disks {0, 1, 2} with one disk reused once.
+  std::set<DiskId> used;
+  for (GridCoord x = 0; x < 2; ++x) {
+    for (GridCoord y = 0; y < 2; ++y) {
+      const DiskId d = hil.DiskOfCell({x, y});
+      EXPECT_LT(d, 3u);
+      used.insert(d);
+    }
+  }
+  EXPECT_EQ(used.size(), 3u);
+  EXPECT_EQ(hil.name(), "HIL");
+}
+
+TEST(HilbertDeclustererTest, ConsecutiveCurveCellsAlternateDisks) {
+  // Hilbert declustering's selling point: curve-consecutive (hence
+  // spatially adjacent) cells go to different disks when n >= 2.
+  const std::size_t dim = 2;
+  const int bits = 3;
+  const HilbertCurve curve(dim, bits);
+  const HilbertDeclusterer hil(dim, 4, bits);
+  for (std::uint64_t h = 0; h + 1 < (1u << (2 * bits)); ++h) {
+    const auto a = curve.DecodeU64(h);
+    const auto b = curve.DecodeU64(h + 1);
+    EXPECT_NE(hil.DiskOfCell(a), hil.DiskOfCell(b));
+  }
+}
+
+TEST(HilbertDeclustererTest, PointLevelDefaultResolution) {
+  const HilbertDeclusterer hil(5, 7);
+  EXPECT_EQ(hil.grid_bits(), 8);
+  // Deterministic and in range for arbitrary points.
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    Point p(5);
+    for (std::size_t j = 0; j < 5; ++j) {
+      p[j] = static_cast<Scalar>(rng.NextDouble());
+    }
+    const DiskId d = hil.DiskOfPoint(p, static_cast<PointId>(i));
+    EXPECT_LT(d, 7u);
+    EXPECT_EQ(d, hil.DiskOfPoint(p, 12345));  // id-independent
+  }
+}
+
+TEST(BaselineLoadTest, GridBaselinesRoughlyBalancedOnUniformData) {
+  const PointSet data = GenerateUniform(20000, 8, 11);
+  std::vector<std::unique_ptr<Declusterer>> decs;
+  decs.push_back(std::make_unique<DiskModuloDeclusterer>(8, 8, 4));
+  decs.push_back(std::make_unique<FxDeclusterer>(8, 8, 4));
+  decs.push_back(std::make_unique<HilbertDeclusterer>(8, 8, 4));
+  for (const auto& dec : decs) {
+    const auto loads = DiskLoads(*dec, data);
+    EXPECT_LT(LoadImbalance(loads), 1.3) << dec->name();
+  }
+}
+
+TEST(DiskLoadsTest, CountsSumToDataSize) {
+  const PointSet data = GenerateUniform(1000, 3, 17);
+  const RoundRobinDeclusterer rr(7);
+  const auto loads = DiskLoads(rr, data);
+  std::uint64_t total = 0;
+  for (std::uint64_t l : loads) total += l;
+  EXPECT_EQ(total, 1000u);
+}
+
+TEST(LoadImbalanceTest, ExtremeSkew) {
+  EXPECT_DOUBLE_EQ(LoadImbalance({100, 0, 0, 0}), 4.0);
+  EXPECT_DOUBLE_EQ(LoadImbalance({25, 25, 25, 25}), 1.0);
+  EXPECT_DOUBLE_EQ(LoadImbalance({0, 0}), 1.0);  // no data: balanced
+}
+
+TEST(BaselineDeathTest, InvalidConstruction) {
+  EXPECT_DEATH(RoundRobinDeclusterer(0), "PARSIM_CHECK");
+  EXPECT_DEATH(DiskModuloDeclusterer(0, 4), "PARSIM_CHECK");
+  EXPECT_DEATH(FxDeclusterer(3, 4, 0), "PARSIM_CHECK");
+  EXPECT_DEATH(HilbertDeclusterer(3, 4, 33), "PARSIM_CHECK");
+}
+
+}  // namespace
+}  // namespace parsim

@@ -1,0 +1,132 @@
+#include "src/core/bucket.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace parsim {
+namespace {
+
+TEST(BucketTest, NumBuckets) {
+  EXPECT_EQ(NumBuckets(1), 2u);
+  EXPECT_EQ(NumBuckets(3), 8u);
+  EXPECT_EQ(NumBuckets(16), 65536u);
+  EXPECT_EQ(NumBuckets(32), std::uint64_t{1} << 32);
+}
+
+TEST(BucketTest, BucketFromCoordsMatchesDefinition2) {
+  // bn(b) = sum c_i * 2^i.
+  EXPECT_EQ(BucketFromCoords({0, 0, 0}), 0u);
+  EXPECT_EQ(BucketFromCoords({1, 0, 0}), 1u);
+  EXPECT_EQ(BucketFromCoords({0, 1, 0}), 2u);
+  EXPECT_EQ(BucketFromCoords({1, 0, 1}), 5u);
+  EXPECT_EQ(BucketFromCoords({1, 1, 1}), 7u);
+}
+
+TEST(BucketTest, CoordsRoundTrip) {
+  for (std::size_t dim : {1u, 3u, 7u, 12u}) {
+    for (BucketId b = 0; b < (BucketId{1} << dim); b += 3) {
+      EXPECT_EQ(BucketFromCoords(CoordsFromBucket(b, dim)), b);
+    }
+  }
+}
+
+TEST(BucketTest, BitString) {
+  EXPECT_EQ(BucketToBitString(0b101, 3), "101");
+  EXPECT_EQ(BucketToBitString(0b101, 5), "00101");
+  EXPECT_EQ(BucketToBitString(0, 4), "0000");
+}
+
+TEST(BucketDeathTest, InvalidCoords) {
+  EXPECT_DEATH(BucketFromCoords({0, 2}), "PARSIM_CHECK");
+  EXPECT_DEATH(BucketFromCoords({}), "PARSIM_CHECK");
+  EXPECT_DEATH(CoordsFromBucket(8, 3), "PARSIM_CHECK");
+}
+
+TEST(BucketizerTest, MidpointSplitsByDefault) {
+  const Bucketizer b(3);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(b.split(i), Scalar{0.5});
+}
+
+TEST(BucketizerTest, BucketOfQuadrants2d) {
+  const Bucketizer b(2);
+  EXPECT_EQ(b.BucketOf(Point({0.2f, 0.2f})), 0b00u);
+  EXPECT_EQ(b.BucketOf(Point({0.8f, 0.2f})), 0b01u);
+  EXPECT_EQ(b.BucketOf(Point({0.2f, 0.8f})), 0b10u);
+  EXPECT_EQ(b.BucketOf(Point({0.8f, 0.8f})), 0b11u);
+}
+
+TEST(BucketizerTest, SplitValueBoundaryGoesToUpperBucket) {
+  const Bucketizer b(1);
+  EXPECT_EQ(b.BucketOf(Point({0.5f})), 1u);
+  EXPECT_EQ(b.BucketOf(Point({0.4999f})), 0u);
+}
+
+TEST(BucketizerTest, CustomSplits) {
+  const Bucketizer b(std::vector<Scalar>{0.3f, 0.7f});
+  EXPECT_EQ(b.BucketOf(Point({0.5f, 0.5f})), 0b01u);
+  EXPECT_EQ(b.BucketOf(Point({0.2f, 0.9f})), 0b10u);
+}
+
+TEST(BucketizerTest, BucketRegionTilesTheSpace) {
+  const Bucketizer b(3);
+  const Rect space = Rect::UnitCube(3);
+  double total_volume = 0.0;
+  for (BucketId id = 0; id < 8; ++id) {
+    total_volume += b.BucketRegion(id, space).Volume();
+  }
+  EXPECT_NEAR(total_volume, 1.0, 1e-12);
+}
+
+TEST(BucketizerTest, PointLiesInItsBucketRegion) {
+  Rng rng(77);
+  const Bucketizer b(std::vector<Scalar>{0.3f, 0.5f, 0.8f, 0.5f});
+  const Rect space = Rect::UnitCube(4);
+  for (int trial = 0; trial < 200; ++trial) {
+    Point p(4);
+    for (std::size_t i = 0; i < 4; ++i) {
+      p[i] = static_cast<Scalar>(rng.NextDouble());
+    }
+    const BucketId id = b.BucketOf(p);
+    EXPECT_TRUE(b.BucketRegion(id, space).Contains(p))
+        << p.ToString() << " not in bucket " << id;
+  }
+}
+
+TEST(BucketizerTest, BucketsIntersectingSmallBallIsOne) {
+  // A tiny ball well inside one quadrant touches exactly that quadrant.
+  const Bucketizer b(3);
+  const Rect space = Rect::UnitCube(3);
+  const Point q = {0.25f, 0.25f, 0.25f};
+  const auto buckets = b.BucketsIntersectingBall(q, 0.1, space);
+  ASSERT_EQ(buckets.size(), 1u);
+  EXPECT_EQ(buckets[0], 0u);
+}
+
+TEST(BucketizerTest, BucketsIntersectingBallGrowsWithRadius) {
+  const Bucketizer b(2);
+  const Rect space = Rect::UnitCube(2);
+  // The paper's Figure 6: query in the upper-left corner area. With a
+  // radius below the distance to the splits, 1 bucket; radius 0.6 from
+  // (0.1, 0.9) reaches the two direct neighbors and then the opposite
+  // quadrant.
+  const Point q = {0.1f, 0.9f};
+  EXPECT_EQ(b.BucketsIntersectingBall(q, 0.05, space).size(), 1u);
+  EXPECT_EQ(b.BucketsIntersectingBall(q, 0.45, space).size(), 3u);
+  EXPECT_EQ(b.BucketsIntersectingBall(q, 0.7, space).size(), 4u);
+}
+
+TEST(BucketizerTest, BallCoveringSpaceTouchesAllBuckets) {
+  const Bucketizer b(4);
+  const Rect space = Rect::UnitCube(4);
+  const Point center = {0.5f, 0.5f, 0.5f, 0.5f};
+  EXPECT_EQ(b.BucketsIntersectingBall(center, 2.0, space).size(), 16u);
+}
+
+TEST(BucketizerDeathTest, DimensionLimits) {
+  EXPECT_DEATH(Bucketizer(0), "PARSIM_CHECK");
+  EXPECT_DEATH(Bucketizer(33), "PARSIM_CHECK");
+}
+
+}  // namespace
+}  // namespace parsim

@@ -1,0 +1,138 @@
+// Tests of the vertex coloring function `col` — the paper's Lemmas 2-6,
+// checked exhaustively for all dimensions where enumeration is feasible.
+
+#include "src/core/coloring.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/core/neighborhood.h"
+#include "src/util/bits.h"
+
+namespace parsim {
+namespace {
+
+TEST(ColoringTest, PaperWorkedExample) {
+  // Section 4.2: vertex c = 5 = 101b in G_3. Bits 0 and 2 are set;
+  // (0+1) XOR (2+1) = 1 XOR 3 = 2. col(5) = 2.
+  EXPECT_EQ(ColorOf(5), 2u);
+}
+
+TEST(ColoringTest, OriginHasColorZero) { EXPECT_EQ(ColorOf(0), 0u); }
+
+TEST(ColoringTest, SingleBitBuckets) {
+  // col(2^i) = i + 1.
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(ColorOf(BucketId{1} << i), static_cast<Color>(i + 1));
+  }
+}
+
+TEST(ColoringTest, Distributivity) {
+  // Lemma 2: col(b) XOR col(c) == col(b XOR c), for all pairs in a
+  // moderate range.
+  for (BucketId b = 0; b < 256; ++b) {
+    for (BucketId c = 0; c < 256; ++c) {
+      EXPECT_EQ(ColorOf(b) ^ ColorOf(c), ColorOf(b ^ c));
+    }
+  }
+}
+
+TEST(ColoringTest, NumColorsStaircase) {
+  // Lemma 6: 2^ceil(log2(d+1)).
+  EXPECT_EQ(NumColors(1), 2u);
+  EXPECT_EQ(NumColors(2), 4u);
+  EXPECT_EQ(NumColors(3), 4u);
+  EXPECT_EQ(NumColors(4), 8u);
+  EXPECT_EQ(NumColors(7), 8u);
+  EXPECT_EQ(NumColors(8), 16u);
+  EXPECT_EQ(NumColors(15), 16u);
+  EXPECT_EQ(NumColors(16), 32u);
+  EXPECT_EQ(NumColors(31), 32u);
+  EXPECT_EQ(NumColors(32), 64u);
+}
+
+TEST(ColoringTest, StaircaseWithinLinearBounds) {
+  // d+1 <= NumColors(d) <= 2d (Lemma 6's bounds; 2d needs d >= 1 and the
+  // power-of-two rounding argument).
+  for (std::size_t d = 1; d <= 32; ++d) {
+    EXPECT_GE(NumColors(d), NumColorsLowerBound(d)) << "d=" << d;
+    EXPECT_LE(NumColors(d), NumColorsUpperBound(d)) << "d=" << d;
+  }
+}
+
+TEST(ColoringTest, BucketWithColorInvertsCol) {
+  for (std::size_t d : {1u, 3u, 7u, 15u, 31u}) {
+    for (Color c = 0; c < NumColors(d); ++c) {
+      const BucketId b = BucketWithColor(c, d);
+      EXPECT_LT(b, NumBuckets(d));
+      EXPECT_EQ(ColorOf(b), c);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Exhaustive lemma checks per dimension.
+
+class ColoringLemmaTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ColoringLemmaTest, Lemma3DirectNeighborsDifferentColors) {
+  const std::size_t d = GetParam();
+  const std::uint64_t n = NumBuckets(d);
+  for (std::uint64_t b = 0; b < n; ++b) {
+    for (BucketId c : DirectNeighbors(static_cast<BucketId>(b), d)) {
+      EXPECT_NE(ColorOf(static_cast<BucketId>(b)), ColorOf(c))
+          << "direct neighbors " << b << " and " << c;
+    }
+  }
+}
+
+TEST_P(ColoringLemmaTest, Lemma4IndirectNeighborsDifferentColors) {
+  const std::size_t d = GetParam();
+  const std::uint64_t n = NumBuckets(d);
+  for (std::uint64_t b = 0; b < n; ++b) {
+    for (BucketId c : IndirectNeighbors(static_cast<BucketId>(b), d)) {
+      EXPECT_NE(ColorOf(static_cast<BucketId>(b)), ColorOf(c))
+          << "indirect neighbors " << b << " and " << c;
+    }
+  }
+}
+
+TEST_P(ColoringLemmaTest, Lemma6ExactColorSetUsed) {
+  // col uses exactly the colors {0, ..., NumColors(d)-1}.
+  const std::size_t d = GetParam();
+  const std::uint64_t n = NumBuckets(d);
+  std::set<Color> used;
+  for (std::uint64_t b = 0; b < n; ++b) {
+    used.insert(ColorOf(static_cast<BucketId>(b)));
+  }
+  EXPECT_EQ(used.size(), NumColors(d));
+  EXPECT_EQ(*used.begin(), 0u);
+  EXPECT_EQ(*used.rbegin(), NumColors(d) - 1);
+}
+
+TEST_P(ColoringLemmaTest, ColorsBalancedAcrossBuckets) {
+  // Each color covers the same number of buckets (2^d / NumColors):
+  // necessary for even data distribution under uniform data.
+  const std::size_t d = GetParam();
+  const std::uint64_t n = NumBuckets(d);
+  const std::uint64_t colors = NumColors(d);
+  if (colors > n) GTEST_SKIP() << "fewer buckets than colors (d+1 > 2^d)";
+  std::vector<std::uint64_t> counts(colors, 0);
+  for (std::uint64_t b = 0; b < n; ++b) {
+    ++counts[ColorOf(static_cast<BucketId>(b))];
+  }
+  for (std::uint64_t c = 0; c < colors; ++c) {
+    EXPECT_EQ(counts[c], n / colors) << "color " << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, ColoringLemmaTest,
+                         ::testing::Values<std::size_t>(1, 2, 3, 4, 5, 6, 7, 8,
+                                                        10, 12, 14, 16),
+                         [](const auto& info) {
+                           return "d" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace parsim

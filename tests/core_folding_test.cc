@@ -1,0 +1,122 @@
+#include "src/core/folding.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/core/coloring.h"
+#include "src/core/neighborhood.h"
+#include "src/util/bits.h"
+
+namespace parsim {
+namespace {
+
+TEST(FoldingTest, IdentityWhenDisksEqualColors) {
+  const ColorFolding f(16, 16);
+  for (Color c = 0; c < 16; ++c) EXPECT_EQ(f.DiskOf(c), c);
+}
+
+TEST(FoldingTest, PaperExampleEightDimensionalHalved) {
+  // Section 4.3: d=8 requires C=16 disks; with 8 disks the colors 8..15
+  // map to their binary complement: 8->7, 9->6, ..., 15->0.
+  const ColorFolding f(16, 8);
+  for (Color c = 0; c < 8; ++c) EXPECT_EQ(f.DiskOf(c), c);
+  for (Color c = 8; c < 16; ++c) EXPECT_EQ(f.DiskOf(c), 15 - c);
+}
+
+TEST(FoldingTest, QuarterFoldIgnoresMsb) {
+  // Folding 16 colors onto 4 disks: first 8..15 -> 7..0, then (ignoring
+  // the cleared MSB) 4..7 -> 3..0.
+  const ColorFolding f(16, 4);
+  for (Color c = 0; c < 16; ++c) {
+    Color v = c >= 8 ? 15 - c : c;
+    v = v >= 4 ? 7 - v : v;
+    EXPECT_EQ(f.DiskOf(c), v) << "color " << c;
+  }
+}
+
+TEST(FoldingTest, SingleDiskMapsEverythingToZero) {
+  const ColorFolding f(8, 1);
+  for (Color c = 0; c < 8; ++c) EXPECT_EQ(f.DiskOf(c), 0u);
+}
+
+TEST(FoldingTest, NonPowerOfTwoDisks) {
+  // 16 colors onto 5 disks: halve to 8, then fold the top 3 colors
+  // (5, 6, 7) to (2, 1, 0).
+  const ColorFolding f(16, 5);
+  std::set<std::uint32_t> used;
+  for (Color c = 0; c < 16; ++c) {
+    EXPECT_LT(f.DiskOf(c), 5u);
+    used.insert(f.DiskOf(c));
+  }
+  EXPECT_EQ(used.size(), 5u) << "all disks must receive some color";
+  EXPECT_EQ(f.DiskOf(5), 2u);
+  EXPECT_EQ(f.DiskOf(6), 1u);
+  EXPECT_EQ(f.DiskOf(7), 0u);
+}
+
+TEST(FoldingTest, EveryConfigurationIsSurjectiveAndBounded) {
+  for (std::uint32_t colors : {2u, 4u, 8u, 16u, 32u}) {
+    for (std::uint32_t disks = 1; disks <= colors; ++disks) {
+      const ColorFolding f(colors, disks);
+      std::set<std::uint32_t> used;
+      for (Color c = 0; c < colors; ++c) {
+        EXPECT_LT(f.DiskOf(c), disks);
+        used.insert(f.DiskOf(c));
+      }
+      EXPECT_EQ(used.size(), disks)
+          << colors << " colors onto " << disks << " disks";
+    }
+  }
+}
+
+TEST(FoldingTest, LoadSpreadAtMostTwoToOne) {
+  // Folding halves ranges, so no disk receives more than twice the
+  // colors of another (even load matters for uniform data).
+  for (std::uint32_t colors : {8u, 16u, 32u}) {
+    for (std::uint32_t disks = 1; disks <= colors; ++disks) {
+      const ColorFolding f(colors, disks);
+      std::vector<std::uint32_t> counts(disks, 0);
+      for (Color c = 0; c < colors; ++c) ++counts[f.DiskOf(c)];
+      const auto [lo, hi] = std::minmax_element(counts.begin(), counts.end());
+      EXPECT_LE(*hi, 2 * *lo)
+          << colors << " colors onto " << disks << " disks";
+    }
+  }
+}
+
+TEST(FoldingTest, HalvingPreservesDirectNeighborSeparationMostly) {
+  // The motivation for complement folding: complementary colors have
+  // maximal Hamming distance, so after halving, *most* direct neighbors
+  // stay separated. Quantify: for d=8 (16 colors) folded to 8 disks, at
+  // most a small fraction of direct-neighbor pairs collide.
+  const std::size_t d = 8;
+  const ColorFolding f(NumColors(d), NumColors(d) / 2);
+  std::uint64_t pairs = 0, collisions = 0;
+  for (BucketId b = 0; b < (BucketId{1} << d); ++b) {
+    for (BucketId c : DirectNeighbors(b, d)) {
+      if (c <= b) continue;
+      ++pairs;
+      if (f.DiskOf(ColorOf(b)) == f.DiskOf(ColorOf(c))) ++collisions;
+    }
+  }
+  EXPECT_GT(pairs, 0u);
+  // "guarantees that most directly neighboring buckets are still
+  // assigned to different disks": require < 20% collisions.
+  EXPECT_LT(static_cast<double>(collisions) / static_cast<double>(pairs), 0.2);
+}
+
+TEST(FoldingDeathTest, InvalidArguments) {
+  EXPECT_DEATH(ColorFolding(0, 1), "PARSIM_CHECK");
+  EXPECT_DEATH(ColorFolding(3, 1), "PARSIM_CHECK");   // not a power of two
+  EXPECT_DEATH(ColorFolding(8, 0), "PARSIM_CHECK");
+  EXPECT_DEATH(ColorFolding(8, 9), "PARSIM_CHECK");   // more disks than colors
+}
+
+TEST(FoldingDeathTest, ColorOutOfRange) {
+  const ColorFolding f(8, 4);
+  EXPECT_DEATH(f.DiskOf(8), "PARSIM_CHECK");
+}
+
+}  // namespace
+}  // namespace parsim

@@ -1,0 +1,157 @@
+// Disk assignment graph tests: structure, the near-optimality validator,
+// Lemma 1 (DM / FX / Hilbert are not near-optimal) and the optimality of
+// the color-count staircase for small dimensions (verified by exhaustive
+// enumeration, as the paper did).
+
+#include "src/core/disk_assignment_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/baselines.h"
+#include "src/core/coloring.h"
+#include "src/core/near_optimal.h"
+#include "src/core/neighborhood.h"
+
+namespace parsim {
+namespace {
+
+TEST(GraphTest, VertexAndEdgeCounts) {
+  const DiskAssignmentGraph g(3);
+  EXPECT_EQ(g.num_vertices(), 8u);
+  // Degree = 3 + 3 = 6; edges = 8*6/2 = 24.
+  EXPECT_EQ(g.num_edges(), 24u);
+}
+
+TEST(GraphTest, ForEachEdgeVisitsEachOnce) {
+  for (std::size_t d : {1u, 2u, 3u, 5u, 8u}) {
+    const DiskAssignmentGraph g(d);
+    std::uint64_t count = 0;
+    g.ForEachEdge([&](BucketId a, BucketId b, bool direct) {
+      EXPECT_LT(a, b);
+      EXPECT_EQ(direct, AreDirectNeighbors(a, b));
+      EXPECT_TRUE(AreNeighbors(a, b));
+      ++count;
+      return true;
+    });
+    EXPECT_EQ(count, g.num_edges());
+  }
+}
+
+TEST(GraphTest, ForEachEdgeEarlyStop) {
+  const DiskAssignmentGraph g(4);
+  std::uint64_t count = 0;
+  g.ForEachEdge([&](BucketId, BucketId, bool) {
+    ++count;
+    return count < 5;
+  });
+  EXPECT_EQ(count, 5u);
+}
+
+TEST(GraphTest, ColIsProperColoring) {
+  // Lemma 5 in graph terms, for a sweep of dimensions.
+  for (std::size_t d : {1u, 2u, 3u, 4u, 6u, 8u, 10u}) {
+    const DiskAssignmentGraph g(d);
+    EXPECT_TRUE(g.IsNearOptimal([](BucketId b) { return ColorOf(b); }))
+        << "d=" << d;
+  }
+}
+
+TEST(GraphTest, ConstantAssignmentMaximallyColliding) {
+  const DiskAssignmentGraph g(4);
+  const auto count = g.CountCollisions([](BucketId) { return 0u; });
+  EXPECT_EQ(count.total(), g.num_edges());
+  EXPECT_EQ(count.direct, 4u * 16u / 2u);
+  EXPECT_EQ(count.indirect, 6u * 16u / 2u);
+}
+
+TEST(GraphTest, FindCollisionsRespectsLimit) {
+  const DiskAssignmentGraph g(4);
+  const auto collisions = g.FindCollisions([](BucketId) { return 0u; }, 7);
+  EXPECT_EQ(collisions.size(), 7u);
+  for (const Collision& c : collisions) {
+    EXPECT_TRUE(AreNeighbors(c.a, c.b));
+    EXPECT_EQ(c.disk, 0u);
+  }
+}
+
+TEST(GraphTest, Lemma1DiskModuloNotNearOptimal3d) {
+  // Figure 7: with 3 dimensions and enough disks for col (4), disk
+  // modulo, FX and Hilbert all assign some pair of (direct or indirect)
+  // neighbors to the same disk.
+  const DiskAssignmentGraph g(3);
+  const Bucketizer bucketizer(3);
+  const std::uint32_t disks = NumColors(3);  // 4: col succeeds with these
+
+  const DiskModuloDeclusterer dm(3, disks, /*grid_bits=*/1);
+  const auto dm_assignment = [&](BucketId b) {
+    return dm.DiskOfCell({(b >> 0) & 1u, (b >> 1) & 1u, (b >> 2) & 1u});
+  };
+  EXPECT_FALSE(g.IsNearOptimal(dm_assignment));
+  EXPECT_GT(g.CountCollisions(dm_assignment).total(), 0u);
+}
+
+TEST(GraphTest, Lemma1FxNotNearOptimal3d) {
+  const DiskAssignmentGraph g(3);
+  const FxDeclusterer fx(3, NumColors(3), /*grid_bits=*/1);
+  const auto assignment = [&](BucketId b) {
+    return fx.DiskOfCell({(b >> 0) & 1u, (b >> 1) & 1u, (b >> 2) & 1u});
+  };
+  EXPECT_FALSE(g.IsNearOptimal(assignment));
+}
+
+TEST(GraphTest, Lemma1HilbertNotNearOptimal3d) {
+  const DiskAssignmentGraph g(3);
+  const HilbertDeclusterer hil(3, NumColors(3), /*grid_bits=*/1);
+  const auto assignment = [&](BucketId b) {
+    return hil.DiskOfCell({(b >> 0) & 1u, (b >> 1) & 1u, (b >> 2) & 1u});
+  };
+  EXPECT_FALSE(g.IsNearOptimal(assignment));
+}
+
+TEST(GraphTest, NearOptimalDeclustererIsNearOptimal) {
+  // The right-most cube of Figure 7: near-optimal declustering exists and
+  // our declusterer realizes it.
+  for (std::size_t d : {2u, 3u, 4u, 5u, 7u}) {
+    const DiskAssignmentGraph g(d);
+    const NearOptimalDeclusterer dec(d, NumColors(d));
+    EXPECT_TRUE(g.IsNearOptimal(
+        [&](BucketId b) { return dec.DiskOfBucket(b); }))
+        << "d=" << d;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Chromatic staircase optimality for small d (exhaustive, like the paper).
+
+class ChromaticTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ChromaticTest, StaircaseIsOptimal) {
+  const std::size_t d = GetParam();
+  const DiskAssignmentGraph g(d);
+  const std::uint32_t colors = NumColors(d);
+  EXPECT_TRUE(g.IsColorableWith(colors)) << "col itself uses " << colors;
+  if (colors > d + 1) {
+    // Strictly between the lower bound and the staircase no coloring
+    // exists ("we have verified by enumerating all possible color
+    // assignments", Section 4.2).
+    EXPECT_FALSE(g.IsColorableWith(colors - 1)) << "d=" << d;
+  }
+}
+
+TEST_P(ChromaticTest, LowerBoundNeverColorable) {
+  const std::size_t d = GetParam();
+  if (d < 2) GTEST_SKIP();
+  const DiskAssignmentGraph g(d);
+  // d direct neighbors + self form a clique-like constraint: fewer than
+  // d+1 colors is impossible.
+  EXPECT_FALSE(g.IsColorableWith(static_cast<std::uint32_t>(d)));
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallDims, ChromaticTest,
+                         ::testing::Values<std::size_t>(1, 2, 3, 4, 5, 6),
+                         [](const auto& info) {
+                           return "d" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace parsim

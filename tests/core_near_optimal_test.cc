@@ -1,0 +1,124 @@
+#include "src/core/near_optimal.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/disk_assignment_graph.h"
+#include "src/core/quantile.h"
+#include "src/workload/generators.h"
+
+namespace parsim {
+namespace {
+
+TEST(NearOptimalTest, BucketMappingIsFoldedColor) {
+  const NearOptimalDeclusterer dec(8, 16);
+  for (BucketId b = 0; b < 256; ++b) {
+    EXPECT_EQ(dec.DiskOfBucket(b), ColorOf(b));
+  }
+}
+
+TEST(NearOptimalTest, PointRoutingMatchesBucketRouting) {
+  const NearOptimalDeclusterer dec(4, 8);
+  const Point p = {0.7f, 0.2f, 0.9f, 0.4f};
+  const BucketId bucket = dec.bucketizer().BucketOf(p);
+  EXPECT_EQ(dec.DiskOfPoint(p, 0), dec.DiskOfBucket(bucket));
+  EXPECT_EQ(dec.DiskOfPoint(p, 99), dec.DiskOfPoint(p, 0)) << "id-independent";
+}
+
+TEST(NearOptimalTest, NearOptimalWithFullDiskComplement) {
+  for (std::size_t d : {2u, 3u, 5u, 8u, 12u}) {
+    const NearOptimalDeclusterer dec(d, NumColors(d));
+    const DiskAssignmentGraph g(d);
+    EXPECT_TRUE(
+        g.IsNearOptimal([&](BucketId b) { return dec.DiskOfBucket(b); }))
+        << "d=" << d;
+  }
+}
+
+TEST(NearOptimalTest, DirectNeighborsSeparatedAfterHalving) {
+  // Fold to C/2 disks: direct neighbors must still mostly (here: all,
+  // see folding analysis) be separated for d=8.
+  const std::size_t d = 8;
+  const NearOptimalDeclusterer dec(d, NumColors(d) / 2);
+  const DiskAssignmentGraph g(d);
+  std::uint64_t direct_collisions = 0;
+  g.ForEachEdge([&](BucketId a, BucketId b, bool direct) {
+    if (direct && dec.DiskOfBucket(a) == dec.DiskOfBucket(b)) {
+      ++direct_collisions;
+    }
+    return true;
+  });
+  EXPECT_EQ(direct_collisions, 0u);
+}
+
+TEST(NearOptimalTest, ArbitraryDiskCountsAreBoundedAndSurjective) {
+  const std::size_t d = 10;  // C = 16
+  const PointSet data = GenerateUniform(4000, d, 21);
+  for (std::uint32_t disks = 1; disks <= 16; ++disks) {
+    const NearOptimalDeclusterer dec(d, disks);
+    EXPECT_EQ(dec.num_disks(), disks);
+    const auto loads = DiskLoads(dec, data);
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+      EXPECT_GT(loads[i], 0u) << "disk " << i << " idle with n=" << disks;
+    }
+  }
+}
+
+TEST(NearOptimalTest, MoreDisksThanColorsLeavesExtrasIdle) {
+  // d=3 -> C=4: a 6-disk array can only be addressed on 4 disks at this
+  // bucket granularity (the recursive extension addresses the rest).
+  const NearOptimalDeclusterer dec(3, 6);
+  EXPECT_EQ(dec.num_disks(), 4u);
+}
+
+TEST(NearOptimalTest, UniformDataLoadsBalanced) {
+  const std::size_t d = 15;
+  const PointSet data = GenerateUniform(64000, d, 23);
+  const NearOptimalDeclusterer dec(d, 16);
+  const auto loads = DiskLoads(dec, data);
+  EXPECT_LT(LoadImbalance(loads), 1.1);
+}
+
+TEST(NearOptimalTest, QuantileBucketizerBalancesSkewedData) {
+  // Skewed data (all mass in low coordinates): midpoint splits put
+  // everything in bucket 0; quantile splits rebalance.
+  const std::size_t d = 6;
+  PointSet data(d);
+  Rng rng(29);
+  Point p(d);
+  for (int i = 0; i < 20000; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      const double u = rng.NextDouble();
+      p[j] = static_cast<Scalar>(0.4 * u * u);  // concentrated near 0
+    }
+    data.Add(p);
+  }
+  const NearOptimalDeclusterer midpoint(d, 8);
+  const NearOptimalDeclusterer quantile(
+      Bucketizer(EstimateQuantileSplits(data)), 8);
+  const double imbalance_mid = LoadImbalance(DiskLoads(midpoint, data));
+  const double imbalance_q = LoadImbalance(DiskLoads(quantile, data));
+  EXPECT_GT(imbalance_mid, 4.0) << "midpoint must be badly skewed here";
+  EXPECT_LT(imbalance_q, 1.2);
+}
+
+TEST(NearOptimalTest, SetBucketizerRetargetsRouting) {
+  NearOptimalDeclusterer dec(2, 4);
+  const Point p = {0.4f, 0.4f};
+  const DiskId before = dec.DiskOfPoint(p, 0);
+  dec.set_bucketizer(Bucketizer(std::vector<Scalar>{0.3f, 0.3f}));
+  const DiskId after = dec.DiskOfPoint(p, 0);
+  // Bucket moved from 00 to 11: disks must differ (col(0)=0, col(3)=3).
+  EXPECT_NE(before, after);
+}
+
+TEST(NearOptimalTest, NameIsStable) {
+  EXPECT_EQ(NearOptimalDeclusterer(4, 4).name(), "near-optimal");
+}
+
+TEST(NearOptimalDeathTest, MismatchedBucketizerDim) {
+  NearOptimalDeclusterer dec(3, 4);
+  EXPECT_DEATH(dec.set_bucketizer(Bucketizer(2)), "PARSIM_CHECK");
+}
+
+}  // namespace
+}  // namespace parsim

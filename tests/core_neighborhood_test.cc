@@ -1,0 +1,115 @@
+#include "src/core/neighborhood.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/util/bits.h"
+
+namespace parsim {
+namespace {
+
+TEST(NeighborhoodTest, DirectNeighborPredicates) {
+  EXPECT_TRUE(AreDirectNeighbors(0b000, 0b001));
+  EXPECT_TRUE(AreDirectNeighbors(0b101, 0b111));
+  EXPECT_FALSE(AreDirectNeighbors(0b000, 0b000));
+  EXPECT_FALSE(AreDirectNeighbors(0b000, 0b011));
+}
+
+TEST(NeighborhoodTest, IndirectNeighborPredicates) {
+  EXPECT_TRUE(AreIndirectNeighbors(0b000, 0b011));
+  EXPECT_TRUE(AreIndirectNeighbors(0b110, 0b000));
+  EXPECT_FALSE(AreIndirectNeighbors(0b000, 0b001));
+  EXPECT_FALSE(AreIndirectNeighbors(0b000, 0b111));
+}
+
+TEST(NeighborhoodTest, NeighborsAreHamming1Or2) {
+  for (BucketId a = 0; a < 32; ++a) {
+    for (BucketId b = 0; b < 32; ++b) {
+      const int h = HammingDistance(a, b);
+      EXPECT_EQ(AreNeighbors(a, b), h == 1 || h == 2);
+    }
+  }
+}
+
+TEST(NeighborhoodTest, DirectNeighborsCountIsD) {
+  for (std::size_t dim : {1u, 2u, 5u, 16u}) {
+    const auto n = DirectNeighbors(0, dim);
+    EXPECT_EQ(n.size(), dim);
+    // All distinct and all direct.
+    const std::set<BucketId> unique(n.begin(), n.end());
+    EXPECT_EQ(unique.size(), dim);
+    for (BucketId b : n) EXPECT_TRUE(AreDirectNeighbors(0, b));
+  }
+}
+
+TEST(NeighborhoodTest, IndirectNeighborsCountIsChooseTwo) {
+  for (std::size_t dim : {2u, 3u, 5u, 16u}) {
+    const auto n = IndirectNeighbors(0b1, dim);
+    EXPECT_EQ(n.size(), dim * (dim - 1) / 2);
+    const std::set<BucketId> unique(n.begin(), n.end());
+    EXPECT_EQ(unique.size(), n.size());
+    for (BucketId b : n) EXPECT_TRUE(AreIndirectNeighbors(0b1, b));
+  }
+}
+
+TEST(NeighborhoodTest, AllNeighborsIsUnionWithoutOverlap) {
+  const std::size_t dim = 6;
+  for (BucketId b : {BucketId{0}, BucketId{0b101010}, BucketId{0b111111}}) {
+    const auto all = AllNeighbors(b, dim);
+    EXPECT_EQ(all.size(), dim + dim * (dim - 1) / 2);
+    const std::set<BucketId> unique(all.begin(), all.end());
+    EXPECT_EQ(unique.size(), all.size());
+    EXPECT_EQ(unique.count(b), 0u) << "a bucket is not its own neighbor";
+  }
+}
+
+TEST(NeighborhoodTest, NeighborhoodIsSymmetric) {
+  const std::size_t dim = 5;
+  for (BucketId a = 0; a < 32; ++a) {
+    const auto na = AllNeighbors(a, dim);
+    for (BucketId b : na) {
+      const auto nb = AllNeighbors(b, dim);
+      EXPECT_NE(std::find(nb.begin(), nb.end(), a), nb.end());
+    }
+  }
+}
+
+TEST(NeighborhoodTest, DirectNeighborsShareD1Surface) {
+  // Direct neighbors differ in exactly one dimension; in space this means
+  // their quadrant regions share a (d-1)-dimensional face.
+  const std::size_t dim = 4;
+  for (BucketId b = 0; b < 16; ++b) {
+    for (BucketId c : DirectNeighbors(b, dim)) {
+      EXPECT_EQ(HammingDistance(b, c), 1);
+    }
+  }
+}
+
+TEST(NeighborhoodSizeTest, MatchesPaperExample) {
+  // Section 3.2: two levels of indirection in a 16-dimensional space give
+  // 1 + C(16,1) + C(16,2) = 1 + 16 + 120 = 137 buckets.
+  EXPECT_EQ(NeighborhoodSize(16, 2), 137u);
+}
+
+TEST(NeighborhoodSizeTest, LevelsZeroAndOne) {
+  EXPECT_EQ(NeighborhoodSize(10, 0), 1u);
+  EXPECT_EQ(NeighborhoodSize(10, 1), 11u);
+}
+
+TEST(NeighborhoodSizeTest, FullLevelsCoverWholeSpace) {
+  // Summing all levels gives 2^d.
+  for (std::size_t d : {1u, 4u, 10u}) {
+    EXPECT_EQ(NeighborhoodSize(d, static_cast<int>(d)), std::uint64_t{1} << d);
+  }
+}
+
+TEST(NeighborhoodSizeTest, GrowthMakesDeepIndirectionInfeasible) {
+  // The paper's argument for stopping at 2 levels: the count explodes.
+  EXPECT_GT(NeighborhoodSize(16, 4), 2000u);
+  EXPECT_GT(NeighborhoodSize(16, 8), 30000u);
+}
+
+}  // namespace
+}  // namespace parsim

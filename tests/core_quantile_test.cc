@@ -1,0 +1,158 @@
+#include "src/core/quantile.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+#include "src/workload/generators.h"
+
+namespace parsim {
+namespace {
+
+TEST(QuantileEstimateTest, MedianOfKnownColumn) {
+  PointSet points(1);
+  for (int i = 1; i <= 9; ++i) {
+    points.Add(Point({static_cast<Scalar>(i) / 10}));
+  }
+  const auto splits = EstimateQuantileSplits(points, 0.5);
+  ASSERT_EQ(splits.size(), 1u);
+  // rank = floor(0.5 * 9) = 4 -> 5th smallest = 0.5.
+  EXPECT_FLOAT_EQ(splits[0], 0.5f);
+}
+
+TEST(QuantileEstimateTest, PerDimensionIndependent) {
+  PointSet points(2);
+  points.Add(Point({0.0f, 1.0f}));
+  points.Add(Point({0.2f, 0.9f}));
+  points.Add(Point({0.4f, 0.8f}));
+  points.Add(Point({0.6f, 0.7f}));
+  const auto splits = EstimateQuantileSplits(points, 0.5);
+  EXPECT_FLOAT_EQ(splits[0], 0.4f);
+  EXPECT_FLOAT_EQ(splits[1], 0.9f);
+}
+
+TEST(QuantileEstimateTest, QuantileOfUniformNearAlpha) {
+  const PointSet points = GenerateUniform(20000, 3, /*seed=*/5);
+  for (double alpha : {0.25, 0.5, 0.75}) {
+    const auto splits = EstimateQuantileSplits(points, alpha);
+    for (Scalar s : splits) {
+      EXPECT_NEAR(static_cast<double>(s), alpha, 0.02);
+    }
+  }
+}
+
+TEST(QuantileEstimateTest, SkewedDataMedianBelowMidpoint) {
+  // Squared uniform values concentrate near 0; the median is ~0.25.
+  Rng rng(9);
+  PointSet points(1);
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.NextDouble();
+    points.Add(Point({static_cast<Scalar>(u * u)}));
+  }
+  const auto splits = EstimateQuantileSplits(points, 0.5);
+  EXPECT_NEAR(static_cast<double>(splits[0]), 0.25, 0.02);
+}
+
+TEST(QuantileSplitterTest, StartsAtMidpoints) {
+  const QuantileSplitter splitter(4);
+  for (Scalar s : splitter.splits()) EXPECT_EQ(s, Scalar{0.5});
+}
+
+TEST(QuantileSplitterTest, NoReorganizationOnBalancedStream) {
+  QuantileSplitter splitter(2);
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    Point p(2);
+    p[0] = static_cast<Scalar>(rng.NextDouble());
+    p[1] = static_cast<Scalar>(rng.NextDouble());
+    splitter.Record(p);
+  }
+  EXPECT_FALSE(splitter.NeedsReorganization());
+}
+
+TEST(QuantileSplitterTest, MinimumSampleBeforeTriggering) {
+  QuantileSplitter splitter(1);
+  // All points on one side, but fewer than the 64-point minimum.
+  for (int i = 0; i < 63; ++i) splitter.Record(Point({0.9f}));
+  EXPECT_FALSE(splitter.NeedsReorganization());
+  splitter.Record(Point({0.9f}));
+  EXPECT_TRUE(splitter.NeedsReorganization());
+}
+
+TEST(QuantileSplitterTest, SkewTriggersReorganization) {
+  QuantileSplitter splitter(2, 0.5, /*imbalance_threshold=*/2.0);
+  Rng rng(17);
+  // Dimension 0 balanced, dimension 1 heavily below 0.5.
+  for (int i = 0; i < 500; ++i) {
+    Point p(2);
+    p[0] = static_cast<Scalar>(rng.NextDouble());
+    p[1] = static_cast<Scalar>(rng.NextDouble() * 0.3);
+    splitter.Record(p);
+  }
+  EXPECT_TRUE(splitter.NeedsReorganization());
+}
+
+TEST(QuantileSplitterTest, ReorganizeAdoptsDataMedians) {
+  QuantileSplitter splitter(1);
+  Rng rng(19);
+  PointSet data(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.NextDouble();
+    data.Add(Point({static_cast<Scalar>(u * 0.4)}));  // uniform on [0, 0.4]
+  }
+  for (std::size_t i = 0; i < data.size(); ++i) splitter.Record(data[i]);
+  ASSERT_TRUE(splitter.NeedsReorganization());
+  EXPECT_TRUE(splitter.Reorganize(data));
+  EXPECT_EQ(splitter.reorganization_count(), 1);
+  EXPECT_NEAR(static_cast<double>(splitter.splits()[0]), 0.2, 0.01);
+  // Counters are reset; the splitter needs new evidence.
+  EXPECT_FALSE(splitter.NeedsReorganization());
+}
+
+TEST(QuantileSplitterTest, ReorganizeBalancesSubsequentStream) {
+  QuantileSplitter splitter(1);
+  Rng rng(23);
+  PointSet data(1);
+  for (int i = 0; i < 5000; ++i) {
+    data.Add(Point({static_cast<Scalar>(rng.NextDouble() * 0.2)}));
+  }
+  for (std::size_t i = 0; i < data.size(); ++i) splitter.Record(data[i]);
+  splitter.Reorganize(data);
+  // Re-recording the same stream against the new splits is now balanced.
+  for (std::size_t i = 0; i < data.size(); ++i) splitter.Record(data[i]);
+  EXPECT_FALSE(splitter.NeedsReorganization());
+}
+
+TEST(QuantileSplitterTest, ReorganizeReturnsFalseWhenUnchanged) {
+  QuantileSplitter splitter(1);
+  PointSet data(1);
+  // Data whose median is exactly the current split 0.5.
+  for (int i = 0; i < 101; ++i) {
+    data.Add(Point({static_cast<Scalar>(i) / 100}));
+  }
+  // rank = floor(0.5*101) = 50 -> value 0.50 == the midpoint split, so
+  // nothing changes and Reorganize reports false (but still counts).
+  EXPECT_FALSE(splitter.Reorganize(data));
+  EXPECT_EQ(splitter.reorganization_count(), 1);
+}
+
+TEST(QuantileSplitterTest, MakeBucketizerUsesCurrentSplits) {
+  QuantileSplitter splitter(2);
+  PointSet data(2);
+  data.Add(Point({0.1f, 0.9f}));
+  data.Add(Point({0.2f, 0.8f}));
+  data.Add(Point({0.3f, 0.7f}));
+  splitter.Reorganize(data);
+  const Bucketizer b = splitter.MakeBucketizer();
+  EXPECT_EQ(b.split(0), splitter.splits()[0]);
+  EXPECT_EQ(b.split(1), splitter.splits()[1]);
+}
+
+TEST(QuantileSplitterDeathTest, InvalidParameters) {
+  EXPECT_DEATH(QuantileSplitter(0), "PARSIM_CHECK");
+  EXPECT_DEATH(QuantileSplitter(2, 0.0), "PARSIM_CHECK");
+  EXPECT_DEATH(QuantileSplitter(2, 1.0), "PARSIM_CHECK");
+  EXPECT_DEATH(QuantileSplitter(2, 0.5, 1.0), "PARSIM_CHECK");
+}
+
+}  // namespace
+}  // namespace parsim

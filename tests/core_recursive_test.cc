@@ -1,0 +1,158 @@
+#include "src/core/recursive.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/near_optimal.h"
+#include "src/util/random.h"
+#include "src/workload/generators.h"
+
+namespace parsim {
+namespace {
+
+PointSet OneQuadrantCluster(std::size_t n, std::size_t dim,
+                            std::uint64_t seed) {
+  // All points in the lowest quadrant (the extreme case of Section 4.3:
+  // "most data points are located in one quadrant of the hypercube").
+  Rng rng(seed);
+  PointSet out(dim);
+  Point p(dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < dim; ++j) {
+      p[j] = static_cast<Scalar>(0.45 * rng.NextDouble());
+    }
+    out.Add(p);
+  }
+  return out;
+}
+
+TEST(RecursiveTest, UnfittedBehavesLikeNearOptimal) {
+  const std::size_t d = 5;
+  RecursiveDeclusterer rec(d, 8);
+  const NearOptimalDeclusterer flat(d, 8);
+  Rng rng(31);
+  for (int i = 0; i < 500; ++i) {
+    Point p(d);
+    for (std::size_t j = 0; j < d; ++j) {
+      p[j] = static_cast<Scalar>(rng.NextDouble());
+    }
+    EXPECT_EQ(rec.DiskOfPoint(p, 0), flat.DiskOfPoint(p, 0));
+  }
+  EXPECT_EQ(rec.MaxDepth(), 0);
+  EXPECT_EQ(rec.NumSplitBuckets(), 0u);
+}
+
+TEST(RecursiveTest, FitOnUniformDataDoesNothing) {
+  const std::size_t d = 6;
+  RecursiveDeclusterer rec(d, 8);
+  const PointSet data = GenerateUniform(20000, d, 33);
+  const int passes = rec.Fit(data);
+  EXPECT_EQ(passes, 0) << "uniform data is already balanced";
+  EXPECT_EQ(rec.MaxDepth(), 0);
+}
+
+TEST(RecursiveTest, FitRebalancesOneQuadrantCluster) {
+  const std::size_t d = 6;
+  const std::uint32_t disks = 8;
+  const PointSet data = OneQuadrantCluster(20000, d, 35);
+
+  const NearOptimalDeclusterer flat(d, disks);
+  const double imbalance_before = LoadImbalance(DiskLoads(flat, data));
+  EXPECT_GT(imbalance_before, 7.9) << "everything lands on one disk";
+
+  RecursiveDeclusterer rec(d, disks);
+  const int passes = rec.Fit(data);
+  EXPECT_GE(passes, 1);
+  EXPECT_GE(rec.MaxDepth(), 1);
+  const double imbalance_after = LoadImbalance(DiskLoads(rec, data));
+  EXPECT_LE(imbalance_after, 1.5);
+}
+
+TEST(RecursiveTest, PaperObservationOneStepSufficesForClusteredData) {
+  // Figure 16's note: "only one recursive declustering step was
+  // necessary". With quantile sub-splits one pass balances a single
+  // cluster.
+  const std::size_t d = 6;
+  const PointSet data = OneQuadrantCluster(10000, d, 37);
+  RecursiveDeclusterer rec(d, 8);
+  EXPECT_EQ(rec.Fit(data), 1);
+}
+
+TEST(RecursiveTest, AssignmentStaysInRange) {
+  const std::size_t d = 5;
+  const PointSet data = GenerateClusteredGaussian(10000, d, 3, 0.05, 39);
+  RecursiveDeclusterer rec(d, 7);
+  rec.Fit(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_LT(rec.DiskOfPoint(data[i], static_cast<PointId>(i)),
+              rec.num_disks());
+  }
+}
+
+TEST(RecursiveTest, DeterministicAfterFit) {
+  const std::size_t d = 4;
+  const PointSet data = OneQuadrantCluster(5000, d, 41);
+  RecursiveDeclusterer rec(d, 8);
+  rec.Fit(data);
+  const Point probe = {0.1f, 0.2f, 0.3f, 0.1f};
+  const DiskId first = rec.DiskOfPoint(probe, 0);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rec.DiskOfPoint(probe, static_cast<PointId>(i)), first);
+  }
+}
+
+TEST(RecursiveTest, MinBucketPointsPreventsMicroSplits) {
+  const std::size_t d = 4;
+  RecursiveOptions options;
+  options.min_bucket_points = 1000000;  // nothing is big enough to split
+  RecursiveDeclusterer rec(d, 8, options);
+  const PointSet data = OneQuadrantCluster(5000, d, 43);
+  const int passes = rec.Fit(data);
+  EXPECT_EQ(passes, 0) << "no split possible -> converges immediately";
+  EXPECT_EQ(rec.NumSplitBuckets(), 0u);
+}
+
+TEST(RecursiveTest, MaxPassesBoundsWork) {
+  const std::size_t d = 4;
+  RecursiveOptions options;
+  options.max_passes = 2;
+  // Identical points cannot be balanced by geometric splits; recursion
+  // must stop at the pass bound instead of looping.
+  PointSet degenerate(d);
+  for (int i = 0; i < 5000; ++i) {
+    degenerate.Add(Point({0.1f, 0.1f, 0.1f, 0.1f}));
+  }
+  RecursiveDeclusterer rec(d, 8, options);
+  const int passes = rec.Fit(degenerate);
+  EXPECT_LE(passes, 2);
+}
+
+TEST(RecursiveTest, MidpointSubSplitOption) {
+  const std::size_t d = 5;
+  RecursiveOptions options;
+  options.quantile_splits = false;
+  const PointSet data = OneQuadrantCluster(20000, d, 47);
+  RecursiveDeclusterer rec(d, 8, options);
+  rec.Fit(data);
+  // Midpoint sub-splits also rebalance this cluster (its interior is
+  // roughly uniform), possibly needing more passes.
+  EXPECT_LT(LoadImbalance(DiskLoads(rec, data)), 2.0);
+}
+
+TEST(RecursiveTest, GaussianMixtureRebalanced) {
+  const std::size_t d = 8;
+  const PointSet data = GenerateClusteredGaussian(30000, d, 2, 0.03, 49);
+  const NearOptimalDeclusterer flat(d, 16);
+  RecursiveDeclusterer rec(d, 16);
+  rec.Fit(data);
+  EXPECT_LT(LoadImbalance(DiskLoads(rec, data)),
+            LoadImbalance(DiskLoads(flat, data)));
+}
+
+TEST(RecursiveDeathTest, InvalidOptions) {
+  RecursiveOptions bad;
+  bad.overload_threshold = 1.0;
+  EXPECT_DEATH(RecursiveDeclusterer(3, 4, bad), "PARSIM_CHECK");
+}
+
+}  // namespace
+}  // namespace parsim

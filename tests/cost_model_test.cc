@@ -1,0 +1,218 @@
+#include "src/cost/model.h"
+
+#include "src/index/knn.h"
+#include "src/index/xtree.h"
+#include "src/workload/generators.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace parsim {
+namespace {
+
+TEST(SurfaceProbabilityTest, MatchesEquationOne) {
+  // p = 1 - (1 - 2*eps)^d with eps = 0.1.
+  EXPECT_NEAR(SurfaceProbability(1), 0.2, 1e-12);
+  EXPECT_NEAR(SurfaceProbability(2), 1.0 - 0.64, 1e-12);
+  EXPECT_NEAR(SurfaceProbability(16), 1.0 - std::pow(0.8, 16), 1e-12);
+}
+
+TEST(SurfaceProbabilityTest, PaperHeadlineNumber) {
+  // "reaches more than 97% for a dimensionality of 16" (Figure 5).
+  EXPECT_GT(SurfaceProbability(16, 0.1), 0.97);
+}
+
+TEST(SurfaceProbabilityTest, MonotoneInDimensionAndEps) {
+  for (std::size_t d = 1; d < 30; ++d) {
+    EXPECT_LT(SurfaceProbability(d), SurfaceProbability(d + 1));
+  }
+  EXPECT_LT(SurfaceProbability(8, 0.05), SurfaceProbability(8, 0.1));
+  EXPECT_EQ(SurfaceProbability(8, 0.5), 1.0);
+  EXPECT_EQ(SurfaceProbability(8, 0.0), 0.0);
+}
+
+TEST(SurfaceProbabilityTest, MonteCarloAgreesWithAnalytic) {
+  Rng rng(3);
+  for (std::size_t d : {2u, 8u, 16u}) {
+    const double analytic = SurfaceProbability(d);
+    const double simulated = MonteCarloSurfaceProbability(d, 0.1, 200000, &rng);
+    EXPECT_NEAR(simulated, analytic, 0.01) << "d=" << d;
+  }
+}
+
+TEST(UnitBallVolumeTest, KnownValues) {
+  EXPECT_NEAR(UnitBallVolume(1), 2.0, 1e-12);             // segment
+  EXPECT_NEAR(UnitBallVolume(2), M_PI, 1e-12);            // disc
+  EXPECT_NEAR(UnitBallVolume(3), 4.0 / 3.0 * M_PI, 1e-9);  // ball
+}
+
+TEST(UnitBallVolumeTest, VanishesInHighDimensions) {
+  // The curse of dimensionality driver: V(d) -> 0.
+  EXPECT_LT(UnitBallVolume(20), UnitBallVolume(5));
+  EXPECT_LT(UnitBallVolume(30), 1e-2);
+}
+
+TEST(ExpectedNnDistanceTest, GrowsWithDimension) {
+  // The paper's key effect: the NN radius explodes with d at fixed N.
+  const std::uint64_t n = 1000000;
+  double prev = 0.0;
+  for (std::size_t d = 2; d <= 30; d += 2) {
+    const double r = ExpectedNnDistance(n, d);
+    EXPECT_GT(r, prev);
+    prev = r;
+  }
+  // At d=2 with a million points the radius is tiny...
+  EXPECT_LT(ExpectedNnDistance(n, 2), 0.001);
+  // ...at d=20 it approaches the scale of the whole data space.
+  EXPECT_GT(ExpectedNnDistance(n, 20), 0.5);
+}
+
+TEST(ExpectedNnDistanceTest, ShrinksWithMorePoints) {
+  for (std::size_t d : {2u, 8u, 16u}) {
+    EXPECT_GT(ExpectedNnDistance(1000, d), ExpectedNnDistance(1000000, d));
+  }
+}
+
+TEST(ExpectedNnDistanceTest, GrowsWithK) {
+  EXPECT_GT(ExpectedNnDistance(100000, 8, 10),
+            ExpectedNnDistance(100000, 8, 1));
+}
+
+TEST(ExpectedNnDistanceTest, MatchesSimulationInLowDimensions) {
+  // Monte Carlo check of the Poisson model at d=2 (negligible boundary
+  // effects there).
+  Rng rng(5);
+  const std::size_t n = 20000;
+  std::vector<double> xs(n), ys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = rng.NextDouble();
+    ys[i] = rng.NextDouble();
+  }
+  double sum = 0.0;
+  const int queries = 300;
+  for (int q = 0; q < queries; ++q) {
+    const double qx = rng.NextUniform(0.2, 0.8);
+    const double qy = rng.NextUniform(0.2, 0.8);
+    double best = 1e18;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double dx = xs[i] - qx, dy = ys[i] - qy;
+      best = std::min(best, dx * dx + dy * dy);
+    }
+    sum += std::sqrt(best);
+  }
+  const double simulated = sum / queries;
+  const double model = ExpectedNnDistance(n, 2);
+  // The model is the radius at which the expected count is 1; the mean NN
+  // distance differs by a Gamma-function factor close to 1. 25% slack.
+  EXPECT_NEAR(simulated, model, model * 0.25);
+}
+
+TEST(MinkowskiVolumeTest, DegenerateCases) {
+  // Zero radius: the cube's own volume. Zero edge: the ball's volume.
+  EXPECT_NEAR(MinkowskiCubeBallVolume(3, 0.5, 0.0), 0.125, 1e-12);
+  EXPECT_NEAR(MinkowskiCubeBallVolume(3, 0.0, 1.0), UnitBallVolume(3), 1e-9);
+  EXPECT_NEAR(MinkowskiCubeBallVolume(2, 0.0, 2.0), M_PI * 4.0, 1e-9);
+}
+
+TEST(MinkowskiVolumeTest, TwoDimensionalClosedForm) {
+  // Square a=1 grown by r: a^2 + 4*a*r/2*2 ... = a^2 + 4 a r + pi r^2
+  // (sum form: C(2,0) a^2 + C(2,1) a V_1 r + C(2,2) V_2 r^2 with V_1=2).
+  const double a = 0.3, r = 0.1;
+  EXPECT_NEAR(MinkowskiCubeBallVolume(2, a, r),
+              a * a + 2.0 * a * 2.0 * r + M_PI * r * r, 1e-12);
+}
+
+TEST(MinkowskiVolumeTest, MonotoneInBothArguments) {
+  for (std::size_t d : {2u, 8u, 15u}) {
+    EXPECT_LT(MinkowskiCubeBallVolume(d, 0.1, 0.1),
+              MinkowskiCubeBallVolume(d, 0.2, 0.1));
+    EXPECT_LT(MinkowskiCubeBallVolume(d, 0.1, 0.1),
+              MinkowskiCubeBallVolume(d, 0.1, 0.2));
+  }
+}
+
+TEST(ExpectedPageAccessesTest, GrowsWithDimensionUntilSaturation) {
+  const double total = 100000.0 / 64.0;
+  double prev = 0.0;
+  for (std::size_t d = 2; d <= 16; d += 2) {
+    const double pages = ExpectedNnPageAccesses(100000, d, 64);
+    if (prev < total) {
+      EXPECT_GT(pages, prev) << "d=" << d;
+    } else {
+      EXPECT_DOUBLE_EQ(pages, total) << "saturated at every page, d=" << d;
+    }
+    prev = pages;
+  }
+  EXPECT_DOUBLE_EQ(prev, total) << "d=16 must saturate the whole index";
+}
+
+TEST(ExpectedPageAccessesTest, AtLeastOnePageAndAtMostAllPages) {
+  for (std::size_t d : {2u, 8u, 16u, 24u}) {
+    const double pages = ExpectedNnPageAccesses(100000, d, 64);
+    const double total = 100000.0 / 64.0;
+    EXPECT_GE(pages, 0.9) << "d=" << d;
+    EXPECT_LE(pages, total + 1e-9) << "d=" << d;
+  }
+}
+
+TEST(ExpectedPageAccessesTest, LowDimensionalModelMatchesMeasurementScale) {
+  // At d=2 the model should be within a small factor of an actual
+  // measurement against the X-tree.
+  const std::size_t d = 2;
+  const std::size_t n = 50000;
+  const PointSet data = GenerateUniform(n, d, 881);
+  SimulatedDisk disk(0);
+  XTree tree(d, &disk);
+  ASSERT_TRUE(tree.BulkLoad(data).ok());
+  const PointSet queries = GenerateUniformQueries(30, d, 883);
+  std::uint64_t measured = 0;
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    disk.ResetStats();
+    (void)HsKnn(tree, queries[qi], 1);
+    measured += disk.stats().data_pages_read;
+  }
+  const double measured_avg =
+      static_cast<double>(measured) / static_cast<double>(queries.size());
+  const auto per_page = static_cast<std::size_t>(
+      0.7 * static_cast<double>(LeafCapacityPerPage(d)));
+  const double model = ExpectedNnPageAccesses(n, d, per_page, 1);
+  EXPECT_GT(model, measured_avg / 4.0);
+  EXPECT_LT(model, measured_avg * 4.0);
+}
+
+TEST(QuadrantsIntersectedTest, SmallRadiusTouchesOneBucket) {
+  Rng rng(7);
+  const double avg = MonteCarloQuadrantsIntersected(4, 1e-6, 500, &rng);
+  EXPECT_NEAR(avg, 1.0, 1e-9);
+}
+
+TEST(QuadrantsIntersectedTest, HugeRadiusTouchesAllBuckets) {
+  Rng rng(9);
+  const double avg = MonteCarloQuadrantsIntersected(4, 10.0, 100, &rng);
+  EXPECT_NEAR(avg, 16.0, 1e-9);
+}
+
+TEST(QuadrantsIntersectedTest, MonotoneInRadius) {
+  Rng rng(11);
+  double prev = 0.0;
+  for (double r : {0.01, 0.1, 0.3, 0.6, 1.0}) {
+    Rng local(11);  // same queries for each radius
+    const double avg = MonteCarloQuadrantsIntersected(6, r, 500, &local);
+    EXPECT_GE(avg, prev);
+    prev = avg;
+  }
+  (void)rng;
+}
+
+TEST(QuadrantsIntersectedTest, HighDimensionalNnSphereTouchesMany) {
+  // The declustering motivation quantified: at d=12 with the model NN
+  // radius of a 100k-point data set, the sphere touches many quadrants.
+  Rng rng(13);
+  const double radius = ExpectedNnDistance(100000, 12);
+  const double avg = MonteCarloQuadrantsIntersected(12, radius, 300, &rng);
+  EXPECT_GT(avg, 16.0) << "NN-sphere must span many quadrants in high-d";
+}
+
+}  // namespace
+}  // namespace parsim

@@ -1,0 +1,230 @@
+// Cross-cutting differential and property tests of the declustering
+// stack: every declusterer must produce identical query *answers* (only
+// costs may differ), and the near-optimal guarantees must hold under
+// composition with folding, quantile splits and recursion.
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/parsim/parsim.h"
+
+namespace parsim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Differential: answers are declusterer-independent on every workload.
+
+struct DifferentialParam {
+  const char* workload;
+  std::size_t dim;
+  Architecture architecture;
+};
+
+class DifferentialTest : public ::testing::TestWithParam<DifferentialParam> {
+ protected:
+  PointSet MakeData(std::size_t n) const {
+    const DifferentialParam& p = GetParam();
+    if (std::string(p.workload) == "fourier") {
+      return GenerateFourierPoints(n, p.dim, 1601);
+    }
+    if (std::string(p.workload) == "text") {
+      return GenerateTextDescriptors(n, p.dim, 1601);
+    }
+    if (std::string(p.workload) == "clustered") {
+      return GenerateClusteredGaussian(n, p.dim, 3, 0.04, 1601);
+    }
+    return GenerateUniform(n, p.dim, 1601);
+  }
+};
+
+TEST_P(DifferentialTest, AllDeclusterersAgreeOnKnnAnswers) {
+  const DifferentialParam& param = GetParam();
+  const PointSet data = MakeData(4000);
+  const PointSet queries = SampleQueriesFromData(data, 8, 0.05, 1603);
+  EngineOptions options;
+  options.architecture = param.architecture;
+  options.bulk_load = true;
+
+  std::vector<std::unique_ptr<ParallelSearchEngine>> engines;
+  for (DeclustererKind kind :
+       {DeclustererKind::kRoundRobin, DeclustererKind::kDiskModulo,
+        DeclustererKind::kFx, DeclustererKind::kHilbert,
+        DeclustererKind::kNearOptimal}) {
+    engines.push_back(BuildEngine(
+        data, MakeDeclusterer(kind, param.dim, 8), options));
+  }
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    const KnnResult reference = engines[0]->Query(queries[qi], 10);
+    for (std::size_t e = 1; e < engines.size(); ++e) {
+      const KnnResult other = engines[e]->Query(queries[qi], 10);
+      ASSERT_EQ(other.size(), reference.size());
+      for (std::size_t i = 0; i < reference.size(); ++i) {
+        EXPECT_NEAR(other[i].distance, reference[i].distance, 1e-9)
+            << engines[e]->declusterer().name() << " query " << qi;
+      }
+    }
+  }
+}
+
+TEST_P(DifferentialTest, EveryPointIsStoredExactlyOnce) {
+  const DifferentialParam& param = GetParam();
+  if (param.architecture == Architecture::kSharedTree) {
+    GTEST_SKIP() << "single global tree: storage trivially unique";
+  }
+  const PointSet data = MakeData(3000);
+  EngineOptions options;
+  options.architecture = param.architecture;
+  ParallelSearchEngine engine(
+      param.dim, std::make_unique<NearOptimalDeclusterer>(param.dim, 8),
+      options);
+  ASSERT_TRUE(engine.Build(data).ok());
+  // A full-space range query must return every id exactly once.
+  std::vector<Scalar> lo(param.dim, Scalar{-10}), hi(param.dim, Scalar{10});
+  const auto ids = engine.RangeQuery(Rect(std::move(lo), std::move(hi)));
+  ASSERT_EQ(ids.size(), data.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(ids[i], static_cast<PointId>(i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, DifferentialTest,
+    ::testing::Values(
+        DifferentialParam{"uniform", 6, Architecture::kFederatedTrees},
+        DifferentialParam{"uniform", 6, Architecture::kSharedTree},
+        DifferentialParam{"fourier", 15, Architecture::kFederatedTrees},
+        DifferentialParam{"text", 15, Architecture::kSharedTree},
+        DifferentialParam{"clustered", 8, Architecture::kFederatedTrees},
+        DifferentialParam{"clustered", 8, Architecture::kFederatedScan}),
+    [](const auto& info) {
+      std::string arch =
+          info.param.architecture == Architecture::kSharedTree ? "shared"
+          : info.param.architecture == Architecture::kFederatedTrees
+              ? "federated"
+              : "scan";
+      return std::string(info.param.workload) + "_d" +
+             std::to_string(info.param.dim) + "_" + arch;
+    });
+
+// ---------------------------------------------------------------------------
+// Composition properties of the near-optimal stack.
+
+TEST(CompositionTest, QuantileSplitsPreserveNearOptimality) {
+  // The near-optimal guarantee is about bucket *numbers*, not split
+  // positions: any split values keep it intact.
+  const std::size_t d = 6;
+  const DiskAssignmentGraph graph(d);
+  Rng rng(1607);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Scalar> splits(d);
+    for (auto& s : splits) s = static_cast<Scalar>(rng.NextDouble());
+    const NearOptimalDeclusterer dec(Bucketizer(splits), NumColors(d));
+    EXPECT_TRUE(graph.IsNearOptimal(
+        [&](BucketId b) { return dec.DiskOfBucket(b); }));
+  }
+}
+
+TEST(CompositionTest, RecursionOnlyRefinesWithinBuckets) {
+  // Points in buckets the recursion never split must keep their original
+  // disk assignment.
+  const std::size_t d = 6;
+  const std::uint32_t disks = 8;
+  const PointSet data = GenerateClusteredGaussian(20000, d, 1, 0.03, 1609);
+  const NearOptimalDeclusterer flat(d, disks);
+  RecursiveDeclusterer rec(d, disks);
+  rec.Fit(data);
+  ASSERT_GT(rec.NumSplitBuckets(), 0u);
+  // Probe points across the space; disagreements must be confined to the
+  // (hot) region that was refined.
+  const Bucketizer buckets(d);
+  std::set<BucketId> refined_buckets;
+  Rng rng(1611);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Point p(d);
+    for (std::size_t j = 0; j < d; ++j) {
+      p[j] = static_cast<Scalar>(rng.NextDouble());
+    }
+    if (rec.DiskOfPoint(p, 0) != flat.DiskOfPoint(p, 0)) {
+      refined_buckets.insert(buckets.BucketOf(p));
+    }
+  }
+  EXPECT_LE(refined_buckets.size(), rec.NumSplitBuckets());
+}
+
+double DirectCollisionFraction(std::size_t d, std::uint32_t disks) {
+  const NearOptimalDeclusterer dec(d, disks);
+  const DiskAssignmentGraph graph(d);
+  std::uint64_t direct_pairs = 0, direct_collisions = 0;
+  graph.ForEachEdge([&](BucketId a, BucketId b, bool direct) {
+    if (direct) {
+      ++direct_pairs;
+      if (dec.DiskOfBucket(a) == dec.DiskOfBucket(b)) ++direct_collisions;
+    }
+    return true;
+  });
+  return static_cast<double>(direct_collisions) /
+         static_cast<double>(direct_pairs);
+}
+
+TEST(CompositionTest, HalfFoldSeparatesAllDirectNeighborsOffStaircase) {
+  // Folding C colors onto C/2 disks via binary complements: a collision
+  // needs col(b) XOR col(c) == C-1, and for direct neighbors that XOR is
+  // at most d — impossible whenever d < C-1.
+  for (std::size_t d : {4u, 6u, 8u, 10u, 12u}) {
+    EXPECT_EQ(DirectCollisionFraction(d, NumColors(d) / 2), 0.0)
+        << "d=" << d;
+  }
+}
+
+TEST(CompositionTest, HalfFoldCollidesExactlyOneAxisAtStaircaseEdge) {
+  // At d = C-1 (e.g. 7 -> 8 colors) the top coordinate's direct pairs
+  // collide after halving: exactly 1/d of all direct pairs.
+  const std::size_t d = 7;
+  EXPECT_NEAR(DirectCollisionFraction(d, NumColors(d) / 2), 1.0 / 7.0, 1e-12);
+}
+
+TEST(CompositionTest, DeepFoldsStillSeparateMostDirectNeighbors) {
+  // "most directly neighboring buckets are still assigned to different
+  // disks" — even folding to a quarter of the colors keeps the majority
+  // separated.
+  for (std::size_t d : {6u, 8u, 10u}) {
+    const double fraction = DirectCollisionFraction(d, NumColors(d) / 4);
+    EXPECT_LT(fraction, 0.5) << "d=" << d;
+  }
+}
+
+TEST(CompositionTest, ColorOfIsDimensionStable) {
+  // A bucket's color must not depend on the ambient dimension (leading
+  // zero coordinates contribute nothing) — this is what makes recursion
+  // and folding composable.
+  for (BucketId b = 0; b < 64; ++b) {
+    const Color c = ColorOf(b);
+    EXPECT_EQ(ColorOf(b), c);
+    // Embedding in a higher dimension (same bits) keeps the color.
+    EXPECT_EQ(ColorOf(b | 0u), c);
+  }
+}
+
+TEST(CompositionTest, NearOptimalScalesToMaxDimension) {
+  // d = 32 is the BucketId limit; the whole stack must work there.
+  const std::size_t d = 32;
+  const NearOptimalDeclusterer dec(d, NumColors(d));
+  EXPECT_EQ(dec.num_disks(), 64u);
+  Rng rng(1613);
+  std::set<DiskId> seen;
+  for (int i = 0; i < 20000; ++i) {
+    Point p(d);
+    for (std::size_t j = 0; j < d; ++j) {
+      p[j] = static_cast<Scalar>(rng.NextDouble());
+    }
+    const DiskId disk = dec.DiskOfPoint(p, static_cast<PointId>(i));
+    EXPECT_LT(disk, 64u);
+    seen.insert(disk);
+  }
+  EXPECT_EQ(seen.size(), 64u) << "all 64 disks must be reachable";
+}
+
+}  // namespace
+}  // namespace parsim

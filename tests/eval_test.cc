@@ -1,0 +1,101 @@
+#include "src/eval/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workload/generators.h"
+
+namespace parsim {
+namespace {
+
+TEST(MakeDeclustererTest, AllKindsConstructible) {
+  for (DeclustererKind kind :
+       {DeclustererKind::kRoundRobin, DeclustererKind::kDiskModulo,
+        DeclustererKind::kFx, DeclustererKind::kHilbert,
+        DeclustererKind::kNearOptimal}) {
+    auto dec = MakeDeclusterer(kind, 6, 8);
+    ASSERT_NE(dec, nullptr);
+    // The figure label ("new") differs from the declusterer's own
+    // descriptive name; both must be stable.
+    if (kind == DeclustererKind::kNearOptimal) {
+      EXPECT_EQ(dec->name(), "near-optimal");
+    } else {
+      EXPECT_EQ(dec->name(), DeclustererKindToString(kind));
+    }
+    EXPECT_GE(dec->num_disks(), 1u);
+  }
+}
+
+TEST(MakeDeclustererTest, KindNames) {
+  EXPECT_STREQ(DeclustererKindToString(DeclustererKind::kRoundRobin), "RR");
+  EXPECT_STREQ(DeclustererKindToString(DeclustererKind::kDiskModulo), "DM");
+  EXPECT_STREQ(DeclustererKindToString(DeclustererKind::kFx), "FX");
+  EXPECT_STREQ(DeclustererKindToString(DeclustererKind::kHilbert), "HIL");
+  EXPECT_STREQ(DeclustererKindToString(DeclustererKind::kNearOptimal), "new");
+}
+
+TEST(RunKnnWorkloadTest, AveragesOverQueries) {
+  const std::size_t d = 6;
+  const PointSet data = GenerateUniform(4000, d, 401);
+  auto engine =
+      BuildEngine(data, MakeDeclusterer(DeclustererKind::kNearOptimal, d, 8));
+  const PointSet queries = GenerateUniformQueries(25, d, 403);
+  const WorkloadResult result = RunKnnWorkload(*engine, queries, 10);
+  EXPECT_EQ(result.num_queries, 25u);
+  EXPECT_GT(result.avg_parallel_ms, 0.0);
+  EXPECT_GE(result.avg_sum_ms, result.avg_parallel_ms);
+  EXPECT_GT(result.avg_max_pages, 0.0);
+  EXPECT_GE(result.avg_total_pages, result.avg_max_pages);
+  EXPECT_GT(result.avg_balance, 0.0);
+  EXPECT_LE(result.avg_balance, 1.0 + 1e-12);
+}
+
+TEST(RunKnnWorkloadTest, DeterministicForSameInputs) {
+  const std::size_t d = 4;
+  const PointSet data = GenerateUniform(2000, d, 405);
+  auto engine =
+      BuildEngine(data, MakeDeclusterer(DeclustererKind::kHilbert, d, 4));
+  const PointSet queries = GenerateUniformQueries(10, d, 407);
+  const WorkloadResult a = RunKnnWorkload(*engine, queries, 5);
+  const WorkloadResult b = RunKnnWorkload(*engine, queries, 5);
+  EXPECT_DOUBLE_EQ(a.avg_parallel_ms, b.avg_parallel_ms);
+  EXPECT_DOUBLE_EQ(a.avg_total_pages, b.avg_total_pages);
+}
+
+TEST(SpeedupTest, Definitions) {
+  WorkloadResult seq, par;
+  seq.avg_parallel_ms = 100.0;
+  par.avg_parallel_ms = 10.0;
+  EXPECT_DOUBLE_EQ(Speedup(seq, par), 10.0);
+  EXPECT_DOUBLE_EQ(ImprovementFactor(seq, par), 10.0);
+  EXPECT_DOUBLE_EQ(ImprovementFactor(par, seq), 0.1);
+}
+
+TEST(SpeedupTest, ParallelEngineBeatsSequentialOnUniformData) {
+  // End-to-end miniature of Figure 12: the 8-disk near-optimal engine
+  // answers NN queries faster (simulated) than the 1-disk engine.
+  const std::size_t d = 10;
+  const PointSet data = GenerateUniform(12000, d, 409);
+  const PointSet queries = GenerateUniformQueries(15, d, 411);
+
+  auto sequential =
+      BuildEngine(data, MakeDeclusterer(DeclustererKind::kNearOptimal, d, 1));
+  auto parallel =
+      BuildEngine(data, MakeDeclusterer(DeclustererKind::kNearOptimal, d, 8));
+  const WorkloadResult seq = RunKnnWorkload(*sequential, queries, 10);
+  const WorkloadResult par = RunKnnWorkload(*parallel, queries, 10);
+  EXPECT_GT(Speedup(seq, par), 2.0);
+}
+
+TEST(BuildEngineTest, PropagatesOptions) {
+  const PointSet data = GenerateUniform(500, 3, 413);
+  EngineOptions options;
+  options.tree_kind = TreeKind::kRStarTree;
+  options.bulk_load = true;
+  auto engine = BuildEngine(
+      data, MakeDeclusterer(DeclustererKind::kRoundRobin, 3, 2), options);
+  EXPECT_EQ(engine->tree(0).name(), "R*-tree");
+  EXPECT_EQ(engine->size(), 500u);
+}
+
+}  // namespace
+}  // namespace parsim

@@ -1,0 +1,90 @@
+#include "src/eval/throughput.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/baselines.h"
+#include "src/core/near_optimal.h"
+#include "src/eval/experiment.h"
+#include "src/workload/generators.h"
+
+namespace parsim {
+namespace {
+
+TEST(ThroughputTest, BasicAccounting) {
+  const std::size_t d = 6;
+  const PointSet data = GenerateUniform(5000, d, 801);
+  auto engine =
+      BuildEngine(data, MakeDeclusterer(DeclustererKind::kNearOptimal, d, 8));
+  const PointSet queries = GenerateUniformQueries(16, d, 803);
+  const ThroughputResult r = SimulateThroughput(*engine, queries, 10);
+  EXPECT_EQ(r.num_queries, 16u);
+  EXPECT_GT(r.makespan_ms, 0.0);
+  EXPECT_GT(r.throughput_qps, 0.0);
+  EXPECT_GT(r.avg_latency_ms, 0.0);
+  EXPECT_GT(r.avg_disk_utilization, 0.0);
+  EXPECT_LE(r.avg_disk_utilization, 1.0 + 1e-12);
+  ASSERT_EQ(r.pages_per_disk.size(), 8u);
+  std::uint64_t total = 0;
+  for (auto p : r.pages_per_disk) total += p;
+  EXPECT_GT(total, 0u);
+}
+
+TEST(ThroughputTest, ThroughputConsistentWithMakespan) {
+  const std::size_t d = 5;
+  const PointSet data = GenerateUniform(3000, d, 805);
+  auto engine =
+      BuildEngine(data, MakeDeclusterer(DeclustererKind::kHilbert, d, 4));
+  const PointSet queries = GenerateUniformQueries(10, d, 807);
+  const ThroughputResult r = SimulateThroughput(*engine, queries, 5);
+  EXPECT_NEAR(r.throughput_qps,
+              static_cast<double>(r.num_queries) / (r.makespan_ms / 1000.0),
+              1e-9);
+}
+
+TEST(ThroughputTest, BatchAmortizesBetterThanSerialLatency) {
+  // Makespan of the batch must be at most the sum of individual max-rule
+  // latencies (parallel disks overlap work across queries), and the
+  // batch rate must beat the serial rate.
+  const std::size_t d = 8;
+  const PointSet data = GenerateUniform(10000, d, 809);
+  auto engine =
+      BuildEngine(data, MakeDeclusterer(DeclustererKind::kNearOptimal, d, 8));
+  const PointSet queries = GenerateUniformQueries(20, d, 811);
+  const ThroughputResult r = SimulateThroughput(*engine, queries, 10);
+  EXPECT_LE(r.makespan_ms,
+            r.avg_latency_ms * static_cast<double>(r.num_queries) + 1e-6);
+  const double serial_qps =
+      1000.0 / r.avg_latency_ms;  // one query at a time
+  EXPECT_GE(r.throughput_qps, serial_qps * 0.99);
+}
+
+TEST(ThroughputTest, MoreDisksMoreThroughput) {
+  const std::size_t d = 10;
+  const PointSet data = GenerateUniform(12000, d, 813);
+  const PointSet queries = GenerateUniformQueries(20, d, 815);
+  auto small =
+      BuildEngine(data, MakeDeclusterer(DeclustererKind::kNearOptimal, d, 2));
+  auto large =
+      BuildEngine(data, MakeDeclusterer(DeclustererKind::kNearOptimal, d, 16));
+  const ThroughputResult r2 = SimulateThroughput(*small, queries, 10);
+  const ThroughputResult r16 = SimulateThroughput(*large, queries, 10);
+  EXPECT_GT(r16.throughput_qps, 2.0 * r2.throughput_qps);
+}
+
+TEST(ThroughputTest, RoundRobinAggregateBalanceIsHigh) {
+  // The divergence the paper's future-work remark anticipates: RR has
+  // poor per-query balance on bucketed workloads but near-perfect
+  // aggregate balance, so its *throughput* utilization is high.
+  const std::size_t d = 8;
+  const PointSet data = GenerateUniform(12000, d, 817);
+  EngineOptions fed;
+  fed.architecture = Architecture::kFederatedTrees;
+  fed.bulk_load = true;
+  auto rr = BuildEngine(data, std::make_unique<RoundRobinDeclusterer>(8), fed);
+  const PointSet queries = GenerateUniformQueries(24, d, 819);
+  const ThroughputResult r = SimulateThroughput(*rr, queries, 10);
+  EXPECT_GT(r.avg_disk_utilization, 0.8);
+}
+
+}  // namespace
+}  // namespace parsim

@@ -1,0 +1,146 @@
+#include "src/geometry/metric.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace parsim {
+namespace {
+
+TEST(MetricTest, SquaredL2Basic) {
+  Point a = {0, 0};
+  Point b = {3, 4};
+  EXPECT_DOUBLE_EQ(SquaredL2(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(L2(a, b), 5.0);
+}
+
+TEST(MetricTest, L1Basic) {
+  Point a = {1, 2, 3};
+  Point b = {4, 0, 3};
+  EXPECT_DOUBLE_EQ(L1(a, b), 5.0);
+}
+
+TEST(MetricTest, LmaxBasic) {
+  Point a = {1, 2, 3};
+  Point b = {4, 0, 3};
+  EXPECT_DOUBLE_EQ(Lmax(a, b), 3.0);
+}
+
+TEST(MetricTest, ZeroDistanceToSelf) {
+  Point p = {0.1f, 0.9f, 0.5f};
+  EXPECT_EQ(L1(p, p), 0.0);
+  EXPECT_EQ(L2(p, p), 0.0);
+  EXPECT_EQ(Lmax(p, p), 0.0);
+}
+
+TEST(MetricTest, KindToString) {
+  EXPECT_STREQ(MetricKindToString(MetricKind::kL1), "L1");
+  EXPECT_STREQ(MetricKindToString(MetricKind::kL2), "L2");
+  EXPECT_STREQ(MetricKindToString(MetricKind::kLmax), "Lmax");
+}
+
+TEST(MetricTest, DistanceDispatch) {
+  Point a = {0, 0};
+  Point b = {1, 1};
+  EXPECT_DOUBLE_EQ(Metric(MetricKind::kL1).Distance(a, b), 2.0);
+  EXPECT_DOUBLE_EQ(Metric(MetricKind::kL2).Distance(a, b), std::sqrt(2.0));
+  EXPECT_DOUBLE_EQ(Metric(MetricKind::kLmax).Distance(a, b), 1.0);
+}
+
+TEST(MetricTest, ComparableIsSquaredForL2) {
+  Point a = {0, 0};
+  Point b = {3, 4};
+  const Metric m(MetricKind::kL2);
+  EXPECT_DOUBLE_EQ(m.Comparable(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(m.ToComparable(5.0), 25.0);
+  EXPECT_DOUBLE_EQ(m.FromComparable(25.0), 5.0);
+}
+
+TEST(MetricTest, ComparableIsIdentityForL1AndLmax) {
+  Point a = {0, 0};
+  Point b = {3, 4};
+  for (MetricKind kind : {MetricKind::kL1, MetricKind::kLmax}) {
+    const Metric m(kind);
+    EXPECT_DOUBLE_EQ(m.Comparable(a, b), m.Distance(a, b));
+    EXPECT_DOUBLE_EQ(m.ToComparable(7.0), 7.0);
+    EXPECT_DOUBLE_EQ(m.FromComparable(7.0), 7.0);
+  }
+}
+
+// Property sweep: metric axioms on random points, per metric kind.
+class MetricPropertyTest : public ::testing::TestWithParam<MetricKind> {};
+
+TEST_P(MetricPropertyTest, SymmetryAndNonNegativity) {
+  const Metric m(GetParam());
+  Rng rng(101);
+  for (int trial = 0; trial < 200; ++trial) {
+    Point a(8), b(8);
+    for (std::size_t i = 0; i < 8; ++i) {
+      a[i] = static_cast<Scalar>(rng.NextDouble());
+      b[i] = static_cast<Scalar>(rng.NextDouble());
+    }
+    const double dab = m.Distance(a, b);
+    EXPECT_GE(dab, 0.0);
+    EXPECT_DOUBLE_EQ(dab, m.Distance(b, a));
+  }
+}
+
+TEST_P(MetricPropertyTest, TriangleInequality) {
+  const Metric m(GetParam());
+  Rng rng(103);
+  for (int trial = 0; trial < 200; ++trial) {
+    Point a(6), b(6), c(6);
+    for (std::size_t i = 0; i < 6; ++i) {
+      a[i] = static_cast<Scalar>(rng.NextDouble());
+      b[i] = static_cast<Scalar>(rng.NextDouble());
+      c[i] = static_cast<Scalar>(rng.NextDouble());
+    }
+    EXPECT_LE(m.Distance(a, c),
+              m.Distance(a, b) + m.Distance(b, c) + 1e-12);
+  }
+}
+
+TEST_P(MetricPropertyTest, ComparablePreservesOrder) {
+  const Metric m(GetParam());
+  Rng rng(107);
+  Point q(5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    q[i] = static_cast<Scalar>(rng.NextDouble());
+  }
+  for (int trial = 0; trial < 200; ++trial) {
+    Point a(5), b(5);
+    for (std::size_t i = 0; i < 5; ++i) {
+      a[i] = static_cast<Scalar>(rng.NextDouble());
+      b[i] = static_cast<Scalar>(rng.NextDouble());
+    }
+    const bool by_distance = m.Distance(q, a) < m.Distance(q, b);
+    const bool by_comparable = m.Comparable(q, a) < m.Comparable(q, b);
+    EXPECT_EQ(by_distance, by_comparable);
+  }
+}
+
+TEST_P(MetricPropertyTest, NormOrderingL1GeL2GeLmax) {
+  // For any pair: L1 >= L2 >= Lmax.
+  Rng rng(109);
+  for (int trial = 0; trial < 200; ++trial) {
+    Point a(7), b(7);
+    for (std::size_t i = 0; i < 7; ++i) {
+      a[i] = static_cast<Scalar>(rng.NextDouble());
+      b[i] = static_cast<Scalar>(rng.NextDouble());
+    }
+    EXPECT_GE(L1(a, b), L2(a, b) - 1e-12);
+    EXPECT_GE(L2(a, b), Lmax(a, b) - 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMetrics, MetricPropertyTest,
+                         ::testing::Values(MetricKind::kL1, MetricKind::kL2,
+                                           MetricKind::kLmax),
+                         [](const auto& info) {
+                           return MetricKindToString(info.param);
+                         });
+
+}  // namespace
+}  // namespace parsim

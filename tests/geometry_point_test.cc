@@ -1,0 +1,111 @@
+#include "src/geometry/point.h"
+
+#include <gtest/gtest.h>
+
+namespace parsim {
+namespace {
+
+TEST(PointTest, DefaultIsZeroDimensional) {
+  Point p;
+  EXPECT_EQ(p.dim(), 0u);
+}
+
+TEST(PointTest, FilledConstruction) {
+  Point p(3, Scalar{0.5});
+  ASSERT_EQ(p.dim(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(p[i], Scalar{0.5});
+}
+
+TEST(PointTest, InitializerList) {
+  Point p = {Scalar{0.1}, Scalar{0.2}, Scalar{0.3}};
+  ASSERT_EQ(p.dim(), 3u);
+  EXPECT_FLOAT_EQ(p[1], 0.2f);
+}
+
+TEST(PointTest, MutationThroughIndex) {
+  Point p(2);
+  p[0] = Scalar{1};
+  p[1] = Scalar{2};
+  EXPECT_EQ(p[0], Scalar{1});
+  EXPECT_EQ(p[1], Scalar{2});
+}
+
+TEST(PointTest, ViewConversionSharesData) {
+  Point p = {Scalar{1}, Scalar{2}};
+  PointView v = p;
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.data(), p.data());
+  EXPECT_EQ(v[1], Scalar{2});
+}
+
+TEST(PointTest, Equality) {
+  EXPECT_EQ(Point({1, 2}), Point({1, 2}));
+  EXPECT_FALSE(Point({1, 2}) == Point({1, 3}));
+  EXPECT_FALSE(Point({1, 2}) == Point({1, 2, 3}));
+}
+
+TEST(PointTest, ToString) {
+  Point p = {Scalar{0.25}, Scalar{0.75}};
+  EXPECT_EQ(p.ToString(), "(0.25, 0.75)");
+}
+
+TEST(PointSetTest, EmptyByDefault) {
+  PointSet s(4);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_EQ(s.dim(), 4u);
+}
+
+TEST(PointSetTest, AddAndRead) {
+  PointSet s(2);
+  s.Add(Point({1, 2}));
+  s.Add(Point({3, 4}));
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0][0], Scalar{1});
+  EXPECT_EQ(s[1][1], Scalar{4});
+}
+
+TEST(PointSetTest, MaterializeCopies) {
+  PointSet s(2);
+  s.Add(Point({5, 6}));
+  Point p = s.Materialize(0);
+  EXPECT_EQ(p, Point({5, 6}));
+}
+
+TEST(PointSetTest, MutableAccess) {
+  PointSet s(2);
+  s.Add(Point({0, 0}));
+  s.Mutable(0)[1] = Scalar{9};
+  EXPECT_EQ(s[0][1], Scalar{9});
+}
+
+TEST(PointSetTest, BytesAccounting) {
+  PointSet s(15);
+  EXPECT_EQ(s.BytesPerPoint(), 15 * sizeof(Scalar) + sizeof(PointId));
+  s.Add(Point(15));
+  s.Add(Point(15));
+  EXPECT_EQ(s.TotalBytes(), 2 * s.BytesPerPoint());
+}
+
+TEST(PointSetTest, ViewsStayContiguous) {
+  PointSet s(3);
+  for (int i = 0; i < 10; ++i) {
+    s.Add(Point({Scalar(i), Scalar(i + 1), Scalar(i + 2)}));
+  }
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(s[i][0], Scalar(i));
+    EXPECT_EQ(s[i][2], Scalar(i + 2));
+  }
+}
+
+TEST(PointSetDeathTest, DimensionMismatchOnAdd) {
+  PointSet s(3);
+  EXPECT_DEATH(s.Add(Point({1, 2})), "PARSIM_CHECK");
+}
+
+TEST(PointSetDeathTest, ZeroDimensionForbidden) {
+  EXPECT_DEATH(PointSet(0), "PARSIM_CHECK");
+}
+
+}  // namespace
+}  // namespace parsim

@@ -1,0 +1,189 @@
+#include "src/hilbert/hilbert.h"
+
+#include <cstdlib>
+#include <set>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace parsim {
+namespace {
+
+TEST(HilbertTest, TwoDimensionalOrderFirstOrderCurve) {
+  // The 2-d, 1-bit Hilbert curve visits (0,0), (0,1), (1,1), (1,0).
+  const HilbertCurve curve(2, 1);
+  EXPECT_EQ(curve.EncodeU64({0, 0}), 0u);
+  EXPECT_EQ(curve.EncodeU64({0, 1}), 1u);
+  EXPECT_EQ(curve.EncodeU64({1, 1}), 2u);
+  EXPECT_EQ(curve.EncodeU64({1, 0}), 3u);
+}
+
+TEST(HilbertTest, IndexZeroIsOrigin) {
+  for (std::size_t dim : {1u, 2u, 3u, 5u, 8u}) {
+    for (int bits : {1, 2, 4}) {
+      const HilbertCurve curve(dim, bits);
+      const std::vector<GridCoord> origin(dim, 0);
+      const HilbertIndex h = curve.Encode(origin);
+      for (std::uint64_t w : h.words) EXPECT_EQ(w, 0u);
+    }
+  }
+}
+
+TEST(HilbertTest, EncodeU64MatchesMultiWord) {
+  const HilbertCurve curve(3, 4);
+  Rng rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<GridCoord> c(3);
+    for (auto& v : c) v = static_cast<GridCoord>(rng.NextBounded(16));
+    EXPECT_EQ(curve.EncodeU64(c), curve.Encode(c).words[0]);
+  }
+}
+
+TEST(HilbertTest, IndexComparisonIsNumeric) {
+  HilbertIndex a{{5, 0}};
+  HilbertIndex b{{3, 1}};  // 1*2^64 + 3 > 5
+  EXPECT_TRUE(a < b);
+  EXPECT_FALSE(b < a);
+  HilbertIndex c{{5}};
+  EXPECT_FALSE(a < c);  // equal values, different word counts
+  EXPECT_FALSE(c < a);
+}
+
+TEST(HilbertTest, CellOfClampsToGrid) {
+  const HilbertCurve curve(2, 3);
+  const auto low = curve.CellOf(Point({-0.5f, 0.0f}));
+  EXPECT_EQ(low[0], 0u);
+  const auto high = curve.CellOf(Point({1.0f, 2.0f}));
+  EXPECT_EQ(high[0], 7u);
+  EXPECT_EQ(high[1], 7u);
+  const auto mid = curve.CellOf(Point({0.5f, 0.26f}));
+  EXPECT_EQ(mid[0], 4u);
+  EXPECT_EQ(mid[1], 2u);
+}
+
+TEST(HilbertTest, ModSmallValues) {
+  HilbertIndex h{{100}};
+  EXPECT_EQ(HilbertIndexMod(h, 7), 100u % 7);
+  EXPECT_EQ(HilbertIndexMod(h, 1), 0u);
+}
+
+TEST(HilbertTest, ModMultiWord) {
+  // value = 2^64 + 5; mod 7: 2^64 mod 7 = (2^64 = (7*2635249153387078802)+2)
+  // so value mod 7 = (2 + 5) mod 7 = 0.
+  HilbertIndex h{{5, 1}};
+  EXPECT_EQ(HilbertIndexMod(h, 7), 0u);
+  EXPECT_EQ(HilbertIndexMod(h, 2), 1u);       // odd value
+  EXPECT_EQ(HilbertIndexMod(h, 1u << 16), 5u);  // low bits
+}
+
+TEST(HilbertDeathTest, InvalidConstruction) {
+  EXPECT_DEATH(HilbertCurve(0, 4), "PARSIM_CHECK");
+  EXPECT_DEATH(HilbertCurve(2, 0), "PARSIM_CHECK");
+  EXPECT_DEATH(HilbertCurve(2, 33), "PARSIM_CHECK");
+}
+
+TEST(HilbertDeathTest, CoordinateOutOfRange) {
+  const HilbertCurve curve(2, 2);
+  EXPECT_DEATH(curve.Encode({4, 0}), "PARSIM_CHECK");
+}
+
+// ---------------------------------------------------------------------------
+// Property sweeps over (dim, bits).
+
+class HilbertPropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int>> {};
+
+TEST_P(HilbertPropertyTest, EncodeDecodeRoundTrip) {
+  const auto [dim, bits] = GetParam();
+  const HilbertCurve curve(dim, bits);
+  Rng rng(500 + dim * 37 + static_cast<std::size_t>(bits));
+  const GridCoord limit = bits == 32
+                              ? ~GridCoord{0}
+                              : static_cast<GridCoord>((1u << bits) - 1);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<GridCoord> coords(dim);
+    for (auto& c : coords) {
+      c = static_cast<GridCoord>(rng.NextBounded(std::uint64_t{limit} + 1));
+    }
+    const HilbertIndex h = curve.Encode(coords);
+    EXPECT_EQ(curve.Decode(h), coords);
+  }
+}
+
+TEST_P(HilbertPropertyTest, BijectiveOnSmallGrids) {
+  const auto [dim, bits] = GetParam();
+  const int total_bits = static_cast<int>(dim) * bits;
+  if (total_bits > 16) GTEST_SKIP() << "grid too large to enumerate";
+  const HilbertCurve curve(dim, bits);
+  const std::uint64_t cells = std::uint64_t{1} << total_bits;
+  std::set<std::uint64_t> seen;
+  // Enumerate all grid cells; indices must be a permutation of [0, cells).
+  std::vector<GridCoord> coords(dim, 0);
+  const GridCoord per_dim = static_cast<GridCoord>(1u << bits);
+  std::uint64_t count = 0;
+  for (;;) {
+    const std::uint64_t h = curve.EncodeU64(coords);
+    EXPECT_LT(h, cells);
+    EXPECT_TRUE(seen.insert(h).second) << "duplicate index " << h;
+    ++count;
+    // Odometer increment.
+    std::size_t i = 0;
+    while (i < dim && ++coords[i] == per_dim) {
+      coords[i] = 0;
+      ++i;
+    }
+    if (i == dim) break;
+  }
+  EXPECT_EQ(count, cells);
+  EXPECT_EQ(seen.size(), cells);
+}
+
+TEST_P(HilbertPropertyTest, ConsecutiveIndicesAreGridNeighbors) {
+  // The defining property of the Hilbert curve: consecutive cells along
+  // the curve differ by exactly 1 in exactly one coordinate.
+  const auto [dim, bits] = GetParam();
+  const int total_bits = static_cast<int>(dim) * bits;
+  if (total_bits > 14) GTEST_SKIP() << "grid too large to enumerate";
+  const HilbertCurve curve(dim, bits);
+  const std::uint64_t cells = std::uint64_t{1} << total_bits;
+  std::vector<GridCoord> prev = curve.DecodeU64(0);
+  for (std::uint64_t h = 1; h < cells; ++h) {
+    const std::vector<GridCoord> cur = curve.DecodeU64(h);
+    int diffs = 0;
+    for (std::size_t i = 0; i < dim; ++i) {
+      if (cur[i] != prev[i]) {
+        ++diffs;
+        const std::int64_t delta = static_cast<std::int64_t>(cur[i]) -
+                                   static_cast<std::int64_t>(prev[i]);
+        EXPECT_EQ(std::abs(delta), 1);
+      }
+    }
+    EXPECT_EQ(diffs, dim >= 1 ? 1 : 0) << "at index " << h;
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimBits, HilbertPropertyTest,
+    ::testing::Values(std::make_tuple(std::size_t{1}, 8),
+                      std::make_tuple(std::size_t{2}, 1),
+                      std::make_tuple(std::size_t{2}, 4),
+                      std::make_tuple(std::size_t{2}, 7),
+                      std::make_tuple(std::size_t{3}, 2),
+                      std::make_tuple(std::size_t{3}, 4),
+                      std::make_tuple(std::size_t{4}, 3),
+                      std::make_tuple(std::size_t{5}, 2),
+                      std::make_tuple(std::size_t{8}, 1),
+                      std::make_tuple(std::size_t{13}, 1),
+                      std::make_tuple(std::size_t{15}, 8),
+                      std::make_tuple(std::size_t{16}, 2),
+                      std::make_tuple(std::size_t{32}, 2)),
+    [](const auto& info) {
+      return "d" + std::to_string(std::get<0>(info.param)) + "b" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace parsim

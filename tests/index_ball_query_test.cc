@@ -1,0 +1,138 @@
+// ε-similarity (ball) queries: tree-level and engine-level, against the
+// brute-force oracle and against the k-NN results they must agree with.
+
+#include <gtest/gtest.h>
+
+#include "src/core/near_optimal.h"
+#include "src/index/knn.h"
+#include "src/index/xtree.h"
+#include "src/parallel/engine.h"
+#include "src/workload/generators.h"
+
+namespace parsim {
+namespace {
+
+void ExpectSame(const KnnResult& got, const KnnResult& expected) {
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, expected[i].id) << "rank " << i;
+    EXPECT_NEAR(got[i].distance, expected[i].distance, 1e-12);
+  }
+}
+
+TEST(BallQueryTest, EmptyTree) {
+  SimulatedDisk disk(0);
+  XTree tree(3, &disk);
+  EXPECT_TRUE(BallQuery(tree, Point({0.5f, 0.5f, 0.5f}), 1.0).empty());
+}
+
+TEST(BallQueryTest, ZeroRadiusFindsExactMatchesOnly) {
+  SimulatedDisk disk(0);
+  XTree tree(2, &disk);
+  ASSERT_TRUE(tree.Insert(Point({0.5f, 0.5f}), 1).ok());
+  ASSERT_TRUE(tree.Insert(Point({0.6f, 0.5f}), 2).ok());
+  const auto hits = BallQuery(tree, Point({0.5f, 0.5f}), 0.0);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, 1u);
+  EXPECT_EQ(hits[0].distance, 0.0);
+}
+
+TEST(BallQueryTest, MatchesBruteForceAcrossRadii) {
+  SimulatedDisk disk(0);
+  XTree tree(5, &disk);
+  const PointSet data = GenerateUniform(4000, 5, 1001);
+  ASSERT_TRUE(tree.BulkLoad(data).ok());
+  const Point q = {0.4f, 0.6f, 0.5f, 0.3f, 0.7f};
+  for (double radius : {0.05, 0.2, 0.5, 1.0}) {
+    ExpectSame(BallQuery(tree, q, radius),
+               BruteForceBallQuery(data, q, radius));
+  }
+}
+
+TEST(BallQueryTest, SupportsAllMetrics) {
+  SimulatedDisk disk(0);
+  XTree tree(4, &disk);
+  const PointSet data = GenerateUniform(3000, 4, 1003);
+  ASSERT_TRUE(tree.BulkLoad(data).ok());
+  const Point q = {0.5f, 0.5f, 0.5f, 0.5f};
+  for (MetricKind kind :
+       {MetricKind::kL1, MetricKind::kL2, MetricKind::kLmax}) {
+    const Metric metric(kind);
+    ExpectSame(BallQuery(tree, q, 0.3, metric),
+               BruteForceBallQuery(data, q, 0.3, metric));
+  }
+}
+
+TEST(BallQueryTest, ConsistentWithKnn) {
+  // The k-th NN distance as radius returns at least k objects, and the
+  // nearest of them coincide with the k-NN answer.
+  SimulatedDisk disk(0);
+  XTree tree(6, &disk);
+  const PointSet data = GenerateUniform(5000, 6, 1005);
+  ASSERT_TRUE(tree.BulkLoad(data).ok());
+  const Point q = {0.1f, 0.2f, 0.3f, 0.4f, 0.5f, 0.6f};
+  const KnnResult knn = HsKnn(tree, q, 10);
+  ASSERT_EQ(knn.size(), 10u);
+  // sqrt/square round-tripping can shave the boundary object off; nudge
+  // the radius by one ulp-scale epsilon.
+  const KnnResult ball =
+      BallQuery(tree, q, knn.back().distance * (1.0 + 1e-12));
+  ASSERT_GE(ball.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(ball[i].id, knn[i].id);
+  }
+}
+
+TEST(BallQueryTest, PrunesPagesForSmallRadii) {
+  SimulatedDisk disk(0);
+  XTree tree(2, &disk);
+  const PointSet data = GenerateUniform(20000, 2, 1007);
+  ASSERT_TRUE(tree.BulkLoad(data).ok());
+  const std::size_t total = tree.ComputeStats().total_pages;
+  disk.ResetStats();
+  (void)BallQuery(tree, Point({0.5f, 0.5f}), 0.02);
+  EXPECT_LT(disk.stats().TotalPagesRead(), total / 10);
+}
+
+class BallQueryArchTest : public ::testing::TestWithParam<Architecture> {};
+
+TEST_P(BallQueryArchTest, EngineMatchesBruteForce) {
+  const std::size_t d = 4;
+  const PointSet data = GenerateUniform(3000, d, 1009);
+  EngineOptions options;
+  options.architecture = GetParam();
+  ParallelSearchEngine engine(
+      d, std::make_unique<NearOptimalDeclusterer>(d, 4), options);
+  ASSERT_TRUE(engine.Build(data).ok());
+  Rng rng(1011);
+  for (int trial = 0; trial < 10; ++trial) {
+    Point q(d);
+    for (std::size_t j = 0; j < d; ++j) {
+      q[j] = static_cast<Scalar>(rng.NextDouble());
+    }
+    const double radius = rng.NextUniform(0.05, 0.4);
+    QueryStats stats;
+    ExpectSame(engine.SimilarityQuery(q, radius, &stats),
+               BruteForceBallQuery(data, q, radius));
+    EXPECT_GT(stats.total_pages, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Architectures, BallQueryArchTest,
+                         ::testing::Values(Architecture::kSharedTree,
+                                           Architecture::kFederatedTrees,
+                                           Architecture::kFederatedScan),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Architecture::kSharedTree:
+                               return "shared";
+                             case Architecture::kFederatedTrees:
+                               return "federated";
+                             case Architecture::kFederatedScan:
+                               return "scan";
+                           }
+                           return "unknown";
+                         });
+
+}  // namespace
+}  // namespace parsim

@@ -1,0 +1,83 @@
+#include "src/index/node.h"
+
+#include <gtest/gtest.h>
+
+namespace parsim {
+namespace {
+
+TEST(NodeCapacityTest, LeafCapacityMatchesPageMath) {
+  // A d=15 leaf record is 15*4 + 4 = 64 bytes: 4096/64 = 64 per page.
+  EXPECT_EQ(LeafCapacityPerPage(15), 64u);
+  // d=2: record 12 bytes -> 341.
+  EXPECT_EQ(LeafCapacityPerPage(2), 4096u / 12);
+}
+
+TEST(NodeCapacityTest, DirCapacityMatchesPageMath) {
+  // A d=15 directory record is 2*15*4 + 4 = 124 bytes: 4096/124 = 33.
+  EXPECT_EQ(DirCapacityPerPage(15), 33u);
+  EXPECT_EQ(DirCapacityPerPage(2), 4096u / 20);
+}
+
+TEST(NodeCapacityTest, CapacityDecreasesWithDimension) {
+  for (std::size_t d = 2; d < 64; ++d) {
+    EXPECT_GE(LeafCapacityPerPage(d - 1), LeafCapacityPerPage(d));
+    EXPECT_GE(DirCapacityPerPage(d - 1), DirCapacityPerPage(d));
+  }
+}
+
+TEST(NodeCapacityTest, LeafHoldsMoreThanDirectory) {
+  // A leaf record (point + id) is smaller than a directory record
+  // (two corners + child).
+  for (std::size_t d : {2u, 8u, 15u, 50u}) {
+    EXPECT_GT(LeafCapacityPerPage(d), DirCapacityPerPage(d));
+  }
+}
+
+TEST(NodeTest, DefaultNodeIsLeaf) {
+  Node n;
+  EXPECT_TRUE(n.IsLeaf());
+  EXPECT_EQ(n.pages, 1u);
+  EXPECT_EQ(n.split_history, 0u);
+}
+
+TEST(NodeTest, DirectoryLevel) {
+  Node n;
+  n.level = 2;
+  EXPECT_FALSE(n.IsLeaf());
+}
+
+TEST(NodeTest, ComputeMbrOfEntries) {
+  Node n;
+  NodeEntry a;
+  a.rect = Rect({0.1f, 0.1f}, {0.3f, 0.4f});
+  NodeEntry b;
+  b.rect = Rect({0.2f, 0.0f}, {0.9f, 0.2f});
+  n.entries = {a, b};
+  const Rect mbr = n.ComputeMbr(2);
+  EXPECT_EQ(mbr, Rect({0.1f, 0.0f}, {0.9f, 0.4f}));
+}
+
+TEST(NodeTest, ComputeMbrOfEmptyNodeIsEmpty) {
+  Node n;
+  EXPECT_TRUE(n.ComputeMbr(3).IsEmpty());
+}
+
+TEST(NodeEntryTest, AsPointViewsDegenerateRect) {
+  NodeEntry e;
+  e.rect = Rect::AroundPoint(Point({0.25f, 0.5f}));
+  e.child = 42;
+  const PointView p = e.AsPoint();
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_FLOAT_EQ(p[0], 0.25f);
+  EXPECT_FLOAT_EQ(p[1], 0.5f);
+}
+
+TEST(NodeCapacityDeathTest, HugeDimensionRejected) {
+  // A page must hold at least 2 records; at dim ~500 the leaf record
+  // exceeds half a page.
+  EXPECT_DEATH(LeafCapacityPerPage(600), "PARSIM_CHECK");
+  EXPECT_DEATH(DirCapacityPerPage(300), "PARSIM_CHECK");
+}
+
+}  // namespace
+}  // namespace parsim

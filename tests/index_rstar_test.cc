@@ -1,0 +1,172 @@
+#include "src/index/rstar_tree.h"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "src/workload/generators.h"
+
+namespace parsim {
+namespace {
+
+std::vector<PointId> BruteForceRange(const PointSet& points,
+                                     const Rect& query) {
+  std::vector<PointId> out;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (query.Contains(points[i])) out.push_back(static_cast<PointId>(i));
+  }
+  return out;
+}
+
+TEST(RStarTreeTest, EmptyTree) {
+  SimulatedDisk disk(0);
+  RStarTree tree(3, &disk);
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.height(), 0);
+  EXPECT_EQ(tree.root_id(), kInvalidNodeId);
+  EXPECT_TRUE(tree.ValidateInvariants().ok());
+  EXPECT_TRUE(tree.RangeQuery(Rect::UnitCube(3)).empty());
+  EXPECT_FALSE(tree.Contains(Point({0, 0, 0}), 0));
+}
+
+TEST(RStarTreeTest, SingleInsert) {
+  SimulatedDisk disk(0);
+  RStarTree tree(2, &disk);
+  ASSERT_TRUE(tree.Insert(Point({0.5f, 0.5f}), 7).ok());
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_TRUE(tree.Contains(Point({0.5f, 0.5f}), 7));
+  EXPECT_FALSE(tree.Contains(Point({0.5f, 0.5f}), 8));
+  EXPECT_TRUE(tree.ValidateInvariants().ok());
+}
+
+TEST(RStarTreeTest, DimensionMismatchRejected) {
+  SimulatedDisk disk(0);
+  RStarTree tree(3, &disk);
+  const Status s = tree.Insert(Point({0.5f, 0.5f}), 0);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RStarTreeTest, GrowsBeyondOneNode) {
+  SimulatedDisk disk(0);
+  RStarTree tree(2, &disk);
+  const PointSet data = GenerateUniform(2000, 2, 51);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(tree.Insert(data[i], static_cast<PointId>(i)).ok());
+  }
+  EXPECT_EQ(tree.size(), 2000u);
+  EXPECT_GE(tree.height(), 2);
+  ASSERT_TRUE(tree.ValidateInvariants().ok());
+  const auto stats = tree.ComputeStats();
+  EXPECT_GT(stats.num_leaves, 1u);
+  EXPECT_EQ(stats.num_supernodes, 0u) << "R*-tree never builds supernodes";
+  EXPECT_GT(stats.avg_leaf_fill, 0.4);
+}
+
+TEST(RStarTreeTest, AccessChargesDisk) {
+  SimulatedDisk disk(0);
+  RStarTree tree(2, &disk);
+  const PointSet data = GenerateUniform(500, 2, 53);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(tree.Insert(data[i], static_cast<PointId>(i)).ok());
+  }
+  disk.ResetStats();
+  (void)tree.RangeQuery(Rect({0.0f, 0.0f}, {0.2f, 0.2f}));
+  EXPECT_GT(disk.stats().TotalPagesRead(), 0u);
+  const auto before = disk.stats().TotalPagesRead();
+  (void)tree.PeekNode(tree.root_id());
+  EXPECT_EQ(disk.stats().TotalPagesRead(), before) << "PeekNode is free";
+}
+
+TEST(RStarTreeTest, DuplicatePointsSupported) {
+  SimulatedDisk disk(0);
+  RStarTree tree(2, &disk);
+  const Point p = {0.5f, 0.5f};
+  for (PointId id = 0; id < 500; ++id) {
+    ASSERT_TRUE(tree.Insert(p, id).ok());
+  }
+  EXPECT_TRUE(tree.ValidateInvariants().ok());
+  const auto hits = tree.RangeQuery(Rect::AroundPoint(p));
+  EXPECT_EQ(hits.size(), 500u);
+}
+
+TEST(RStarTreeTest, NoForcedReinsertOptionStillValid) {
+  SimulatedDisk disk(0);
+  TreeOptions options;
+  options.forced_reinsert = false;
+  RStarTree tree(3, &disk, options);
+  const PointSet data = GenerateUniform(3000, 3, 55);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(tree.Insert(data[i], static_cast<PointId>(i)).ok());
+  }
+  EXPECT_TRUE(tree.ValidateInvariants().ok());
+  EXPECT_EQ(tree.size(), 3000u);
+}
+
+// ---------------------------------------------------------------------------
+// Parameterized structural + query-correctness sweeps.
+
+class RStarSweepTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(RStarSweepTest, InvariantsAndRangeQueriesMatchBruteForce) {
+  const auto [dim, n] = GetParam();
+  SimulatedDisk disk(0);
+  RStarTree tree(dim, &disk);
+  const PointSet data = GenerateUniform(n, dim, 57 + dim + n);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(tree.Insert(data[i], static_cast<PointId>(i)).ok());
+  }
+  ASSERT_TRUE(tree.ValidateInvariants().ok());
+
+  Rng rng(100 + dim);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Scalar> lo(dim), hi(dim);
+    for (std::size_t j = 0; j < dim; ++j) {
+      const double a = rng.NextDouble();
+      const double b = rng.NextDouble();
+      lo[j] = static_cast<Scalar>(std::min(a, b));
+      hi[j] = static_cast<Scalar>(std::max(a, b));
+    }
+    const Rect query(std::move(lo), std::move(hi));
+    auto got = tree.RangeQuery(query);
+    auto expected = BruteForceRange(data, query);
+    std::sort(got.begin(), got.end());
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(got, expected);
+  }
+}
+
+TEST_P(RStarSweepTest, EveryPointRetrievable) {
+  const auto [dim, n] = GetParam();
+  SimulatedDisk disk(0);
+  RStarTree tree(dim, &disk);
+  const PointSet data = GenerateUniform(n, dim, 61 + dim);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(tree.Insert(data[i], static_cast<PointId>(i)).ok());
+  }
+  // Spot-check membership of a sample (full scan is O(n^2) page touches).
+  Rng rng(63);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t i = rng.NextBounded(data.size());
+    EXPECT_TRUE(tree.Contains(data[i], static_cast<PointId>(i)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimSize, RStarSweepTest,
+    ::testing::Values(std::make_tuple(std::size_t{2}, std::size_t{100}),
+                      std::make_tuple(std::size_t{2}, std::size_t{5000}),
+                      std::make_tuple(std::size_t{3}, std::size_t{2000}),
+                      std::make_tuple(std::size_t{5}, std::size_t{3000}),
+                      std::make_tuple(std::size_t{8}, std::size_t{4000}),
+                      std::make_tuple(std::size_t{15}, std::size_t{3000})),
+    [](const auto& info) {
+      return "d" + std::to_string(std::get<0>(info.param)) + "n" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace parsim

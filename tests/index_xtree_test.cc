@@ -1,0 +1,174 @@
+#include "src/index/xtree.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "src/workload/generators.h"
+
+namespace parsim {
+namespace {
+
+TEST(XTreeTest, EmptyTree) {
+  SimulatedDisk disk(0);
+  XTree tree(4, &disk);
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(tree.ValidateInvariants().ok());
+  EXPECT_EQ(tree.name(), "X-tree");
+}
+
+TEST(XTreeTest, BasicInsertAndQuery) {
+  SimulatedDisk disk(0);
+  XTree tree(3, &disk);
+  const PointSet data = GenerateUniform(3000, 3, 71);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(tree.Insert(data[i], static_cast<PointId>(i)).ok());
+  }
+  EXPECT_EQ(tree.size(), 3000u);
+  ASSERT_TRUE(tree.ValidateInvariants().ok());
+  const auto hits = tree.RangeQuery(Rect::UnitCube(3));
+  EXPECT_EQ(hits.size(), 3000u);
+}
+
+TEST(XTreeTest, LowDimensionalUniformRarelyNeedsSupernodes) {
+  SimulatedDisk disk(0);
+  XTree tree(2, &disk);
+  const PointSet data = GenerateUniform(8000, 2, 73);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(tree.Insert(data[i], static_cast<PointId>(i)).ok());
+  }
+  ASSERT_TRUE(tree.ValidateInvariants().ok());
+  // In 2-d, topological splits are almost always good: supernodes are an
+  // exception, not the rule.
+  const auto stats = tree.ComputeStats();
+  EXPECT_LT(stats.num_supernodes, stats.num_nodes / 10 + 1);
+}
+
+TEST(XTreeTest, SupernodeExtensionsTrackedAndCharged) {
+  SimulatedDisk disk(0);
+  XTree tree(15, &disk);
+  // A dense high-dimensional cluster provokes high-overlap directory
+  // splits: exactly the regime where the X-tree builds supernodes.
+  const PointSet data = GenerateClusteredGaussian(20000, 15, 1, 0.02, 75);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(tree.Insert(data[i], static_cast<PointId>(i)).ok());
+  }
+  ASSERT_TRUE(tree.ValidateInvariants().ok());
+  const auto stats = tree.ComputeStats();
+  EXPECT_EQ(stats.num_supernodes > 0, tree.supernode_extensions() > 0);
+  ASSERT_GT(stats.num_supernodes, 0u)
+      << "this workload must provoke supernodes";
+  if (stats.num_supernodes > 0) {
+    EXPECT_GT(stats.total_pages, stats.num_nodes);
+    // Find a supernode via a root-down walk and verify that reading it
+    // charges all of its pages.
+    std::vector<NodeId> stack = {tree.root_id()};
+    NodeId super = kInvalidNodeId;
+    while (!stack.empty() && super == kInvalidNodeId) {
+      const Node& node = tree.PeekNode(stack.back());
+      stack.pop_back();
+      if (node.pages > 1) {
+        super = node.id;
+        break;
+      }
+      if (!node.IsLeaf()) {
+        for (const NodeEntry& e : node.entries) stack.push_back(e.child);
+      }
+    }
+    ASSERT_NE(super, kInvalidNodeId);
+    disk.ResetStats();
+    const Node& read = tree.AccessNode(super);
+    EXPECT_EQ(disk.stats().TotalPagesRead(), read.pages);
+    EXPECT_GT(read.pages, 1u);
+  }
+}
+
+TEST(XTreeTest, SupernodesDisabledAblation) {
+  SimulatedDisk disk(0);
+  XTreeOptions options;
+  options.enable_supernodes = false;
+  XTree tree(10, &disk, options);
+  const PointSet data =
+      GenerateFourierPoints(10000, 10, 77, {.base_shapes = 4, .variation = 0.05});
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(tree.Insert(data[i], static_cast<PointId>(i)).ok());
+  }
+  ASSERT_TRUE(tree.ValidateInvariants().ok());
+  EXPECT_EQ(tree.ComputeStats().num_supernodes, 0u);
+  EXPECT_EQ(tree.supernode_extensions(), 0u);
+}
+
+TEST(XTreeTest, MaxOverlapZeroForcesSupernodesOnOverlappingData) {
+  SimulatedDisk disk(0);
+  XTreeOptions options;
+  options.max_overlap = 0.0;  // only perfectly disjoint splits allowed
+  XTree tree(8, &disk, options);
+  const PointSet data = GenerateClusteredGaussian(12000, 8, 1, 0.02, 79);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(tree.Insert(data[i], static_cast<PointId>(i)).ok());
+  }
+  ASSERT_TRUE(tree.ValidateInvariants().ok());
+  // One dense Gaussian blob in 8-d: zero-overlap directory splits are
+  // practically impossible, so supernodes must appear.
+  EXPECT_GT(tree.supernode_extensions(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-checks against the R*-tree and structural sweeps.
+
+class XTreeSweepTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(XTreeSweepTest, InvariantsHoldOnUniformData) {
+  const auto [dim, n] = GetParam();
+  SimulatedDisk disk(0);
+  XTree tree(dim, &disk);
+  const PointSet data = GenerateUniform(n, dim, 81 + dim);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(tree.Insert(data[i], static_cast<PointId>(i)).ok());
+  }
+  ASSERT_TRUE(tree.ValidateInvariants().ok());
+  EXPECT_EQ(tree.size(), n);
+}
+
+TEST_P(XTreeSweepTest, InvariantsHoldOnClusteredData) {
+  const auto [dim, n] = GetParam();
+  SimulatedDisk disk(0);
+  XTree tree(dim, &disk);
+  const PointSet data = GenerateClusteredGaussian(n, dim, 5, 0.05, 83 + dim);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(tree.Insert(data[i], static_cast<PointId>(i)).ok());
+  }
+  ASSERT_TRUE(tree.ValidateInvariants().ok());
+}
+
+TEST_P(XTreeSweepTest, RangeQueryFindsEverythingInCoveringRect) {
+  const auto [dim, n] = GetParam();
+  SimulatedDisk disk(0);
+  XTree tree(dim, &disk);
+  const PointSet data = GenerateUniform(n, dim, 85 + dim);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(tree.Insert(data[i], static_cast<PointId>(i)).ok());
+  }
+  auto hits = tree.RangeQuery(Rect::UnitCube(dim));
+  EXPECT_EQ(hits.size(), n);
+  std::sort(hits.begin(), hits.end());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i], static_cast<PointId>(i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimSize, XTreeSweepTest,
+    ::testing::Values(std::make_tuple(std::size_t{2}, std::size_t{3000}),
+                      std::make_tuple(std::size_t{4}, std::size_t{3000}),
+                      std::make_tuple(std::size_t{8}, std::size_t{5000}),
+                      std::make_tuple(std::size_t{15}, std::size_t{5000})),
+    [](const auto& info) {
+      return "d" + std::to_string(std::get<0>(info.param)) + "n" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace parsim

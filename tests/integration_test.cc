@@ -1,0 +1,174 @@
+// End-to-end integration tests: miniature versions of the paper's
+// experiments, executed with small data so they run in seconds. The
+// benchmarks in bench/ run the full-size counterparts.
+
+#include <gtest/gtest.h>
+
+#include "src/parsim/parsim.h"
+
+namespace parsim {
+namespace {
+
+TEST(IntegrationTest, UmbrellaHeaderExposesTheApi) {
+  // Compile-time check, mostly: one object of each major type.
+  const NearOptimalDeclusterer dec(4, 4);
+  const HilbertCurve curve(4, 4);
+  const DiskAssignmentGraph graph(4);
+  const Metric metric;
+  EXPECT_EQ(dec.num_disks(), 4u);
+  EXPECT_EQ(curve.dim(), 4u);
+  EXPECT_EQ(graph.num_vertices(), 16u);
+  EXPECT_EQ(metric.kind(), MetricKind::kL2);
+}
+
+TEST(IntegrationTest, MiniFigure12SpeedupGrowsWithDisks) {
+  // Speed-up of the near-optimal engine vs the sequential engine grows
+  // with the number of disks (shape check of Figure 12).
+  const std::size_t d = 12;
+  const PointSet data = GenerateUniform(16000, d, 501);
+  const PointSet queries = GenerateUniformQueries(12, d, 503);
+
+  auto sequential =
+      BuildEngine(data, MakeDeclusterer(DeclustererKind::kNearOptimal, d, 1));
+  const WorkloadResult seq = RunKnnWorkload(*sequential, queries, 1);
+
+  double previous = 1.0;
+  for (std::uint32_t disks : {4u, 16u}) {
+    auto engine = BuildEngine(
+        data, MakeDeclusterer(DeclustererKind::kNearOptimal, d, disks));
+    const double speedup = Speedup(seq, RunKnnWorkload(*engine, queries, 1));
+    EXPECT_GT(speedup, previous) << disks << " disks";
+    previous = speedup;
+  }
+}
+
+TEST(IntegrationTest, MiniFigure13NearOptimalBeatsHilbertHighD) {
+  // On high-dimensional Fourier data with many disks, the near-optimal
+  // declustering (with the paper's α-quantile split and recursive
+  // extensions, used for its real-data experiments) outperforms the
+  // bucket-level Hilbert declustering (Figures 13/14). Configuration
+  // mirrors the fig13/fig14 benchmark at reduced size.
+  const std::size_t d = 15;
+  const std::uint32_t disks = 16;
+  FourierOptions fopts;
+  fopts.base_shapes = 16;
+  fopts.variation = 0.15;
+  const PointSet data = GenerateFourierPoints(60000, d, 505, fopts);
+  const PointSet queries = SampleQueriesFromData(data, 10, 0.02, 507);
+  EngineOptions options;
+  options.architecture = Architecture::kFederatedTrees;
+  options.bulk_load = true;
+
+  RecursiveOptions ropts;
+  ropts.overload_threshold = 1.2;
+  auto our_dec = std::make_unique<RecursiveDeclusterer>(
+      Bucketizer(EstimateQuantileSplits(data)), disks, ropts);
+  our_dec->Fit(data);
+  auto ours = BuildEngine(data, std::move(our_dec), options);
+  auto hilbert = BuildEngine(
+      data, std::make_unique<HilbertDeclusterer>(d, disks, /*grid_bits=*/1),
+      options);
+  const WorkloadResult r_ours = RunKnnWorkload(*ours, queries, 10);
+  const WorkloadResult r_hil = RunKnnWorkload(*hilbert, queries, 10);
+  // Shape target: an improvement factor clearly above parity.
+  EXPECT_GT(ImprovementFactor(r_hil, r_ours), 1.3);
+}
+
+TEST(IntegrationTest, MiniFigure15ScaleUpRoughlyConstant) {
+  // Growing disks and data together keeps the simulated search time
+  // roughly constant (Figure 15). Allow generous slack at this size.
+  const std::size_t d = 10;
+  const PointSet small_data = GenerateUniform(4000, d, 509);
+  const PointSet big_data = GenerateUniform(16000, d, 511);
+  const PointSet queries = GenerateUniformQueries(10, d, 513);
+
+  auto small_engine = BuildEngine(
+      small_data, MakeDeclusterer(DeclustererKind::kNearOptimal, d, 4));
+  auto big_engine = BuildEngine(
+      big_data, MakeDeclusterer(DeclustererKind::kNearOptimal, d, 16));
+  const double t_small =
+      RunKnnWorkload(*small_engine, queries, 1).avg_parallel_ms;
+  const double t_big = RunKnnWorkload(*big_engine, queries, 1).avg_parallel_ms;
+  EXPECT_LT(t_big, 3.0 * t_small);
+  EXPECT_GT(t_big, t_small / 3.0);
+}
+
+TEST(IntegrationTest, MiniFigure16RecursiveDeclusteringHelps) {
+  // Clustered data: recursive declustering reduces the simulated search
+  // time of the near-optimal engine (Figure 16).
+  const std::size_t d = 8;
+  const std::uint32_t disks = 8;
+  const PointSet data = GenerateClusteredGaussian(16000, d, 1, 0.05, 515);
+  const PointSet queries = SampleQueriesFromData(data, 10, 0.02, 517);
+
+  auto flat = BuildEngine(
+      data, MakeDeclusterer(DeclustererKind::kNearOptimal, d, disks));
+
+  auto recursive_dec = std::make_unique<RecursiveDeclusterer>(d, disks);
+  recursive_dec->Fit(data);
+  auto recursive = BuildEngine(data, std::move(recursive_dec));
+
+  const WorkloadResult r_flat = RunKnnWorkload(*flat, queries, 10);
+  const WorkloadResult r_rec = RunKnnWorkload(*recursive, queries, 10);
+  EXPECT_GT(ImprovementFactor(r_flat, r_rec), 1.5)
+      << "recursive declustering must clearly beat flat on 1 cluster";
+}
+
+TEST(IntegrationTest, QuantileSplitsImproveTextWorkload) {
+  // Text descriptors are heavily skewed; quantile split values balance
+  // the disks far better than midpoints.
+  const std::size_t d = 15;
+  const PointSet data = GenerateTextDescriptors(12000, d, 519);
+  const auto splits = EstimateQuantileSplits(data);
+
+  const NearOptimalDeclusterer midpoint(d, 16);
+  const NearOptimalDeclusterer quantile(Bucketizer(splits), 16);
+  EXPECT_LT(LoadImbalance(DiskLoads(quantile, data)),
+            LoadImbalance(DiskLoads(midpoint, data)));
+}
+
+TEST(IntegrationTest, FullPipelineCadExample) {
+  // The cad_retrieval example's flow, compressed: build, query, verify
+  // answers against brute force, inspect the simulated cost.
+  const std::size_t d = 14;
+  const PointSet data = GenerateFourierPoints(8000, d, 521);
+  auto engine = BuildEngine(
+      data, MakeDeclusterer(DeclustererKind::kNearOptimal, d, 8));
+  const PointSet queries = SampleQueriesFromData(data, 5, 0.01, 523);
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    QueryStats stats;
+    const KnnResult got = engine->Query(queries[qi], 8, &stats);
+    const KnnResult expected = BruteForceKnn(data, queries[qi], 8);
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_NEAR(got[i].distance, expected[i].distance, 1e-9);
+    }
+    EXPECT_GT(stats.total_pages, 0u);
+  }
+}
+
+TEST(IntegrationTest, SequentialXTreeDegenerationWithDimension) {
+  // Figure 1's effect at miniature scale: the sequential X-tree reads a
+  // rapidly growing share of its pages as the dimension grows.
+  const std::size_t n = 8000;
+  double low_d_fraction = 0.0, high_d_fraction = 0.0;
+  for (std::size_t d : {4u, 14u}) {
+    const PointSet data = GenerateUniform(n, d, 525 + d);
+    auto engine = BuildEngine(
+        data, MakeDeclusterer(DeclustererKind::kNearOptimal, d, 1));
+    const PointSet queries = GenerateUniformQueries(10, d, 527);
+    const WorkloadResult r = RunKnnWorkload(*engine, queries, 10);
+    const double total_pages =
+        static_cast<double>(engine->tree(0).ComputeStats().total_pages);
+    const double fraction = r.avg_total_pages / total_pages;
+    if (d == 4u) {
+      low_d_fraction = fraction;
+    } else {
+      high_d_fraction = fraction;
+    }
+  }
+  EXPECT_GT(high_d_fraction, 3.0 * low_d_fraction);
+}
+
+}  // namespace
+}  // namespace parsim

@@ -1,0 +1,148 @@
+#include "src/io/disk.h"
+
+#include <gtest/gtest.h>
+
+#include "src/io/disk_array.h"
+#include "src/io/disk_model.h"
+
+namespace parsim {
+namespace {
+
+TEST(DiskModelTest, PageAccessCostIsSumOfComponents) {
+  DiskParameters params;
+  params.avg_seek_ms = 8.0;
+  params.avg_rotational_ms = 4.0;
+  params.transfer_ms_per_page = 0.8;
+  EXPECT_DOUBLE_EQ(params.PageAccessMs(), 12.8);
+}
+
+TEST(DiskModelTest, ElapsedCombinesIoAndCpu) {
+  DiskParameters params;
+  params.avg_seek_ms = 10.0;
+  params.avg_rotational_ms = 0.0;
+  params.transfer_ms_per_page = 0.0;
+  params.cpu_ms_per_distance = 0.5;
+  DiskStats stats;
+  stats.data_pages_read = 3;
+  stats.directory_pages_read = 2;
+  stats.distance_computations = 4;
+  EXPECT_DOUBLE_EQ(ElapsedMs(stats, params), 5 * 10.0 + 4 * 0.5);
+}
+
+TEST(DiskStatsTest, Accumulation) {
+  DiskStats a, b;
+  a.data_pages_read = 1;
+  a.directory_pages_read = 2;
+  a.pages_written = 3;
+  a.distance_computations = 4;
+  b.data_pages_read = 10;
+  b.directory_pages_read = 20;
+  b.pages_written = 30;
+  b.distance_computations = 40;
+  a += b;
+  EXPECT_EQ(a.data_pages_read, 11u);
+  EXPECT_EQ(a.directory_pages_read, 22u);
+  EXPECT_EQ(a.pages_written, 33u);
+  EXPECT_EQ(a.distance_computations, 44u);
+  EXPECT_EQ(a.TotalPagesRead(), 33u);
+}
+
+TEST(SimulatedDiskTest, CountersStartAtZero) {
+  SimulatedDisk d(0);
+  EXPECT_EQ(d.stats().TotalPagesRead(), 0u);
+  EXPECT_EQ(d.ElapsedMs(), 0.0);
+}
+
+TEST(SimulatedDiskTest, ChargesAccumulate) {
+  SimulatedDisk d(3);
+  EXPECT_EQ(d.id(), 3u);
+  d.ReadDataPages();
+  d.ReadDataPages(4);
+  d.ReadDirectoryPages(2);
+  d.WritePages(7);
+  d.ChargeDistanceComputations(10);
+  EXPECT_EQ(d.stats().data_pages_read, 5u);
+  EXPECT_EQ(d.stats().directory_pages_read, 2u);
+  EXPECT_EQ(d.stats().pages_written, 7u);
+  EXPECT_EQ(d.stats().distance_computations, 10u);
+  EXPECT_EQ(d.stats().TotalPagesRead(), 7u);
+  EXPECT_GT(d.ElapsedMs(), 0.0);
+}
+
+TEST(SimulatedDiskTest, ResetClearsCounters) {
+  SimulatedDisk d(0);
+  d.ReadDataPages(5);
+  d.ResetStats();
+  EXPECT_EQ(d.stats().TotalPagesRead(), 0u);
+  EXPECT_EQ(d.ElapsedMs(), 0.0);
+}
+
+TEST(DiskArrayTest, SizeAndIds) {
+  DiskArray array(4);
+  EXPECT_EQ(array.size(), 4u);
+  for (DiskId i = 0; i < 4; ++i) EXPECT_EQ(array.disk(i).id(), i);
+}
+
+TEST(DiskArrayTest, ParallelElapsedIsMax) {
+  DiskArray array(3);
+  array.disk(0).ReadDataPages(1);
+  array.disk(1).ReadDataPages(10);
+  array.disk(2).ReadDataPages(5);
+  const double per_page = array.disk(0).parameters().PageAccessMs();
+  EXPECT_DOUBLE_EQ(array.ParallelElapsedMs(), 10 * per_page);
+  EXPECT_DOUBLE_EQ(array.SequentialElapsedMs(), 16 * per_page);
+  EXPECT_EQ(array.BusiestDisk(), 1u);
+  EXPECT_EQ(array.MaxPagesRead(), 10u);
+  EXPECT_EQ(array.TotalPagesRead(), 16u);
+}
+
+TEST(DiskArrayTest, BalanceRatio) {
+  DiskArray array(4);
+  // Perfectly balanced: 5 pages each.
+  for (DiskId i = 0; i < 4; ++i) array.disk(i).ReadDataPages(5);
+  EXPECT_DOUBLE_EQ(array.BalanceRatio(), 1.0);
+  array.ResetStats();
+  // All on one disk of four: avg/max = (20/4)/20 = 0.25.
+  array.disk(2).ReadDataPages(20);
+  EXPECT_DOUBLE_EQ(array.BalanceRatio(), 0.25);
+}
+
+TEST(DiskArrayTest, BalanceRatioOfIdleArrayIsOne) {
+  DiskArray array(8);
+  EXPECT_DOUBLE_EQ(array.BalanceRatio(), 1.0);
+}
+
+TEST(DiskArrayTest, TotalStatsAggregates) {
+  DiskArray array(2);
+  array.disk(0).ReadDataPages(3);
+  array.disk(1).ReadDirectoryPages(4);
+  array.disk(1).ChargeDistanceComputations(5);
+  const DiskStats total = array.TotalStats();
+  EXPECT_EQ(total.data_pages_read, 3u);
+  EXPECT_EQ(total.directory_pages_read, 4u);
+  EXPECT_EQ(total.distance_computations, 5u);
+}
+
+TEST(DiskArrayTest, ResetStatsClearsAllDisks) {
+  DiskArray array(3);
+  for (DiskId i = 0; i < 3; ++i) array.disk(i).ReadDataPages(i + 1);
+  array.ResetStats();
+  EXPECT_EQ(array.TotalPagesRead(), 0u);
+  EXPECT_DOUBLE_EQ(array.ParallelElapsedMs(), 0.0);
+}
+
+TEST(DiskArrayDeathTest, ZeroDisksForbidden) {
+  EXPECT_DEATH(DiskArray(0), "PARSIM_CHECK");
+}
+
+TEST(DiskArrayDeathTest, OutOfRangeDiskId) {
+  DiskArray array(2);
+  EXPECT_DEATH(array.disk(2), "PARSIM_CHECK");
+}
+
+TEST(DiskModelTest, PageSizeMatchesPaper) {
+  EXPECT_EQ(kPageSizeBytes, 4096u);
+}
+
+}  // namespace
+}  // namespace parsim

@@ -1,0 +1,178 @@
+// Range and partial-match queries through the parallel engine, across
+// all architectures and declusterers.
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "src/core/baselines.h"
+#include "src/core/near_optimal.h"
+#include "src/parallel/engine.h"
+#include "src/workload/generators.h"
+
+namespace parsim {
+namespace {
+
+std::vector<PointId> BruteForceRange(const PointSet& points,
+                                     const Rect& query) {
+  std::vector<PointId> out;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (query.Contains(points[i])) out.push_back(static_cast<PointId>(i));
+  }
+  return out;
+}
+
+class RangeQueryArchTest : public ::testing::TestWithParam<Architecture> {};
+
+TEST_P(RangeQueryArchTest, MatchesBruteForce) {
+  const std::size_t d = 4;
+  const PointSet data = GenerateUniform(3000, d, 701);
+  EngineOptions options;
+  options.architecture = GetParam();
+  ParallelSearchEngine engine(
+      d, std::make_unique<NearOptimalDeclusterer>(d, 4), options);
+  ASSERT_TRUE(engine.Build(data).ok());
+
+  Rng rng(703);
+  for (int trial = 0; trial < 15; ++trial) {
+    std::vector<Scalar> lo(d), hi(d);
+    for (std::size_t j = 0; j < d; ++j) {
+      const double a = rng.NextDouble(), b = rng.NextDouble();
+      lo[j] = static_cast<Scalar>(std::min(a, b));
+      hi[j] = static_cast<Scalar>(std::max(a, b));
+    }
+    const Rect query(std::move(lo), std::move(hi));
+    const auto got = engine.RangeQuery(query);
+    const auto expected = BruteForceRange(data, query);
+    EXPECT_EQ(got, expected);  // engine returns sorted ids
+  }
+}
+
+TEST_P(RangeQueryArchTest, StatsPopulated) {
+  const std::size_t d = 3;
+  const PointSet data = GenerateUniform(2000, d, 705);
+  EngineOptions options;
+  options.architecture = GetParam();
+  ParallelSearchEngine engine(
+      d, std::make_unique<NearOptimalDeclusterer>(d, 4), options);
+  ASSERT_TRUE(engine.Build(data).ok());
+  QueryStats stats;
+  const auto hits = engine.RangeQuery(Rect::UnitCube(d), &stats);
+  EXPECT_EQ(hits.size(), data.size());
+  EXPECT_GT(stats.total_pages, 0u);
+  EXPECT_GT(stats.parallel_ms, 0.0);
+  EXPECT_GE(stats.sum_ms, stats.parallel_ms);
+}
+
+INSTANTIATE_TEST_SUITE_P(Architectures, RangeQueryArchTest,
+                         ::testing::Values(Architecture::kSharedTree,
+                                           Architecture::kFederatedTrees,
+                                           Architecture::kFederatedScan),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Architecture::kSharedTree:
+                               return "shared";
+                             case Architecture::kFederatedTrees:
+                               return "federated";
+                             case Architecture::kFederatedScan:
+                               return "scan";
+                           }
+                           return "unknown";
+                         });
+
+TEST(PartialMatchTest, FixedDimensionsFilter) {
+  const std::size_t d = 5;
+  PointSet data(d);
+  // A grid of points with known coordinates.
+  for (int a = 0; a < 10; ++a) {
+    for (int b = 0; b < 10; ++b) {
+      Point p(d, Scalar{0.5});
+      p[1] = static_cast<Scalar>(a) / 10;
+      p[3] = static_cast<Scalar>(b) / 10;
+      data.Add(p);
+    }
+  }
+  ParallelSearchEngine engine(d,
+                              std::make_unique<NearOptimalDeclusterer>(d, 4));
+  ASSERT_TRUE(engine.Build(data).ok());
+
+  // Fix dimension 1 to 0.3 exactly: matches the 10 points with a = 3.
+  const auto hits = engine.PartialMatchQuery({{1, 0.3f}}, /*tolerance=*/0.0f);
+  EXPECT_EQ(hits.size(), 10u);
+  for (PointId id : hits) {
+    EXPECT_FLOAT_EQ(data[id][1], 0.3f);
+  }
+}
+
+TEST(PartialMatchTest, ToleranceWidensTheMatch) {
+  const std::size_t d = 3;
+  const PointSet data = GenerateUniform(5000, d, 707);
+  ParallelSearchEngine engine(d,
+                              std::make_unique<NearOptimalDeclusterer>(d, 4));
+  ASSERT_TRUE(engine.Build(data).ok());
+  const auto narrow = engine.PartialMatchQuery({{0, 0.5f}}, 0.01f);
+  const auto wide = engine.PartialMatchQuery({{0, 0.5f}}, 0.1f);
+  EXPECT_LT(narrow.size(), wide.size());
+  // ~2% and ~20% selectivity on dimension 0.
+  EXPECT_NEAR(static_cast<double>(narrow.size()), 100.0, 60.0);
+  EXPECT_NEAR(static_cast<double>(wide.size()), 1000.0, 200.0);
+  // narrow is a subset of wide.
+  for (PointId id : narrow) {
+    EXPECT_TRUE(std::binary_search(wide.begin(), wide.end(), id));
+  }
+}
+
+TEST(PartialMatchTest, MultipleFixedDimensions) {
+  const std::size_t d = 6;
+  const PointSet data = GenerateUniform(5000, d, 709);
+  ParallelSearchEngine engine(d,
+                              std::make_unique<NearOptimalDeclusterer>(d, 8));
+  ASSERT_TRUE(engine.Build(data).ok());
+  const auto hits =
+      engine.PartialMatchQuery({{0, 0.5f}, {2, 0.5f}, {4, 0.5f}}, 0.2f);
+  for (PointId id : hits) {
+    for (std::size_t j : {0u, 2u, 4u}) {
+      EXPECT_GE(data[id][j], 0.3f);
+      EXPECT_LE(data[id][j], 0.7f);
+    }
+  }
+  // Against brute force.
+  std::size_t expected = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    bool match = true;
+    for (std::size_t j : {0u, 2u, 4u}) {
+      if (data[i][j] < 0.3f || data[i][j] > 0.7f) {
+        match = false;
+        break;
+      }
+    }
+    if (match) ++expected;
+  }
+  EXPECT_EQ(hits.size(), expected);
+}
+
+TEST(PartialMatchTest, NoFixedDimensionsReturnsEverything) {
+  const std::size_t d = 3;
+  const PointSet data = GenerateUniform(500, d, 711);
+  ParallelSearchEngine engine(d,
+                              std::make_unique<NearOptimalDeclusterer>(d, 2));
+  ASSERT_TRUE(engine.Build(data).ok());
+  EXPECT_EQ(engine.PartialMatchQuery({}, 0.0f).size(), data.size());
+}
+
+TEST(RangeQueryBalanceTest, DeclusteredRangeQueriesUseManyDisks) {
+  // Range queries were the Hilbert method's home turf; our near-optimal
+  // declustering still spreads large range queries across disks.
+  const std::size_t d = 8;
+  const PointSet data = GenerateUniform(20000, d, 713);
+  ParallelSearchEngine engine(d,
+                              std::make_unique<NearOptimalDeclusterer>(d, 8));
+  ASSERT_TRUE(engine.Build(data).ok());
+  QueryStats stats;
+  std::vector<Scalar> lo(d, Scalar{0.1f}), hi(d, Scalar{0.9f});
+  (void)engine.RangeQuery(Rect(std::move(lo), std::move(hi)), &stats);
+  EXPECT_GT(stats.balance, 0.4);
+}
+
+}  // namespace
+}  // namespace parsim

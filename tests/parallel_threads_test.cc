@@ -1,0 +1,86 @@
+// Thread-parallel federated query execution: results and simulated
+// accounting must be bit-identical to the serial execution.
+
+#include <gtest/gtest.h>
+
+#include "src/core/near_optimal.h"
+#include "src/parallel/engine.h"
+#include "src/workload/generators.h"
+
+namespace parsim {
+namespace {
+
+TEST(ParallelWorkersTest, ResultsIdenticalToSerial) {
+  const std::size_t d = 8;
+  const PointSet data = GenerateUniform(8000, d, 901);
+  const PointSet queries = GenerateUniformQueries(20, d, 903);
+
+  EngineOptions serial;
+  serial.architecture = Architecture::kFederatedTrees;
+  serial.bulk_load = true;
+  EngineOptions threaded = serial;
+  threaded.parallel_workers = 4;
+
+  ParallelSearchEngine a(d, std::make_unique<NearOptimalDeclusterer>(d, 8),
+                         serial);
+  ParallelSearchEngine b(d, std::make_unique<NearOptimalDeclusterer>(d, 8),
+                         threaded);
+  ASSERT_TRUE(a.Build(data).ok());
+  ASSERT_TRUE(b.Build(data).ok());
+
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    QueryStats sa, sb;
+    const KnnResult ra = a.Query(queries[qi], 10, &sa);
+    const KnnResult rb = b.Query(queries[qi], 10, &sb);
+    ASSERT_EQ(ra.size(), rb.size());
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+      EXPECT_EQ(ra[i].id, rb[i].id);
+      EXPECT_EQ(ra[i].distance, rb[i].distance);
+    }
+    EXPECT_EQ(sa.max_pages, sb.max_pages);
+    EXPECT_EQ(sa.total_pages, sb.total_pages);
+    EXPECT_EQ(sa.pages_per_disk, sb.pages_per_disk);
+    EXPECT_DOUBLE_EQ(sa.parallel_ms, sb.parallel_ms);
+  }
+}
+
+TEST(ParallelWorkersTest, MoreWorkersThanDisksIsSafe) {
+  const std::size_t d = 4;
+  const PointSet data = GenerateUniform(2000, d, 905);
+  EngineOptions options;
+  options.architecture = Architecture::kFederatedTrees;
+  options.parallel_workers = 64;  // > disks
+  ParallelSearchEngine engine(
+      d, std::make_unique<NearOptimalDeclusterer>(d, 4), options);
+  ASSERT_TRUE(engine.Build(data).ok());
+  const KnnResult result = engine.Query(data[0], 3);
+  ASSERT_EQ(result.size(), 3u);
+  EXPECT_EQ(result[0].distance, 0.0);
+}
+
+TEST(ParallelWorkersTest, RepeatedThreadedQueriesDeterministic) {
+  const std::size_t d = 6;
+  const PointSet data = GenerateUniform(5000, d, 907);
+  EngineOptions options;
+  options.architecture = Architecture::kFederatedTrees;
+  options.bulk_load = true;
+  options.parallel_workers = 8;
+  ParallelSearchEngine engine(
+      d, std::make_unique<NearOptimalDeclusterer>(d, 8), options);
+  ASSERT_TRUE(engine.Build(data).ok());
+  const Point q = {0.1f, 0.9f, 0.4f, 0.6f, 0.2f, 0.8f};
+  QueryStats first_stats;
+  const KnnResult first = engine.Query(q, 10, &first_stats);
+  for (int rep = 0; rep < 10; ++rep) {
+    QueryStats stats;
+    const KnnResult again = engine.Query(q, 10, &stats);
+    ASSERT_EQ(again.size(), first.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+      EXPECT_EQ(again[i].id, first[i].id);
+    }
+    EXPECT_EQ(stats.total_pages, first_stats.total_pages);
+  }
+}
+
+}  // namespace
+}  // namespace parsim

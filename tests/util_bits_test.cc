@@ -1,0 +1,120 @@
+#include "src/util/bits.h"
+
+#include <gtest/gtest.h>
+
+namespace parsim {
+namespace {
+
+TEST(BitsTest, Popcount) {
+  EXPECT_EQ(Popcount(0), 0);
+  EXPECT_EQ(Popcount(1), 1);
+  EXPECT_EQ(Popcount(0b1011), 3);
+  EXPECT_EQ(Popcount(~std::uint64_t{0}), 64);
+}
+
+TEST(BitsTest, HammingDistance) {
+  EXPECT_EQ(HammingDistance(0, 0), 0);
+  EXPECT_EQ(HammingDistance(0b101, 0b100), 1);
+  EXPECT_EQ(HammingDistance(0b101, 0b010), 3);
+  EXPECT_EQ(HammingDistance(~std::uint64_t{0}, 0), 64);
+}
+
+TEST(BitsTest, HammingDistanceIsSymmetric) {
+  for (std::uint64_t a : {0ull, 5ull, 123456789ull}) {
+    for (std::uint64_t b : {1ull, 17ull, 999999999ull}) {
+      EXPECT_EQ(HammingDistance(a, b), HammingDistance(b, a));
+    }
+  }
+}
+
+TEST(BitsTest, BitSetReadsIndividualBits) {
+  const std::uint64_t x = 0b10110;
+  EXPECT_FALSE(BitSet(x, 0));
+  EXPECT_TRUE(BitSet(x, 1));
+  EXPECT_TRUE(BitSet(x, 2));
+  EXPECT_FALSE(BitSet(x, 3));
+  EXPECT_TRUE(BitSet(x, 4));
+  EXPECT_FALSE(BitSet(x, 63));
+}
+
+TEST(BitsTest, WithBitAndWithoutBitRoundTrip) {
+  for (int i = 0; i < 64; ++i) {
+    const std::uint64_t set = WithBit(0, i);
+    EXPECT_TRUE(BitSet(set, i));
+    EXPECT_EQ(Popcount(set), 1);
+    EXPECT_EQ(WithoutBit(set, i), 0u);
+    EXPECT_EQ(WithBit(set, i), set) << "WithBit must be idempotent";
+  }
+}
+
+TEST(BitsTest, FlipBitTwiceIsIdentity) {
+  const std::uint64_t x = 0xDEADBEEFCAFEBABEull;
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(FlipBit(FlipBit(x, i), i), x);
+    EXPECT_EQ(HammingDistance(FlipBit(x, i), x), 1);
+  }
+}
+
+TEST(BitsTest, Log2Floor) {
+  EXPECT_EQ(Log2Floor(1), 0);
+  EXPECT_EQ(Log2Floor(2), 1);
+  EXPECT_EQ(Log2Floor(3), 1);
+  EXPECT_EQ(Log2Floor(4), 2);
+  EXPECT_EQ(Log2Floor(1023), 9);
+  EXPECT_EQ(Log2Floor(1024), 10);
+}
+
+TEST(BitsTest, Log2Ceil) {
+  EXPECT_EQ(Log2Ceil(1), 0);
+  EXPECT_EQ(Log2Ceil(2), 1);
+  EXPECT_EQ(Log2Ceil(3), 2);
+  EXPECT_EQ(Log2Ceil(4), 2);
+  EXPECT_EQ(Log2Ceil(5), 3);
+  EXPECT_EQ(Log2Ceil(1024), 10);
+  EXPECT_EQ(Log2Ceil(1025), 11);
+}
+
+TEST(BitsTest, NextPow2) {
+  EXPECT_EQ(NextPow2(0), 1u);
+  EXPECT_EQ(NextPow2(1), 1u);
+  EXPECT_EQ(NextPow2(2), 2u);
+  EXPECT_EQ(NextPow2(3), 4u);
+  EXPECT_EQ(NextPow2(4), 4u);
+  EXPECT_EQ(NextPow2(5), 8u);
+  EXPECT_EQ(NextPow2(17), 32u);
+  EXPECT_EQ(NextPow2(std::uint64_t{1} << 40), std::uint64_t{1} << 40);
+  EXPECT_EQ(NextPow2((std::uint64_t{1} << 40) + 1), std::uint64_t{1} << 41);
+}
+
+TEST(BitsTest, NextPow2IsTightBound) {
+  // The Lemma 6 argument: x <= NextPow2(x) < 2x for x >= 1.
+  for (std::uint64_t x = 1; x <= 4096; ++x) {
+    const std::uint64_t p = NextPow2(x);
+    EXPECT_TRUE(IsPow2(p));
+    EXPECT_GE(p, x);
+    EXPECT_LT(p, 2 * x);
+  }
+}
+
+TEST(BitsTest, IsPow2) {
+  EXPECT_FALSE(IsPow2(0));
+  EXPECT_TRUE(IsPow2(1));
+  EXPECT_TRUE(IsPow2(2));
+  EXPECT_FALSE(IsPow2(3));
+  EXPECT_TRUE(IsPow2(std::uint64_t{1} << 63));
+  EXPECT_FALSE(IsPow2((std::uint64_t{1} << 63) + 1));
+}
+
+TEST(BitsTest, Log2RelationsConsistent) {
+  for (std::uint64_t x = 1; x <= 1024; ++x) {
+    EXPECT_EQ(std::uint64_t{1} << Log2Ceil(x), NextPow2(x));
+    EXPECT_LE(Log2Floor(x), Log2Ceil(x));
+    EXPECT_LE(Log2Ceil(x) - Log2Floor(x), 1);
+    if (IsPow2(x)) {
+      EXPECT_EQ(Log2Floor(x), Log2Ceil(x));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace parsim

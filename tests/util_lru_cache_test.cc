@@ -1,0 +1,123 @@
+#include "src/util/lru_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "src/io/disk.h"
+
+namespace parsim {
+namespace {
+
+TEST(LruCacheTest, MissThenHit) {
+  LruCache<int> cache(4);
+  EXPECT_FALSE(cache.Touch(1));
+  EXPECT_TRUE(cache.Touch(1));
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.weight(), 1u);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache<int> cache(3);
+  cache.Touch(1);
+  cache.Touch(2);
+  cache.Touch(3);
+  cache.Touch(4);  // evicts 1
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(3));
+  EXPECT_TRUE(cache.Contains(4));
+}
+
+TEST(LruCacheTest, TouchPromotes) {
+  LruCache<int> cache(3);
+  cache.Touch(1);
+  cache.Touch(2);
+  cache.Touch(3);
+  cache.Touch(1);  // 1 is now MRU; 2 is LRU
+  cache.Touch(4);  // evicts 2
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+}
+
+TEST(LruCacheTest, WeightedEntries) {
+  LruCache<int> cache(10);
+  cache.Touch(1, 4);
+  cache.Touch(2, 4);
+  EXPECT_EQ(cache.weight(), 8u);
+  cache.Touch(3, 4);  // 12 > 10: evicts 1
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_EQ(cache.weight(), 8u);
+}
+
+TEST(LruCacheTest, OversizedEntryNotCached) {
+  LruCache<int> cache(3);
+  cache.Touch(1);
+  EXPECT_FALSE(cache.Touch(99, 5));
+  EXPECT_FALSE(cache.Contains(99));
+  EXPECT_TRUE(cache.Contains(1)) << "oversized entry must not evict";
+}
+
+TEST(LruCacheTest, ZeroCapacityAlwaysMisses) {
+  LruCache<int> cache(0);
+  EXPECT_FALSE(cache.Touch(1));
+  EXPECT_FALSE(cache.Touch(1));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(LruCacheTest, ClearEmpties) {
+  LruCache<int> cache(5);
+  cache.Touch(1);
+  cache.Touch(2, 2);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.weight(), 0u);
+  EXPECT_FALSE(cache.Touch(1));
+}
+
+TEST(LruCacheTest, HeavyChurnStaysWithinCapacity) {
+  LruCache<std::uint64_t> cache(16);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    cache.Touch(i % 37, 1 + i % 3);
+    EXPECT_LE(cache.weight(), 16u);
+  }
+}
+
+TEST(BufferedDiskTest, HitsAreFreeAndCounted) {
+  SimulatedDisk disk(0);
+  disk.ConfigureBuffer(8);
+  disk.ReadDataPagesBuffered(/*key=*/1, 1);  // miss
+  disk.ReadDataPagesBuffered(/*key=*/1, 1);  // hit
+  disk.ReadDataPagesBuffered(/*key=*/1, 1);  // hit
+  EXPECT_EQ(disk.stats().data_pages_read, 1u);
+  EXPECT_EQ(disk.stats().buffer_hit_pages, 2u);
+}
+
+TEST(BufferedDiskTest, NoBufferMeansEveryReadCharges) {
+  SimulatedDisk disk(0);
+  disk.ReadDataPagesBuffered(1, 1);
+  disk.ReadDataPagesBuffered(1, 1);
+  EXPECT_EQ(disk.stats().data_pages_read, 2u);
+  EXPECT_EQ(disk.stats().buffer_hit_pages, 0u);
+}
+
+TEST(BufferedDiskTest, BufferSurvivesStatReset) {
+  SimulatedDisk disk(0);
+  disk.ConfigureBuffer(8);
+  disk.ReadDirectoryPagesBuffered(7, 1);  // miss, resident now
+  disk.ResetStats();
+  disk.ReadDirectoryPagesBuffered(7, 1);  // still a hit
+  EXPECT_EQ(disk.stats().directory_pages_read, 0u);
+  EXPECT_EQ(disk.stats().buffer_hit_pages, 1u);
+}
+
+TEST(BufferedDiskTest, SupernodeWeight) {
+  SimulatedDisk disk(0);
+  disk.ConfigureBuffer(4);
+  disk.ReadDataPagesBuffered(1, 3);  // miss: 3 pages
+  disk.ReadDataPagesBuffered(2, 3);  // miss: evicts key 1 (3+3 > 4)
+  disk.ReadDataPagesBuffered(1, 3);  // miss again
+  EXPECT_EQ(disk.stats().data_pages_read, 9u);
+}
+
+}  // namespace
+}  // namespace parsim

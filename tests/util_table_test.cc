@@ -1,0 +1,75 @@
+#include "src/util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace parsim {
+namespace {
+
+TEST(TableTest, EmptyTableRendersHeaderAndRule) {
+  Table t({"a", "bb"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("a"), std::string::npos);
+  EXPECT_NE(s.find("bb"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 0u);
+  EXPECT_EQ(t.num_columns(), 2u);
+}
+
+TEST(TableTest, RowsAppear) {
+  Table t({"disks", "speed-up"});
+  t.AddRow({"2", "1.9"});
+  t.AddRow({"16", "13.8"});
+  EXPECT_EQ(t.num_rows(), 2u);
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("13.8"), std::string::npos);
+}
+
+TEST(TableTest, ColumnsAreAligned) {
+  Table t({"x", "value"});
+  t.AddRow({"1", "10"});
+  t.AddRow({"100", "2"});
+  const std::string s = t.ToString();
+  // Every line has the same length (right-aligned fixed columns).
+  std::size_t expected = std::string::npos;
+  std::size_t start = 0;
+  while (start < s.size()) {
+    const std::size_t end = s.find('\n', start);
+    ASSERT_NE(end, std::string::npos);
+    const std::size_t len = end - start;
+    if (expected == std::string::npos) expected = len;
+    EXPECT_EQ(len, expected);
+    start = end + 1;
+  }
+}
+
+TEST(TableTest, CsvOutput) {
+  Table t({"a", "b"});
+  t.AddRow({"1", "2"});
+  t.AddRow({"3", "4"});
+  EXPECT_EQ(t.ToCsv(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(TableTest, NumFormatsPrecision) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Num(3.14159, 0), "3");
+  EXPECT_EQ(Table::Num(2.0, 1), "2.0");
+  EXPECT_EQ(Table::Num(-1.5, 2), "-1.50");
+}
+
+TEST(TableTest, IntFormats) {
+  EXPECT_EQ(Table::Int(0), "0");
+  EXPECT_EQ(Table::Int(-42), "-42");
+  EXPECT_EQ(Table::Int(123456789012345LL), "123456789012345");
+}
+
+TEST(TableDeathTest, ArityMismatchAborts) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"only-one"}), "PARSIM_CHECK");
+}
+
+TEST(TableDeathTest, EmptyHeaderForbidden) {
+  EXPECT_DEATH(Table({}), "PARSIM_CHECK");
+}
+
+}  // namespace
+}  // namespace parsim
