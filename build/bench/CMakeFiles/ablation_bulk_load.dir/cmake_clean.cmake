@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bulk_load.dir/ablation_bulk_load.cc.o"
+  "CMakeFiles/ablation_bulk_load.dir/ablation_bulk_load.cc.o.d"
+  "ablation_bulk_load"
+  "ablation_bulk_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bulk_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_knn_algorithms.dir/ablation_knn_algorithms.cc.o"
+  "CMakeFiles/ablation_knn_algorithms.dir/ablation_knn_algorithms.cc.o.d"
+  "ablation_knn_algorithms"
+  "ablation_knn_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_knn_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_xtree_vs_rstar.dir/ablation_xtree_vs_rstar.cc.o"
+  "CMakeFiles/ablation_xtree_vs_rstar.dir/ablation_xtree_vs_rstar.cc.o.d"
+  "ablation_xtree_vs_rstar"
+  "ablation_xtree_vs_rstar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_xtree_vs_rstar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

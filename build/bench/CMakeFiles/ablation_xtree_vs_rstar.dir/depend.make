@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_xtree_vs_rstar.
+# This may be replaced when dependencies are built.

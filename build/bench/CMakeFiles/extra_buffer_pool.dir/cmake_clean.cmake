@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_buffer_pool.dir/extra_buffer_pool.cc.o"
+  "CMakeFiles/extra_buffer_pool.dir/extra_buffer_pool.cc.o.d"
+  "extra_buffer_pool"
+  "extra_buffer_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_buffer_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_cost_model.dir/extra_cost_model.cc.o"
+  "CMakeFiles/extra_cost_model.dir/extra_cost_model.cc.o.d"
+  "extra_cost_model"
+  "extra_cost_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_cost_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_range_queries.dir/extra_range_queries.cc.o"
+  "CMakeFiles/extra_range_queries.dir/extra_range_queries.cc.o.d"
+  "extra_range_queries"
+  "extra_range_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_range_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

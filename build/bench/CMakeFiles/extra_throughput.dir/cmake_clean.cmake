@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_throughput.dir/extra_throughput.cc.o"
+  "CMakeFiles/extra_throughput.dir/extra_throughput.cc.o.d"
+  "extra_throughput"
+  "extra_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

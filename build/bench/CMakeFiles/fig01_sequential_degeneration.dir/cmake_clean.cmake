@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_sequential_degeneration.dir/fig01_sequential_degeneration.cc.o"
+  "CMakeFiles/fig01_sequential_degeneration.dir/fig01_sequential_degeneration.cc.o.d"
+  "fig01_sequential_degeneration"
+  "fig01_sequential_degeneration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_sequential_degeneration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

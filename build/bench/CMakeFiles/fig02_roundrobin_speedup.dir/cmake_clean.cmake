@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_roundrobin_speedup.dir/fig02_roundrobin_speedup.cc.o"
+  "CMakeFiles/fig02_roundrobin_speedup.dir/fig02_roundrobin_speedup.cc.o.d"
+  "fig02_roundrobin_speedup"
+  "fig02_roundrobin_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_roundrobin_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_hilbert_vs_roundrobin.dir/fig03_hilbert_vs_roundrobin.cc.o"
+  "CMakeFiles/fig03_hilbert_vs_roundrobin.dir/fig03_hilbert_vs_roundrobin.cc.o.d"
+  "fig03_hilbert_vs_roundrobin"
+  "fig03_hilbert_vs_roundrobin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_hilbert_vs_roundrobin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig03_hilbert_vs_roundrobin.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_hilbert_vs_roundrobin.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_surface_probability.dir/fig05_surface_probability.cc.o"
+  "CMakeFiles/fig05_surface_probability.dir/fig05_surface_probability.cc.o.d"
+  "fig05_surface_probability"
+  "fig05_surface_probability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_surface_probability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_nearoptimality_violations.dir/fig07_nearoptimality_violations.cc.o"
+  "CMakeFiles/fig07_nearoptimality_violations.dir/fig07_nearoptimality_violations.cc.o.d"
+  "fig07_nearoptimality_violations"
+  "fig07_nearoptimality_violations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_nearoptimality_violations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

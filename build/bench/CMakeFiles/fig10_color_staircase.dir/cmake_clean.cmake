@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_color_staircase.dir/fig10_color_staircase.cc.o"
+  "CMakeFiles/fig10_color_staircase.dir/fig10_color_staircase.cc.o.d"
+  "fig10_color_staircase"
+  "fig10_color_staircase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_color_staircase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

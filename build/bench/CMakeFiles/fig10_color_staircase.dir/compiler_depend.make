@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig10_color_staircase.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_speedup_uniform.dir/fig12_speedup_uniform.cc.o"
+  "CMakeFiles/fig12_speedup_uniform.dir/fig12_speedup_uniform.cc.o.d"
+  "fig12_speedup_uniform"
+  "fig12_speedup_uniform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_speedup_uniform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

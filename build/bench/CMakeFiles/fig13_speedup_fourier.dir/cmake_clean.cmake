@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_speedup_fourier.dir/fig13_speedup_fourier.cc.o"
+  "CMakeFiles/fig13_speedup_fourier.dir/fig13_speedup_fourier.cc.o.d"
+  "fig13_speedup_fourier"
+  "fig13_speedup_fourier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_speedup_fourier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_improvement_factor.dir/fig14_improvement_factor.cc.o"
+  "CMakeFiles/fig14_improvement_factor.dir/fig14_improvement_factor.cc.o.d"
+  "fig14_improvement_factor"
+  "fig14_improvement_factor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_improvement_factor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_scaleup.dir/fig15_scaleup.cc.o"
+  "CMakeFiles/fig15_scaleup.dir/fig15_scaleup.cc.o.d"
+  "fig15_scaleup"
+  "fig15_scaleup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_scaleup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

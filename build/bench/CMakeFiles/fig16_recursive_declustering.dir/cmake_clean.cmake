@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_recursive_declustering.dir/fig16_recursive_declustering.cc.o"
+  "CMakeFiles/fig16_recursive_declustering.dir/fig16_recursive_declustering.cc.o.d"
+  "fig16_recursive_declustering"
+  "fig16_recursive_declustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_recursive_declustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_text_data.dir/fig17_text_data.cc.o"
+  "CMakeFiles/fig17_text_data.dir/fig17_text_data.cc.o.d"
+  "fig17_text_data"
+  "fig17_text_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_text_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

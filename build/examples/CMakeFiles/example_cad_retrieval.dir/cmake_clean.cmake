@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_cad_retrieval.dir/cad_retrieval.cpp.o"
+  "CMakeFiles/example_cad_retrieval.dir/cad_retrieval.cpp.o.d"
+  "example_cad_retrieval"
+  "example_cad_retrieval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_cad_retrieval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

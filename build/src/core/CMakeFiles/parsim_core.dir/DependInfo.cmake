@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cc" "src/core/CMakeFiles/parsim_core.dir/baselines.cc.o" "gcc" "src/core/CMakeFiles/parsim_core.dir/baselines.cc.o.d"
+  "/root/repo/src/core/bucket.cc" "src/core/CMakeFiles/parsim_core.dir/bucket.cc.o" "gcc" "src/core/CMakeFiles/parsim_core.dir/bucket.cc.o.d"
+  "/root/repo/src/core/coloring.cc" "src/core/CMakeFiles/parsim_core.dir/coloring.cc.o" "gcc" "src/core/CMakeFiles/parsim_core.dir/coloring.cc.o.d"
+  "/root/repo/src/core/declusterer.cc" "src/core/CMakeFiles/parsim_core.dir/declusterer.cc.o" "gcc" "src/core/CMakeFiles/parsim_core.dir/declusterer.cc.o.d"
+  "/root/repo/src/core/disk_assignment_graph.cc" "src/core/CMakeFiles/parsim_core.dir/disk_assignment_graph.cc.o" "gcc" "src/core/CMakeFiles/parsim_core.dir/disk_assignment_graph.cc.o.d"
+  "/root/repo/src/core/folding.cc" "src/core/CMakeFiles/parsim_core.dir/folding.cc.o" "gcc" "src/core/CMakeFiles/parsim_core.dir/folding.cc.o.d"
+  "/root/repo/src/core/near_optimal.cc" "src/core/CMakeFiles/parsim_core.dir/near_optimal.cc.o" "gcc" "src/core/CMakeFiles/parsim_core.dir/near_optimal.cc.o.d"
+  "/root/repo/src/core/neighborhood.cc" "src/core/CMakeFiles/parsim_core.dir/neighborhood.cc.o" "gcc" "src/core/CMakeFiles/parsim_core.dir/neighborhood.cc.o.d"
+  "/root/repo/src/core/quantile.cc" "src/core/CMakeFiles/parsim_core.dir/quantile.cc.o" "gcc" "src/core/CMakeFiles/parsim_core.dir/quantile.cc.o.d"
+  "/root/repo/src/core/recursive.cc" "src/core/CMakeFiles/parsim_core.dir/recursive.cc.o" "gcc" "src/core/CMakeFiles/parsim_core.dir/recursive.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/parsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/parsim_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/hilbert/CMakeFiles/parsim_hilbert.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/parsim_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsim_core.dir/baselines.cc.o"
+  "CMakeFiles/parsim_core.dir/baselines.cc.o.d"
+  "CMakeFiles/parsim_core.dir/bucket.cc.o"
+  "CMakeFiles/parsim_core.dir/bucket.cc.o.d"
+  "CMakeFiles/parsim_core.dir/coloring.cc.o"
+  "CMakeFiles/parsim_core.dir/coloring.cc.o.d"
+  "CMakeFiles/parsim_core.dir/declusterer.cc.o"
+  "CMakeFiles/parsim_core.dir/declusterer.cc.o.d"
+  "CMakeFiles/parsim_core.dir/disk_assignment_graph.cc.o"
+  "CMakeFiles/parsim_core.dir/disk_assignment_graph.cc.o.d"
+  "CMakeFiles/parsim_core.dir/folding.cc.o"
+  "CMakeFiles/parsim_core.dir/folding.cc.o.d"
+  "CMakeFiles/parsim_core.dir/near_optimal.cc.o"
+  "CMakeFiles/parsim_core.dir/near_optimal.cc.o.d"
+  "CMakeFiles/parsim_core.dir/neighborhood.cc.o"
+  "CMakeFiles/parsim_core.dir/neighborhood.cc.o.d"
+  "CMakeFiles/parsim_core.dir/quantile.cc.o"
+  "CMakeFiles/parsim_core.dir/quantile.cc.o.d"
+  "CMakeFiles/parsim_core.dir/recursive.cc.o"
+  "CMakeFiles/parsim_core.dir/recursive.cc.o.d"
+  "libparsim_core.a"
+  "libparsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsim_cost.dir/model.cc.o"
+  "CMakeFiles/parsim_cost.dir/model.cc.o.d"
+  "libparsim_cost.a"
+  "libparsim_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsim_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsim_eval.dir/experiment.cc.o"
+  "CMakeFiles/parsim_eval.dir/experiment.cc.o.d"
+  "CMakeFiles/parsim_eval.dir/throughput.cc.o"
+  "CMakeFiles/parsim_eval.dir/throughput.cc.o.d"
+  "libparsim_eval.a"
+  "libparsim_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsim_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geometry/metric.cc" "src/geometry/CMakeFiles/parsim_geometry.dir/metric.cc.o" "gcc" "src/geometry/CMakeFiles/parsim_geometry.dir/metric.cc.o.d"
+  "/root/repo/src/geometry/point.cc" "src/geometry/CMakeFiles/parsim_geometry.dir/point.cc.o" "gcc" "src/geometry/CMakeFiles/parsim_geometry.dir/point.cc.o.d"
+  "/root/repo/src/geometry/rect.cc" "src/geometry/CMakeFiles/parsim_geometry.dir/rect.cc.o" "gcc" "src/geometry/CMakeFiles/parsim_geometry.dir/rect.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/parsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

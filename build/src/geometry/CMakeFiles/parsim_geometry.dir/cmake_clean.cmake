@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsim_geometry.dir/metric.cc.o"
+  "CMakeFiles/parsim_geometry.dir/metric.cc.o.d"
+  "CMakeFiles/parsim_geometry.dir/point.cc.o"
+  "CMakeFiles/parsim_geometry.dir/point.cc.o.d"
+  "CMakeFiles/parsim_geometry.dir/rect.cc.o"
+  "CMakeFiles/parsim_geometry.dir/rect.cc.o.d"
+  "libparsim_geometry.a"
+  "libparsim_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsim_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsim_hilbert.dir/hilbert.cc.o"
+  "CMakeFiles/parsim_hilbert.dir/hilbert.cc.o.d"
+  "libparsim_hilbert.a"
+  "libparsim_hilbert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsim_hilbert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

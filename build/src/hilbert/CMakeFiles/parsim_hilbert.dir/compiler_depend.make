@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for parsim_hilbert.
+# This may be replaced when dependencies are built.

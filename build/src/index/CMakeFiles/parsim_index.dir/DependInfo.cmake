@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/knn.cc" "src/index/CMakeFiles/parsim_index.dir/knn.cc.o" "gcc" "src/index/CMakeFiles/parsim_index.dir/knn.cc.o.d"
+  "/root/repo/src/index/node.cc" "src/index/CMakeFiles/parsim_index.dir/node.cc.o" "gcc" "src/index/CMakeFiles/parsim_index.dir/node.cc.o.d"
+  "/root/repo/src/index/rstar_tree.cc" "src/index/CMakeFiles/parsim_index.dir/rstar_tree.cc.o" "gcc" "src/index/CMakeFiles/parsim_index.dir/rstar_tree.cc.o.d"
+  "/root/repo/src/index/serialize.cc" "src/index/CMakeFiles/parsim_index.dir/serialize.cc.o" "gcc" "src/index/CMakeFiles/parsim_index.dir/serialize.cc.o.d"
+  "/root/repo/src/index/tree_base.cc" "src/index/CMakeFiles/parsim_index.dir/tree_base.cc.o" "gcc" "src/index/CMakeFiles/parsim_index.dir/tree_base.cc.o.d"
+  "/root/repo/src/index/xtree.cc" "src/index/CMakeFiles/parsim_index.dir/xtree.cc.o" "gcc" "src/index/CMakeFiles/parsim_index.dir/xtree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/parsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/parsim_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/parsim_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/hilbert/CMakeFiles/parsim_hilbert.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsim_index.dir/knn.cc.o"
+  "CMakeFiles/parsim_index.dir/knn.cc.o.d"
+  "CMakeFiles/parsim_index.dir/node.cc.o"
+  "CMakeFiles/parsim_index.dir/node.cc.o.d"
+  "CMakeFiles/parsim_index.dir/rstar_tree.cc.o"
+  "CMakeFiles/parsim_index.dir/rstar_tree.cc.o.d"
+  "CMakeFiles/parsim_index.dir/serialize.cc.o"
+  "CMakeFiles/parsim_index.dir/serialize.cc.o.d"
+  "CMakeFiles/parsim_index.dir/tree_base.cc.o"
+  "CMakeFiles/parsim_index.dir/tree_base.cc.o.d"
+  "CMakeFiles/parsim_index.dir/xtree.cc.o"
+  "CMakeFiles/parsim_index.dir/xtree.cc.o.d"
+  "libparsim_index.a"
+  "libparsim_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsim_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsim_io.dir/disk.cc.o"
+  "CMakeFiles/parsim_io.dir/disk.cc.o.d"
+  "CMakeFiles/parsim_io.dir/disk_array.cc.o"
+  "CMakeFiles/parsim_io.dir/disk_array.cc.o.d"
+  "libparsim_io.a"
+  "libparsim_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsim_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parallel/engine.cc" "src/parallel/CMakeFiles/parsim_parallel.dir/engine.cc.o" "gcc" "src/parallel/CMakeFiles/parsim_parallel.dir/engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/parsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/parsim_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/parsim_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/parsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/parsim_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/hilbert/CMakeFiles/parsim_hilbert.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

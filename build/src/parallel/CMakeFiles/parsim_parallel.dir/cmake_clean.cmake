@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsim_parallel.dir/engine.cc.o"
+  "CMakeFiles/parsim_parallel.dir/engine.cc.o.d"
+  "libparsim_parallel.a"
+  "libparsim_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsim_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

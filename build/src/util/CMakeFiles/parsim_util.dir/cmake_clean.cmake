@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsim_util.dir/random.cc.o"
+  "CMakeFiles/parsim_util.dir/random.cc.o.d"
+  "CMakeFiles/parsim_util.dir/status.cc.o"
+  "CMakeFiles/parsim_util.dir/status.cc.o.d"
+  "CMakeFiles/parsim_util.dir/table.cc.o"
+  "CMakeFiles/parsim_util.dir/table.cc.o.d"
+  "libparsim_util.a"
+  "libparsim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

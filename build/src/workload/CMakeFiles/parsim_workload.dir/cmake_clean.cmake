@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsim_workload.dir/generators.cc.o"
+  "CMakeFiles/parsim_workload.dir/generators.cc.o.d"
+  "libparsim_workload.a"
+  "libparsim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

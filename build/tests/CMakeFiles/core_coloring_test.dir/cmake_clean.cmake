@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_coloring_test.dir/core_coloring_test.cc.o"
+  "CMakeFiles/core_coloring_test.dir/core_coloring_test.cc.o.d"
+  "core_coloring_test"
+  "core_coloring_test.pdb"
+  "core_coloring_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_coloring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

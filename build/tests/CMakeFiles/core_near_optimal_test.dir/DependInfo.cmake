@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_near_optimal_test.cc" "tests/CMakeFiles/core_near_optimal_test.dir/core_near_optimal_test.cc.o" "gcc" "tests/CMakeFiles/core_near_optimal_test.dir/core_near_optimal_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cost/CMakeFiles/parsim_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/parsim_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/parsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/parsim_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/parsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/parsim_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/parsim_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/hilbert/CMakeFiles/parsim_hilbert.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/parsim_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/parsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_quantile_test.dir/core_quantile_test.cc.o"
+  "CMakeFiles/core_quantile_test.dir/core_quantile_test.cc.o.d"
+  "core_quantile_test"
+  "core_quantile_test.pdb"
+  "core_quantile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_quantile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

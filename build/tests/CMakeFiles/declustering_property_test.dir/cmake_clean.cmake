@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/declustering_property_test.dir/declustering_property_test.cc.o"
+  "CMakeFiles/declustering_property_test.dir/declustering_property_test.cc.o.d"
+  "declustering_property_test"
+  "declustering_property_test.pdb"
+  "declustering_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/declustering_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

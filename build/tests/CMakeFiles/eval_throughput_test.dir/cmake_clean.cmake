@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_throughput_test.dir/eval_throughput_test.cc.o"
+  "CMakeFiles/eval_throughput_test.dir/eval_throughput_test.cc.o.d"
+  "eval_throughput_test"
+  "eval_throughput_test.pdb"
+  "eval_throughput_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_throughput_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

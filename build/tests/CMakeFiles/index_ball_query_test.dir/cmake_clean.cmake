@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_ball_query_test.dir/index_ball_query_test.cc.o"
+  "CMakeFiles/index_ball_query_test.dir/index_ball_query_test.cc.o.d"
+  "index_ball_query_test"
+  "index_ball_query_test.pdb"
+  "index_ball_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_ball_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_bulk_load_test.dir/index_bulk_load_test.cc.o"
+  "CMakeFiles/index_bulk_load_test.dir/index_bulk_load_test.cc.o.d"
+  "index_bulk_load_test"
+  "index_bulk_load_test.pdb"
+  "index_bulk_load_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_bulk_load_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_delete_test.dir/index_delete_test.cc.o"
+  "CMakeFiles/index_delete_test.dir/index_delete_test.cc.o.d"
+  "index_delete_test"
+  "index_delete_test.pdb"
+  "index_delete_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_delete_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

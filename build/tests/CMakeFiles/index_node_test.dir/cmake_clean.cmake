@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_node_test.dir/index_node_test.cc.o"
+  "CMakeFiles/index_node_test.dir/index_node_test.cc.o.d"
+  "index_node_test"
+  "index_node_test.pdb"
+  "index_node_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_rstar_test.dir/index_rstar_test.cc.o"
+  "CMakeFiles/index_rstar_test.dir/index_rstar_test.cc.o.d"
+  "index_rstar_test"
+  "index_rstar_test.pdb"
+  "index_rstar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_rstar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

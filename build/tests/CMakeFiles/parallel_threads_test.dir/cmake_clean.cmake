@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_threads_test.dir/parallel_threads_test.cc.o"
+  "CMakeFiles/parallel_threads_test.dir/parallel_threads_test.cc.o.d"
+  "parallel_threads_test"
+  "parallel_threads_test.pdb"
+  "parallel_threads_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_threads_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsim_cli.dir/parsim_cli.cc.o"
+  "CMakeFiles/parsim_cli.dir/parsim_cli.cc.o.d"
+  "parsim_cli"
+  "parsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
