@@ -3,24 +3,38 @@
 #include <algorithm>
 
 #include "src/util/check.h"
+#include "src/util/stopwatch.h"
 
 namespace parsim {
 
 ThroughputResult SimulateThroughput(const ParallelSearchEngine& engine,
-                                    const PointSet& queries, std::size_t k) {
+                                    const PointSet& queries, std::size_t k,
+                                    unsigned execution_threads) {
   PARSIM_CHECK(queries.dim() == engine.dim());
   PARSIM_CHECK(!queries.empty());
   const std::size_t disks = engine.num_disks();
   const double page_ms =
       engine.options().disk_parameters.PageAccessMs();
 
+  // Execute the batch (on the pool when execution_threads > 1) and time
+  // it; per-query simulated stats are independent of the interleaving.
+  Stopwatch watch;
+  std::vector<QueryStats> per_query;
+  (void)engine.QueryBatch(queries, k, &per_query,
+                          execution_threads == 0 ? 1 : execution_threads);
+  const double wall_ms = watch.ElapsedMillis();
+
   ThroughputResult out;
   out.num_queries = queries.size();
   out.pages_per_disk.assign(disks, 0);
+  out.execution_threads = std::max(1u, execution_threads);
+  out.wall_ms = wall_ms;
+  out.wall_qps = wall_ms > 0.0
+                     ? static_cast<double>(queries.size()) / (wall_ms / 1000.0)
+                     : 0.0;
   double host_ms_total = 0.0;
-  QueryStats stats;
   for (std::size_t qi = 0; qi < queries.size(); ++qi) {
-    (void)engine.Query(queries[qi], k, &stats);
+    const QueryStats& stats = per_query[qi];
     out.avg_latency_ms += stats.parallel_ms;
     // Host share of this query's time (directory work on the shared
     // architecture; zero for federated ones).

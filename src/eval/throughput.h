@@ -38,12 +38,27 @@ struct ThroughputResult {
   std::size_t num_queries = 0;
   /// Aggregate pages served per disk over the batch.
   std::vector<std::uint64_t> pages_per_disk;
+
+  /// Real (measured) wall-clock execution of the batch on this machine,
+  /// alongside the simulated makespan above.
+  double wall_ms = 0.0;
+  /// Queries per real second.
+  double wall_qps = 0.0;
+  /// Worker threads the batch actually executed on (1 = serial).
+  unsigned execution_threads = 1;
 };
 
 /// Runs every query as a k-NN search and aggregates the per-disk work
 /// into the closed-batch model above.
+///
+/// `execution_threads` controls the *real* execution only: > 1 fans the
+/// batch out over the engine's worker pool (QueryBatch) and reports
+/// genuine wall-clock throughput in wall_ms / wall_qps, while every
+/// simulated number stays bit-identical to the serial run (0 or 1 =
+/// serial execution).
 ThroughputResult SimulateThroughput(const ParallelSearchEngine& engine,
-                                    const PointSet& queries, std::size_t k);
+                                    const PointSet& queries, std::size_t k,
+                                    unsigned execution_threads = 0);
 
 }  // namespace parsim
 

@@ -5,6 +5,11 @@
 
 #include "src/util/check.h"
 
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define PARSIM_METRIC_X86 1
+#include <immintrin.h>
+#endif
+
 namespace parsim {
 
 const char* MetricKindToString(MetricKind kind) {
@@ -16,10 +21,12 @@ const char* MetricKindToString(MetricKind kind) {
     case MetricKind::kLmax:
       return "Lmax";
   }
-  return "UNKNOWN";
+  PARSIM_UNREACHABLE();
 }
 
-double SquaredL2(PointView a, PointView b) {
+namespace detail {
+
+double SquaredL2Scalar(PointView a, PointView b) {
   PARSIM_DCHECK(a.size() == b.size());
   double sum = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) {
@@ -29,9 +36,7 @@ double SquaredL2(PointView a, PointView b) {
   return sum;
 }
 
-double L2(PointView a, PointView b) { return std::sqrt(SquaredL2(a, b)); }
-
-double L1(PointView a, PointView b) {
+double L1Scalar(PointView a, PointView b) {
   PARSIM_DCHECK(a.size() == b.size());
   double sum = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) {
@@ -40,7 +45,7 @@ double L1(PointView a, PointView b) {
   return sum;
 }
 
-double Lmax(PointView a, PointView b) {
+double LmaxScalar(PointView a, PointView b) {
   PARSIM_DCHECK(a.size() == b.size());
   double best = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) {
@@ -48,6 +53,247 @@ double Lmax(PointView a, PointView b) {
         best, std::abs(static_cast<double>(a[i]) - static_cast<double>(b[i])));
   }
   return best;
+}
+
+}  // namespace detail
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Portable fallback kernels: 4-way unrolled with independent
+// accumulators so the compiler can auto-vectorize / software-pipeline.
+// ---------------------------------------------------------------------
+
+double SquaredL2Unrolled(const float* a, const float* b, std::size_t n) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const double d0 = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    const double d1 =
+        static_cast<double>(a[i + 1]) - static_cast<double>(b[i + 1]);
+    const double d2 =
+        static_cast<double>(a[i + 2]) - static_cast<double>(b[i + 2]);
+    const double d3 =
+        static_cast<double>(a[i + 3]) - static_cast<double>(b[i + 3]);
+    s0 += d0 * d0;
+    s1 += d1 * d1;
+    s2 += d2 * d2;
+    s3 += d3 * d3;
+  }
+  double sum = (s0 + s1) + (s2 + s3);
+  for (; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    sum += d * d;
+  }
+  return sum;
+}
+
+double L1Unrolled(const float* a, const float* b, std::size_t n) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += std::abs(static_cast<double>(a[i]) - static_cast<double>(b[i]));
+    s1 += std::abs(static_cast<double>(a[i + 1]) -
+                   static_cast<double>(b[i + 1]));
+    s2 += std::abs(static_cast<double>(a[i + 2]) -
+                   static_cast<double>(b[i + 2]));
+    s3 += std::abs(static_cast<double>(a[i + 3]) -
+                   static_cast<double>(b[i + 3]));
+  }
+  double sum = (s0 + s1) + (s2 + s3);
+  for (; i < n; ++i) {
+    sum += std::abs(static_cast<double>(a[i]) - static_cast<double>(b[i]));
+  }
+  return sum;
+}
+
+double LmaxUnrolled(const float* a, const float* b, std::size_t n) {
+  double m0 = 0.0, m1 = 0.0, m2 = 0.0, m3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    m0 = std::max(m0, std::abs(static_cast<double>(a[i]) -
+                               static_cast<double>(b[i])));
+    m1 = std::max(m1, std::abs(static_cast<double>(a[i + 1]) -
+                               static_cast<double>(b[i + 1])));
+    m2 = std::max(m2, std::abs(static_cast<double>(a[i + 2]) -
+                               static_cast<double>(b[i + 2])));
+    m3 = std::max(m3, std::abs(static_cast<double>(a[i + 3]) -
+                               static_cast<double>(b[i + 3])));
+  }
+  double best = std::max(std::max(m0, m1), std::max(m2, m3));
+  for (; i < n; ++i) {
+    best = std::max(best, std::abs(static_cast<double>(a[i]) -
+                                   static_cast<double>(b[i])));
+  }
+  return best;
+}
+
+#ifdef PARSIM_METRIC_X86
+
+// ---------------------------------------------------------------------
+// AVX2+FMA kernels. Coordinates are float but all arithmetic is carried
+// out on doubles (floats widened in registers), matching the precision
+// contract of the scalar kernels. Compiled with per-function target
+// attributes so the binary still runs on pre-AVX2 hosts; PickKernels()
+// only selects these after a cpuid check.
+// ---------------------------------------------------------------------
+
+__attribute__((target("avx2,fma"))) inline double HorizontalSum(__m256d v) {
+  __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  lo = _mm_add_pd(lo, hi);
+  const __m128d swapped = _mm_unpackhi_pd(lo, lo);
+  return _mm_cvtsd_f64(_mm_add_sd(lo, swapped));
+}
+
+__attribute__((target("avx2,fma"))) inline double HorizontalMax(__m256d v) {
+  __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  lo = _mm_max_pd(lo, hi);
+  const __m128d swapped = _mm_unpackhi_pd(lo, lo);
+  return _mm_cvtsd_f64(_mm_max_sd(lo, swapped));
+}
+
+__attribute__((target("avx2,fma"))) double SquaredL2Avx2(const float* a,
+                                                         const float* b,
+                                                         std::size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256d a0 = _mm256_cvtps_pd(_mm_loadu_ps(a + i));
+    const __m256d b0 = _mm256_cvtps_pd(_mm_loadu_ps(b + i));
+    const __m256d d0 = _mm256_sub_pd(a0, b0);
+    acc0 = _mm256_fmadd_pd(d0, d0, acc0);
+    const __m256d a1 = _mm256_cvtps_pd(_mm_loadu_ps(a + i + 4));
+    const __m256d b1 = _mm256_cvtps_pd(_mm_loadu_ps(b + i + 4));
+    const __m256d d1 = _mm256_sub_pd(a1, b1);
+    acc1 = _mm256_fmadd_pd(d1, d1, acc1);
+  }
+  if (i + 4 <= n) {
+    const __m256d a0 = _mm256_cvtps_pd(_mm_loadu_ps(a + i));
+    const __m256d b0 = _mm256_cvtps_pd(_mm_loadu_ps(b + i));
+    const __m256d d0 = _mm256_sub_pd(a0, b0);
+    acc0 = _mm256_fmadd_pd(d0, d0, acc0);
+    i += 4;
+  }
+  double sum = HorizontalSum(_mm256_add_pd(acc0, acc1));
+  for (; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    sum += d * d;
+  }
+  return sum;
+}
+
+__attribute__((target("avx2,fma"))) double L1Avx2(const float* a,
+                                                  const float* b,
+                                                  std::size_t n) {
+  const __m256d abs_mask =
+      _mm256_castsi256_pd(_mm256_set1_epi64x(0x7fffffffffffffffLL));
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256d d0 = _mm256_sub_pd(_mm256_cvtps_pd(_mm_loadu_ps(a + i)),
+                                     _mm256_cvtps_pd(_mm_loadu_ps(b + i)));
+    acc0 = _mm256_add_pd(acc0, _mm256_and_pd(abs_mask, d0));
+    const __m256d d1 =
+        _mm256_sub_pd(_mm256_cvtps_pd(_mm_loadu_ps(a + i + 4)),
+                      _mm256_cvtps_pd(_mm_loadu_ps(b + i + 4)));
+    acc1 = _mm256_add_pd(acc1, _mm256_and_pd(abs_mask, d1));
+  }
+  if (i + 4 <= n) {
+    const __m256d d0 = _mm256_sub_pd(_mm256_cvtps_pd(_mm_loadu_ps(a + i)),
+                                     _mm256_cvtps_pd(_mm_loadu_ps(b + i)));
+    acc0 = _mm256_add_pd(acc0, _mm256_and_pd(abs_mask, d0));
+    i += 4;
+  }
+  double sum = HorizontalSum(_mm256_add_pd(acc0, acc1));
+  for (; i < n; ++i) {
+    sum += std::abs(static_cast<double>(a[i]) - static_cast<double>(b[i]));
+  }
+  return sum;
+}
+
+__attribute__((target("avx2,fma"))) double LmaxAvx2(const float* a,
+                                                    const float* b,
+                                                    std::size_t n) {
+  const __m256d abs_mask =
+      _mm256_castsi256_pd(_mm256_set1_epi64x(0x7fffffffffffffffLL));
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256d d0 = _mm256_sub_pd(_mm256_cvtps_pd(_mm_loadu_ps(a + i)),
+                                     _mm256_cvtps_pd(_mm_loadu_ps(b + i)));
+    acc0 = _mm256_max_pd(acc0, _mm256_and_pd(abs_mask, d0));
+    const __m256d d1 =
+        _mm256_sub_pd(_mm256_cvtps_pd(_mm_loadu_ps(a + i + 4)),
+                      _mm256_cvtps_pd(_mm_loadu_ps(b + i + 4)));
+    acc1 = _mm256_max_pd(acc1, _mm256_and_pd(abs_mask, d1));
+  }
+  if (i + 4 <= n) {
+    const __m256d d0 = _mm256_sub_pd(_mm256_cvtps_pd(_mm_loadu_ps(a + i)),
+                                     _mm256_cvtps_pd(_mm_loadu_ps(b + i)));
+    acc0 = _mm256_max_pd(acc0, _mm256_and_pd(abs_mask, d0));
+    i += 4;
+  }
+  double best = HorizontalMax(_mm256_max_pd(acc0, acc1));
+  for (; i < n; ++i) {
+    best = std::max(best, std::abs(static_cast<double>(a[i]) -
+                                   static_cast<double>(b[i])));
+  }
+  return best;
+}
+
+#endif  // PARSIM_METRIC_X86
+
+using PairKernel = double (*)(const float*, const float*, std::size_t);
+
+struct KernelTable {
+  PairKernel squared_l2;
+  PairKernel l1;
+  PairKernel lmax;
+  bool simd;
+};
+
+KernelTable PickKernels() {
+#ifdef PARSIM_METRIC_X86
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return {SquaredL2Avx2, L1Avx2, LmaxAvx2, /*simd=*/true};
+  }
+#endif
+  return {SquaredL2Unrolled, L1Unrolled, LmaxUnrolled, /*simd=*/false};
+}
+
+const KernelTable& Kernels() {
+  static const KernelTable table = PickKernels();
+  return table;
+}
+
+}  // namespace
+
+namespace detail {
+
+bool SimdEnabled() { return Kernels().simd; }
+
+}  // namespace detail
+
+double SquaredL2(PointView a, PointView b) {
+  PARSIM_DCHECK(a.size() == b.size());
+  return Kernels().squared_l2(a.data(), b.data(), a.size());
+}
+
+double L2(PointView a, PointView b) { return std::sqrt(SquaredL2(a, b)); }
+
+double L1(PointView a, PointView b) {
+  PARSIM_DCHECK(a.size() == b.size());
+  return Kernels().l1(a.data(), b.data(), a.size());
+}
+
+double Lmax(PointView a, PointView b) {
+  PARSIM_DCHECK(a.size() == b.size());
+  return Kernels().lmax(a.data(), b.data(), a.size());
 }
 
 double Metric::Distance(PointView a, PointView b) const {
@@ -59,7 +305,7 @@ double Metric::Distance(PointView a, PointView b) const {
     case MetricKind::kLmax:
       return Lmax(a, b);
   }
-  PARSIM_CHECK(false);
+  PARSIM_UNREACHABLE();
 }
 
 double Metric::Comparable(PointView a, PointView b) const {
@@ -75,6 +321,30 @@ double Metric::ToComparable(double distance) const {
 double Metric::FromComparable(double comparable) const {
   if (kind_ == MetricKind::kL2) return std::sqrt(comparable);
   return comparable;
+}
+
+void Metric::ComparableMany(PointView query, const Scalar* points,
+                            std::size_t count, std::size_t dim,
+                            double* out) const {
+  PARSIM_DCHECK(query.size() == dim);
+  const float* q = query.data();
+  PairKernel kernel;
+  switch (kind_) {
+    case MetricKind::kL1:
+      kernel = Kernels().l1;
+      break;
+    case MetricKind::kL2:
+      kernel = Kernels().squared_l2;
+      break;
+    case MetricKind::kLmax:
+      kernel = Kernels().lmax;
+      break;
+    default:
+      PARSIM_UNREACHABLE();
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = kernel(q, points + i * dim, dim);
+  }
 }
 
 }  // namespace parsim

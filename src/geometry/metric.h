@@ -3,9 +3,18 @@
 // Similarity of two multimedia objects is the proximity of their feature
 // vectors (Section 1 of the paper); the default metric is Euclidean (L2),
 // with L1 and Lmax provided for applications that need them.
+//
+// The point-to-point kernels are runtime-dispatched: on x86-64 hosts with
+// AVX2+FMA they run a vectorized path (floats widened to doubles in
+// registers, so results keep double-precision accumulation); elsewhere an
+// unrolled scalar path runs. Dispatch is resolved once per process, so
+// every call site — one-to-one and one-to-many — computes bit-identical
+// values for the same operand pair.
 
 #ifndef PARSIM_SRC_GEOMETRY_METRIC_H_
 #define PARSIM_SRC_GEOMETRY_METRIC_H_
+
+#include <cstddef>
 
 #include "src/geometry/point.h"
 
@@ -33,6 +42,20 @@ double L1(PointView a, PointView b);
 /// Chebyshev / maximum distance.
 double Lmax(PointView a, PointView b);
 
+namespace detail {
+
+/// True when the process dispatched to the AVX2 kernels.
+bool SimdEnabled();
+
+/// Portable reference kernels (the pre-dispatch scalar loops). Exposed so
+/// tests and benchmarks can compare the dispatched kernels against them;
+/// production code should call the dispatched functions above.
+double SquaredL2Scalar(PointView a, PointView b);
+double L1Scalar(PointView a, PointView b);
+double LmaxScalar(PointView a, PointView b);
+
+}  // namespace detail
+
 /// A metric as a small value object, so indexes and search algorithms can
 /// be parameterized without virtual dispatch on the innermost loop.
 class Metric {
@@ -55,6 +78,14 @@ class Metric {
 
   /// Inverse of ToComparable.
   double FromComparable(double comparable) const;
+
+  /// One-query-to-many-points kernel: out[i] = Comparable(query, p_i)
+  /// where p_i is `points + i * dim`, row-major and contiguous. The hot
+  /// loop of every leaf/page scan: the query stays in registers while
+  /// candidate rows stream through the dispatched kernel, and each out[i]
+  /// is bit-identical to the corresponding one-to-one Comparable() call.
+  void ComparableMany(PointView query, const Scalar* points,
+                      std::size_t count, std::size_t dim, double* out) const;
 
  private:
   MetricKind kind_;

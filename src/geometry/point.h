@@ -104,6 +104,10 @@ class PointSet {
     return Point(std::vector<Scalar>(v.begin(), v.end()));
   }
 
+  /// Contiguous row-major coordinate storage (size() * dim() scalars).
+  /// The layout the one-to-many distance kernels stream over.
+  const Scalar* data() const { return flat_.data(); }
+
   void Reserve(std::size_t points) { flat_.reserve(points * dim_); }
 
   /// Removes the last point. Requires a non-empty set.

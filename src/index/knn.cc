@@ -40,7 +40,7 @@ double MinDistComparable(const Rect& rect, PointView query,
       return best;
     }
   }
-  PARSIM_CHECK(false);
+  PARSIM_UNREACHABLE();
 }
 
 namespace {
@@ -86,6 +86,38 @@ class TopK {
 
 }  // namespace
 
+namespace {
+
+/// Comparable distances from `query` to every entry of a leaf, via the
+/// blocked one-to-many kernel. Leaf entries store their point inside
+/// their (degenerate) rect, so rows are gathered into a contiguous
+/// thread-local scratch first; the kernel then streams over it with the
+/// query held hot. Values are bit-identical to per-entry Comparable()
+/// calls (same dispatched kernel). The returned pointer is valid until
+/// the next call on this thread.
+const double* ScanLeafEntries(const Node& node, PointView query,
+                              const Metric& metric) {
+  struct Scratch {
+    std::vector<Scalar> coords;
+    std::vector<double> dists;
+  };
+  thread_local Scratch scratch;
+  const std::size_t dim = query.size();
+  const std::size_t n = node.entries.size();
+  scratch.coords.resize(n * dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    const PointView p = node.entries[i].AsPoint();
+    std::copy(p.begin(), p.end(), scratch.coords.begin() +
+                                      static_cast<std::ptrdiff_t>(i * dim));
+  }
+  scratch.dists.resize(n);
+  metric.ComparableMany(query, scratch.coords.data(), n, dim,
+                        scratch.dists.data());
+  return scratch.dists.data();
+}
+
+}  // namespace
+
 KnnResult HsKnn(const TreeBase& tree, PointView query, std::size_t k,
                 const Metric& metric) {
   PARSIM_CHECK(query.size() == tree.dim());
@@ -116,8 +148,9 @@ KnnResult HsKnn(const TreeBase& tree, PointView query, std::size_t k,
     const Node& node = tree.AccessNode(item.ref);
     if (node.IsLeaf()) {
       tree.ChargeNodeDistances(node, node.entries.size());
-      for (const NodeEntry& e : node.entries) {
-        queue.push(Item{metric.Comparable(query, e.AsPoint()), true, e.child});
+      const double* dists = ScanLeafEntries(node, query, metric);
+      for (std::size_t i = 0; i < node.entries.size(); ++i) {
+        queue.push(Item{dists[i], true, node.entries[i].child});
       }
     } else {
       for (const NodeEntry& e : node.entries) {
@@ -136,8 +169,9 @@ void RkvVisit(const TreeBase& tree, NodeId node_id, PointView query,
   const Node& node = tree.AccessNode(node_id);
   if (node.IsLeaf()) {
     tree.ChargeNodeDistances(node, node.entries.size());
-    for (const NodeEntry& e : node.entries) {
-      best->Offer(metric.Comparable(query, e.AsPoint()), e.child);
+    const double* dists = ScanLeafEntries(node, query, metric);
+    for (std::size_t i = 0; i < node.entries.size(); ++i) {
+      best->Offer(dists[i], node.entries[i].child);
     }
     return;
   }
@@ -198,10 +232,11 @@ KnnResult BallQuery(const TreeBase& tree, PointView query, double radius,
     const Node& node = tree.AccessNode(id);
     if (node.IsLeaf()) {
       tree.ChargeNodeDistances(node, node.entries.size());
-      for (const NodeEntry& e : node.entries) {
-        const double comparable = metric.Comparable(query, e.AsPoint());
-        if (comparable <= threshold) {
-          out.push_back(Neighbor{e.child, metric.FromComparable(comparable)});
+      const double* dists = ScanLeafEntries(node, query, metric);
+      for (std::size_t i = 0; i < node.entries.size(); ++i) {
+        if (dists[i] <= threshold) {
+          out.push_back(Neighbor{node.entries[i].child,
+                                 metric.FromComparable(dists[i])});
         }
       }
     } else {
@@ -219,16 +254,29 @@ KnnResult BallQuery(const TreeBase& tree, PointView query, double radius,
   return out;
 }
 
+namespace {
+
+/// Block size of the linear-scan drivers: large enough to amortize the
+/// kernel dispatch, small enough that the distance block stays in L1.
+constexpr std::size_t kScanBlock = 1024;
+
+}  // namespace
+
 KnnResult BruteForceBallQuery(const PointSet& points, PointView query,
                               double radius, const Metric& metric) {
   PARSIM_CHECK(radius >= 0.0);
   const double threshold = metric.ToComparable(radius);
   KnnResult out;
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    const double comparable = metric.Comparable(query, points[i]);
-    if (comparable <= threshold) {
-      out.push_back(Neighbor{static_cast<PointId>(i),
-                             metric.FromComparable(comparable)});
+  double dists[kScanBlock];
+  const std::size_t dim = points.dim();
+  for (std::size_t start = 0; start < points.size(); start += kScanBlock) {
+    const std::size_t n = std::min(kScanBlock, points.size() - start);
+    metric.ComparableMany(query, points.data() + start * dim, n, dim, dists);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (dists[i] <= threshold) {
+        out.push_back(Neighbor{static_cast<PointId>(start + i),
+                               metric.FromComparable(dists[i])});
+      }
     }
   }
   std::sort(out.begin(), out.end(), [](const Neighbor& a, const Neighbor& b) {
@@ -242,9 +290,17 @@ KnnResult BruteForceKnn(const PointSet& points, PointView query,
                         std::size_t k, const Metric& metric) {
   PARSIM_CHECK(query.size() == points.dim() || points.empty());
   PARSIM_CHECK(k >= 1);
+  // Bounded max-heap of the k best candidates, fed block-wise by the
+  // one-to-many kernel — never a full materialize-and-sort.
   TopK best(k);
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    best.Offer(metric.Comparable(query, points[i]), static_cast<PointId>(i));
+  double dists[kScanBlock];
+  const std::size_t dim = points.dim();
+  for (std::size_t start = 0; start < points.size(); start += kScanBlock) {
+    const std::size_t n = std::min(kScanBlock, points.size() - start);
+    metric.ComparableMany(query, points.data() + start * dim, n, dim, dists);
+    for (std::size_t i = 0; i < n; ++i) {
+      best.Offer(dists[i], static_cast<PointId>(start + i));
+    }
   }
   return std::move(best).Finish(metric);
 }

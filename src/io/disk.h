@@ -1,14 +1,27 @@
 // One simulated disk: a page-access meter.
 //
-// Indexes charge every node they touch to their disk; experiment code
-// snapshots / resets the counters around each query.
+// Indexes charge every node they touch to their disk. Charges land in one
+// of two places:
+//
+//   * normally, the disk's own cumulative counters (`stats()`), the
+//     single-threaded protocol experiment code uses directly;
+//   * while a ScopedCostCapture is active on the calling thread, the
+//     per-query accumulator slot of this disk — shared state is then not
+//     mutated mid-traversal, which is what makes concurrent queries safe
+//     (see src/io/cost_capture.h).
+//
+// The only shared state a captured read still touches is the optional
+// main-memory page buffer (an LRU is history-dependent by design); that
+// access is serialized by a per-disk mutex.
 
 #ifndef PARSIM_SRC_IO_DISK_H_
 #define PARSIM_SRC_IO_DISK_H_
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 
+#include "src/io/cost_capture.h"
 #include "src/io/disk_model.h"
 #include "src/util/lru_cache.h"
 
@@ -17,12 +30,15 @@ namespace parsim {
 /// Identifier of a disk within a DiskArray.
 using DiskId = std::uint32_t;
 
-/// A simulated disk. Not thread-safe; the simulator is single-threaded by
-/// design (simulated time is computed, not measured).
+/// A simulated disk. Cumulative counters are not thread-safe; concurrent
+/// queries must run under a ScopedCostCapture (the engine's query paths
+/// always do) so traversals only write per-query accumulators.
 class SimulatedDisk {
  public:
   explicit SimulatedDisk(DiskId id, DiskParameters params = {})
-      : id_(id), params_(params) {}
+      : id_(id),
+        params_(params),
+        buffer_mutex_(std::make_unique<std::mutex>()) {}
 
   DiskId id() const { return id_; }
   const DiskParameters& parameters() const { return params_; }
@@ -30,12 +46,12 @@ class SimulatedDisk {
   /// Charges one data-page (leaf) read. `pages` > 1 models a multi-page
   /// read, e.g. an X-tree supernode.
   void ReadDataPages(std::uint64_t pages = 1) {
-    stats_.data_pages_read += pages;
+    Sink().data_pages_read += pages;
   }
 
   /// Charges one directory-page (inner node) read.
   void ReadDirectoryPages(std::uint64_t pages = 1) {
-    stats_.directory_pages_read += pages;
+    Sink().directory_pages_read += pages;
   }
 
   /// Installs a main-memory page buffer of `pages` pages (0 removes it).
@@ -51,28 +67,30 @@ class SimulatedDisk {
   /// Buffered variant of ReadDataPages: `key` identifies the block (a
   /// node id); hits charge nothing but are counted.
   void ReadDataPagesBuffered(std::uint64_t key, std::uint64_t pages = 1) {
-    if (buffer_ != nullptr && buffer_->Touch(key, pages)) {
-      stats_.buffer_hit_pages += pages;
+    DiskStats& sink = Sink();
+    if (buffer_ != nullptr && TouchBuffer(key, pages)) {
+      sink.buffer_hit_pages += pages;
       return;
     }
-    stats_.data_pages_read += pages;
+    sink.data_pages_read += pages;
   }
 
   /// Buffered variant of ReadDirectoryPages.
   void ReadDirectoryPagesBuffered(std::uint64_t key, std::uint64_t pages = 1) {
-    if (buffer_ != nullptr && buffer_->Touch(key, pages)) {
-      stats_.buffer_hit_pages += pages;
+    DiskStats& sink = Sink();
+    if (buffer_ != nullptr && TouchBuffer(key, pages)) {
+      sink.buffer_hit_pages += pages;
       return;
     }
-    stats_.directory_pages_read += pages;
+    sink.directory_pages_read += pages;
   }
 
   /// Charges page writes (index construction).
-  void WritePages(std::uint64_t pages = 1) { stats_.pages_written += pages; }
+  void WritePages(std::uint64_t pages = 1) { Sink().pages_written += pages; }
 
   /// Charges CPU for distance computations.
   void ChargeDistanceComputations(std::uint64_t n = 1) {
-    stats_.distance_computations += n;
+    Sink().distance_computations += n;
   }
 
   const DiskStats& stats() const { return stats_; }
@@ -82,11 +100,33 @@ class SimulatedDisk {
 
   void ResetStats() { stats_ = DiskStats{}; }
 
+  /// Folds externally captured per-query counters into the cumulative
+  /// stats. Callers serialize (the engine merges under its own lock).
+  void MergeStats(const DiskStats& delta) { stats_ += delta; }
+
  private:
+  /// Where charges from the current thread go: the active per-query
+  /// capture's slot for this disk, or the shared cumulative counters.
+  DiskStats& Sink() {
+    if (QueryCostAccumulator* capture = ActiveCostCapture()) {
+      return capture->slot(id_);
+    }
+    return stats_;
+  }
+
+  bool TouchBuffer(std::uint64_t key, std::uint64_t pages) {
+    std::lock_guard<std::mutex> lock(*buffer_mutex_);
+    return buffer_->Touch(key, pages);
+  }
+
   DiskId id_;
   DiskParameters params_;
   DiskStats stats_;
   std::unique_ptr<LruCache<std::uint64_t>> buffer_;
+  // Guards buffer_->Touch only: the LRU is the single piece of shared
+  // state a captured (concurrent) read still mutates. unique_ptr keeps
+  // SimulatedDisk movable for DiskArray's vector storage.
+  std::unique_ptr<std::mutex> buffer_mutex_;
 };
 
 }  // namespace parsim

@@ -1,9 +1,7 @@
 #include "src/parallel/engine.h"
 
 #include <algorithm>
-#include <atomic>
 #include <limits>
-#include <thread>
 
 #include "src/index/rstar_tree.h"
 #include "src/index/xtree.h"
@@ -247,51 +245,93 @@ KnnResult ParallelSearchEngine::RunKnn(const TreeBase& tree, PointView query,
   return HsKnn(tree, query, k, options_.metric);
 }
 
-void ParallelSearchEngine::FillStats(QueryStats* stats) const {
-  stats->parallel_ms = host_.ElapsedMs() + disks_.ParallelElapsedMs();
-  stats->sum_ms = host_.ElapsedMs() + disks_.SequentialElapsedMs();
-  stats->max_pages = disks_.MaxPagesRead();
-  stats->total_pages = disks_.TotalPagesRead();
-  stats->directory_pages = host_.stats().directory_pages_read +
-                           disks_.TotalStats().directory_pages_read;
-  stats->buffer_hit_pages = host_.stats().buffer_hit_pages +
-                            disks_.TotalStats().buffer_hit_pages;
-  stats->balance = disks_.BalanceRatio();
-  stats->pages_per_disk.clear();
-  for (std::size_t d = 0; d < disks_.size(); ++d) {
-    stats->pages_per_disk.push_back(
-        disks_.disk(static_cast<DiskId>(d)).stats().TotalPagesRead());
+QueryStats ParallelSearchEngine::StatsFromAccumulator(
+    const QueryCostAccumulator& acc) const {
+  const std::size_t n = disks_.size();
+  const DiskParameters& params = options_.disk_parameters;
+  const DiskStats& host = acc.slot(n);
+  const double host_ms = ElapsedMs(host, params);
+
+  QueryStats stats;
+  stats.directory_pages = host.directory_pages_read;
+  stats.buffer_hit_pages = host.buffer_hit_pages;
+  stats.pages_per_disk.reserve(n);
+  double max_ms = 0.0;
+  double sum_ms = 0.0;
+  for (std::size_t d = 0; d < n; ++d) {
+    const DiskStats& s = acc.slot(d);
+    const double ms = ElapsedMs(s, params);
+    max_ms = std::max(max_ms, ms);
+    sum_ms += ms;
+    const std::uint64_t pages = s.TotalPagesRead();
+    stats.max_pages = std::max(stats.max_pages, pages);
+    stats.total_pages += pages;
+    stats.directory_pages += s.directory_pages_read;
+    stats.buffer_hit_pages += s.buffer_hit_pages;
+    stats.pages_per_disk.push_back(pages);
   }
+  stats.parallel_ms = host_ms + max_ms;
+  stats.sum_ms = host_ms + sum_ms;
+  stats.balance =
+      stats.max_pages == 0
+          ? 1.0
+          : (static_cast<double>(stats.total_pages) / static_cast<double>(n)) /
+                static_cast<double>(stats.max_pages);
+  return stats;
+}
+
+void ParallelSearchEngine::MergeAccumulator(
+    const QueryCostAccumulator& acc) const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  for (std::size_t d = 0; d < disks_.size(); ++d) {
+    disks_.disk(static_cast<DiskId>(d)).MergeStats(acc.slot(d));
+  }
+  host_.MergeStats(acc.slot(disks_.size()));
+}
+
+std::shared_ptr<ThreadPool> ParallelSearchEngine::EnsurePool(
+    unsigned threads) const {
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  if (pool_ == nullptr || pool_->size() < threads) {
+    // Grow by replacement; previous users hold their own shared_ptr, so
+    // an in-flight batch on the old pool finishes undisturbed.
+    pool_ = std::make_shared<ThreadPool>(
+        std::max(threads, pool_ != nullptr ? pool_->size() : 0u));
+  }
+  return pool_;
 }
 
 std::vector<PointId> ParallelSearchEngine::RangeQuery(
     const Rect& query, QueryStats* stats) const {
   PARSIM_CHECK(query.dim() == dim_);
-  disks_.ResetStats();
-  host_.ResetStats();
+  QueryCostAccumulator acc(disks_.size() + 1);
   std::vector<PointId> out;
-  if (options_.architecture == Architecture::kSharedTree) {
-    out = trees_[0]->RangeQuery(query);
-  } else if (options_.architecture == Architecture::kFederatedScan) {
-    const std::size_t per_page = LeafCapacityPerPage(dim_);
-    for (std::size_t d = 0; d < scan_partitions_.size(); ++d) {
-      const PointSet& part = scan_partitions_[d];
-      if (part.empty()) continue;
-      SimulatedDisk& disk = disks_.disk(static_cast<DiskId>(d));
-      disk.ReadDataPages((part.size() + per_page - 1) / per_page);
-      for (std::size_t i = 0; i < part.size(); ++i) {
-        if (query.Contains(part[i])) out.push_back(scan_ids_[d][i]);
+  {
+    ScopedCostCapture capture(&acc);
+    if (options_.architecture == Architecture::kSharedTree) {
+      out = trees_[0]->RangeQuery(query);
+    } else if (options_.architecture == Architecture::kFederatedScan) {
+      const std::size_t per_page = LeafCapacityPerPage(dim_);
+      for (std::size_t d = 0; d < scan_partitions_.size(); ++d) {
+        const PointSet& part = scan_partitions_[d];
+        if (part.empty()) continue;
+        SimulatedDisk& disk = disks_.disk(static_cast<DiskId>(d));
+        disk.ReadDataPages((part.size() + per_page - 1) / per_page);
+        for (std::size_t i = 0; i < part.size(); ++i) {
+          if (query.Contains(part[i])) out.push_back(scan_ids_[d][i]);
+        }
       }
-    }
-  } else {
-    for (const auto& tree : trees_) {
-      if (tree->empty()) continue;
-      const std::vector<PointId> local = tree->RangeQuery(query);
-      out.insert(out.end(), local.begin(), local.end());
+    } else {
+      for (const auto& tree : trees_) {
+        if (tree->empty()) continue;
+        const std::vector<PointId> local = tree->RangeQuery(query);
+        out.insert(out.end(), local.begin(), local.end());
+      }
     }
   }
   std::sort(out.begin(), out.end());
-  if (stats != nullptr) FillStats(stats);
+  if (stats != nullptr) *stats = StatsFromAccumulator(acc);
+  MergeAccumulator(acc);
   return out;
 }
 
@@ -316,29 +356,32 @@ KnnResult ParallelSearchEngine::SimilarityQuery(PointView query,
                                                 QueryStats* stats) const {
   PARSIM_CHECK(query.size() == dim_);
   PARSIM_CHECK(radius >= 0.0);
-  disks_.ResetStats();
-  host_.ResetStats();
+  QueryCostAccumulator acc(disks_.size() + 1);
   KnnResult merged;
-  if (options_.architecture == Architecture::kSharedTree) {
-    merged = BallQuery(*trees_[0], query, radius, options_.metric);
-  } else if (options_.architecture == Architecture::kFederatedScan) {
-    const std::size_t per_page = LeafCapacityPerPage(dim_);
-    for (std::size_t d = 0; d < scan_partitions_.size(); ++d) {
-      const PointSet& part = scan_partitions_[d];
-      if (part.empty()) continue;
-      SimulatedDisk& disk = disks_.disk(static_cast<DiskId>(d));
-      disk.ReadDataPages((part.size() + per_page - 1) / per_page);
-      disk.ChargeDistanceComputations(part.size());
-      KnnResult local =
-          BruteForceBallQuery(part, query, radius, options_.metric);
-      for (Neighbor& n : local) n.id = scan_ids_[d][n.id];
-      merged.insert(merged.end(), local.begin(), local.end());
-    }
-  } else {
-    for (const auto& tree : trees_) {
-      if (tree->empty()) continue;
-      const KnnResult local = BallQuery(*tree, query, radius, options_.metric);
-      merged.insert(merged.end(), local.begin(), local.end());
+  {
+    ScopedCostCapture capture(&acc);
+    if (options_.architecture == Architecture::kSharedTree) {
+      merged = BallQuery(*trees_[0], query, radius, options_.metric);
+    } else if (options_.architecture == Architecture::kFederatedScan) {
+      const std::size_t per_page = LeafCapacityPerPage(dim_);
+      for (std::size_t d = 0; d < scan_partitions_.size(); ++d) {
+        const PointSet& part = scan_partitions_[d];
+        if (part.empty()) continue;
+        SimulatedDisk& disk = disks_.disk(static_cast<DiskId>(d));
+        disk.ReadDataPages((part.size() + per_page - 1) / per_page);
+        disk.ChargeDistanceComputations(part.size());
+        KnnResult local =
+            BruteForceBallQuery(part, query, radius, options_.metric);
+        for (Neighbor& n : local) n.id = scan_ids_[d][n.id];
+        merged.insert(merged.end(), local.begin(), local.end());
+      }
+    } else {
+      for (const auto& tree : trees_) {
+        if (tree->empty()) continue;
+        const KnnResult local =
+            BallQuery(*tree, query, radius, options_.metric);
+        merged.insert(merged.end(), local.begin(), local.end());
+      }
     }
   }
   std::sort(merged.begin(), merged.end(),
@@ -346,7 +389,8 @@ KnnResult ParallelSearchEngine::SimilarityQuery(PointView query,
               if (a.distance != b.distance) return a.distance < b.distance;
               return a.id < b.id;
             });
-  if (stats != nullptr) FillStats(stats);
+  if (stats != nullptr) *stats = StatsFromAccumulator(acc);
+  MergeAccumulator(acc);
   return merged;
 }
 
@@ -354,56 +398,78 @@ KnnResult ParallelSearchEngine::Query(PointView query, std::size_t k,
                                       QueryStats* stats) const {
   PARSIM_CHECK(query.size() == dim_);
   PARSIM_CHECK(k >= 1);
-  disks_.ResetStats();
-  host_.ResetStats();
-
+  QueryCostAccumulator acc(disks_.size() + 1);
   KnnResult merged;
-  if (options_.architecture == Architecture::kSharedTree) {
-    merged = RunKnn(*trees_[0], query, k);
-  } else if (options_.architecture == Architecture::kFederatedScan) {
-    merged = ScanQuery(query, k);
-  } else {
-    // Fan out: every disk answers the query over its local tree; merge
-    // the per-disk top-k lists. With parallel_workers > 1, the local
-    // searches run on real threads — each worker only touches its own
-    // tree and its own SimulatedDisk, so the accounting stays exact.
-    std::vector<KnnResult> local(trees_.size());
-    const unsigned workers =
-        std::min<unsigned>(options_.parallel_workers,
-                           static_cast<unsigned>(trees_.size()));
-    if (workers > 1) {
-      std::atomic<std::size_t> next{0};
-      std::vector<std::thread> pool;
-      pool.reserve(workers);
-      for (unsigned w = 0; w < workers; ++w) {
-        pool.emplace_back([&]() {
-          for (;;) {
-            const std::size_t i = next.fetch_add(1);
-            if (i >= trees_.size()) return;
-            if (!trees_[i]->empty()) {
-              local[i] = RunKnn(*trees_[i], query, k);
-            }
-          }
-        });
-      }
-      for (std::thread& t : pool) t.join();
+  {
+    ScopedCostCapture capture(&acc);
+    if (options_.architecture == Architecture::kSharedTree) {
+      merged = RunKnn(*trees_[0], query, k);
+    } else if (options_.architecture == Architecture::kFederatedScan) {
+      merged = ScanQuery(query, k);
     } else {
-      for (std::size_t i = 0; i < trees_.size(); ++i) {
-        if (!trees_[i]->empty()) local[i] = RunKnn(*trees_[i], query, k);
+      // Fan out: every disk answers the query over its local tree; merge
+      // the per-disk top-k lists. With parallel_workers > 1, the local
+      // searches run on the shared pool — each worker installs this
+      // query's accumulator and only writes the slot of its own disk, so
+      // the accounting stays exact.
+      std::vector<KnnResult> local(trees_.size());
+      const unsigned workers =
+          std::min<unsigned>(options_.parallel_workers,
+                             static_cast<unsigned>(trees_.size()));
+      if (workers > 1) {
+        EnsurePool(workers)->ParallelFor(
+            0, trees_.size(), [&](std::size_t i) {
+              ScopedCostCapture worker_capture(&acc);
+              if (!trees_[i]->empty()) {
+                local[i] = RunKnn(*trees_[i], query, k);
+              }
+            });
+      } else {
+        for (std::size_t i = 0; i < trees_.size(); ++i) {
+          if (!trees_[i]->empty()) local[i] = RunKnn(*trees_[i], query, k);
+        }
       }
+      for (const KnnResult& r : local) {
+        merged.insert(merged.end(), r.begin(), r.end());
+      }
+      std::sort(merged.begin(), merged.end(),
+                [](const Neighbor& a, const Neighbor& b) {
+                  if (a.distance != b.distance) return a.distance < b.distance;
+                  return a.id < b.id;
+                });
+      if (merged.size() > k) merged.resize(k);
     }
-    for (const KnnResult& r : local) {
-      merged.insert(merged.end(), r.begin(), r.end());
-    }
-    std::sort(merged.begin(), merged.end(),
-              [](const Neighbor& a, const Neighbor& b) {
-                if (a.distance != b.distance) return a.distance < b.distance;
-                return a.id < b.id;
-              });
-    if (merged.size() > k) merged.resize(k);
   }
-  if (stats != nullptr) FillStats(stats);
+  if (stats != nullptr) *stats = StatsFromAccumulator(acc);
+  MergeAccumulator(acc);
   return merged;
+}
+
+std::vector<KnnResult> ParallelSearchEngine::QueryBatch(
+    const PointSet& queries, std::size_t k, std::vector<QueryStats>* stats,
+    unsigned threads) const {
+  PARSIM_CHECK(queries.empty() || queries.dim() == dim_);
+  std::vector<KnnResult> results(queries.size());
+  if (stats != nullptr) stats->assign(queries.size(), QueryStats{});
+  if (queries.empty()) return results;
+
+  unsigned effective = threads != 0 ? threads : options_.parallel_workers;
+  effective = std::min<unsigned>(
+      effective, static_cast<unsigned>(queries.size()));
+  // An LRU page buffer makes per-query cost depend on query order;
+  // execute such batches serially so the numbers stay reproducible.
+  if (options_.buffer_pages_per_disk > 0) effective = 1;
+
+  const auto run_one = [&](std::size_t i) {
+    results[i] =
+        Query(queries[i], k, stats != nullptr ? &(*stats)[i] : nullptr);
+  };
+  if (effective <= 1) {
+    for (std::size_t i = 0; i < queries.size(); ++i) run_one(i);
+  } else {
+    EnsurePool(effective)->ParallelFor(0, queries.size(), run_one);
+  }
+  return results;
 }
 
 }  // namespace parsim

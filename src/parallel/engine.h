@@ -19,19 +19,29 @@
 // independent X-tree per disk over that disk's share of the data and
 // merges per-disk k-NN results; it is kept as an ablation of the
 // shared-tree design (see bench/ablation_architecture).
+//
+// Execution layer: all read-only queries are thread-safe. Each query
+// captures its simulated charges in a private QueryCostAccumulator (see
+// src/io/cost_capture.h) instead of mutating shared disk counters
+// mid-traversal, so QueryBatch can fan a batch of queries out over a
+// shared ThreadPool for real wall-clock parallelism while the simulated
+// per-query stats stay bit-identical to a serial run.
 
 #ifndef PARSIM_SRC_PARALLEL_ENGINE_H_
 #define PARSIM_SRC_PARALLEL_ENGINE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/core/declusterer.h"
 #include "src/index/knn.h"
 #include "src/index/tree_base.h"
+#include "src/io/cost_capture.h"
 #include "src/io/disk_array.h"
 #include "src/util/status.h"
+#include "src/util/thread_pool.h"
 
 namespace parsim {
 
@@ -71,11 +81,12 @@ struct EngineOptions {
   /// Build trees by insertion (the paper's dynamic setting) or by
   /// Hilbert bulk loading (faster construction for large runs).
   bool bulk_load = false;
-  /// Number of worker threads that execute the per-disk searches of the
-  /// federated architectures concurrently (real wall-clock parallelism
-  /// on top of the simulated-time accounting; results and simulated
-  /// stats are bit-identical to the serial execution). 0 or 1 = serial.
-  /// Ignored by kSharedTree, whose global traversal is sequential.
+  /// Number of worker threads for real wall-clock parallelism on top of
+  /// the simulated-time accounting: the per-disk searches of the
+  /// federated architectures fan out over this many pool workers, and
+  /// QueryBatch uses it as the default batch concurrency (any
+  /// architecture). Results and simulated stats are bit-identical to the
+  /// serial execution. 0 or 1 = serial.
   unsigned parallel_workers = 0;
   /// Main-memory page buffer per disk (and for the query host), in
   /// pages; 0 disables buffering. Buffered reads are free and persist
@@ -137,8 +148,27 @@ class ParallelSearchEngine {
 
   /// Global k nearest neighbors of `query`. Fills `stats` (optional)
   /// with the simulated cost of this query.
+  ///
+  /// Thread-safe against other Query/RangeQuery/SimilarityQuery calls:
+  /// traversal records its charges in a per-query cost accumulator and
+  /// only merges them into the shared disk counters under a lock at query
+  /// end, so the simulated stats of each query are independent of
+  /// interleaving (and bit-identical to a serial execution when no page
+  /// buffer is configured). Not safe against concurrent Insert/Remove.
   KnnResult Query(PointView query, std::size_t k,
                   QueryStats* stats = nullptr) const;
+
+  /// Answers every query in `queries` (k-NN, like Query) and returns the
+  /// per-query results in order. With `threads` > 1 — or `threads` == 0
+  /// and options().parallel_workers > 1 — the batch executes on the
+  /// engine's shared worker pool for real wall-clock parallelism;
+  /// results and per-query simulated stats are bit-identical to the
+  /// serial execution. Engines with a configured page buffer run the
+  /// batch serially (an LRU buffer makes per-query costs depend on query
+  /// order, so parallel interleaving would change the numbers).
+  std::vector<KnnResult> QueryBatch(const PointSet& queries, std::size_t k,
+                                    std::vector<QueryStats>* stats = nullptr,
+                                    unsigned threads = 0) const;
 
   /// All point ids inside `query` (inclusive). The query type the
   /// baseline declusterers were designed for (Section 1: "range queries
@@ -180,7 +210,17 @@ class ParallelSearchEngine {
                    std::size_t k) const;
   KnnResult ScanQuery(PointView query, std::size_t k) const;
   DiskId DiskOfLeaf(const Node& leaf) const;
-  void FillStats(QueryStats* stats) const;
+
+  /// Derives the per-query stats from a query's captured charges; the
+  /// formulas mirror the old reset-charge-read protocol exactly, so the
+  /// numbers are bit-identical to it.
+  QueryStats StatsFromAccumulator(const QueryCostAccumulator& acc) const;
+  /// Folds a finished query's charges into the cumulative disk counters
+  /// (under stats_mutex_).
+  void MergeAccumulator(const QueryCostAccumulator& acc) const;
+  /// The shared worker pool, created lazily with at least `threads`
+  /// workers.
+  std::shared_ptr<ThreadPool> EnsurePool(unsigned threads) const;
 
   std::size_t dim_;
   std::unique_ptr<Declusterer> declusterer_;
@@ -188,6 +228,9 @@ class ParallelSearchEngine {
   // disks_ and host_ must outlive the trees (raw pointers inside).
   mutable DiskArray disks_;
   mutable SimulatedDisk host_;
+  mutable std::mutex stats_mutex_;       // guards cumulative stats merges
+  mutable std::mutex pool_mutex_;        // guards pool_ creation/growth
+  mutable std::shared_ptr<ThreadPool> pool_;
   std::vector<std::unique_ptr<TreeBase>> trees_;  // 1 (shared) or n (federated)
   // kFederatedScan: raw per-disk storage (points + their ids).
   std::vector<PointSet> scan_partitions_;

@@ -19,6 +19,11 @@ namespace internal_check {
   std::abort();
 }
 
+[[noreturn]] inline void UnreachableReached(const char* file, int line) {
+  std::fprintf(stderr, "%s:%d: PARSIM_UNREACHABLE reached\n", file, line);
+  std::abort();
+}
+
 }  // namespace internal_check
 }  // namespace parsim
 
@@ -36,5 +41,11 @@ namespace internal_check {
 #else
 #define PARSIM_DCHECK(expr) PARSIM_CHECK(expr)
 #endif
+
+// Marks control flow that is impossible unless an enum (or similar) holds
+// a corrupt value. Fails loudly at runtime and, being [[noreturn]],
+// satisfies -Wreturn-type after an exhaustive switch on every compiler.
+#define PARSIM_UNREACHABLE() \
+  ::parsim::internal_check::UnreachableReached(__FILE__, __LINE__)
 
 #endif  // PARSIM_SRC_UTIL_CHECK_H_

@@ -1,0 +1,139 @@
+#include "src/util/thread_pool.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/util/check.h"
+
+namespace parsim {
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    PARSIM_CHECK(!stop_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::RunOneTask() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  return true;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this]() { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
+                             const std::function<void(std::size_t)>& body) {
+  if (begin >= end) return;
+  if (end - begin == 1) {
+    body(begin);
+    return;
+  }
+
+  // Shared loop state. The caller waits for every helper to finish before
+  // returning, so the helpers' pointer to `body` stays valid.
+  struct LoopState {
+    std::atomic<std::size_t> next{0};
+    std::size_t end = 0;
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    unsigned helpers_finished = 0;
+    std::exception_ptr error;
+  };
+  auto state = std::make_shared<LoopState>();
+  state->next.store(begin, std::memory_order_relaxed);
+  state->end = end;
+  state->body = &body;
+
+  const auto run_chunk = [](LoopState* s) {
+    for (;;) {
+      const std::size_t i = s->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= s->end) return;
+      try {
+        (*s->body)(i);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(s->done_mutex);
+          if (!s->error) s->error = std::current_exception();
+        }
+        // Stop handing out further iterations; in-flight ones finish.
+        s->next.store(s->end, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  const unsigned helpers = static_cast<unsigned>(
+      std::min<std::size_t>(workers_.size(), (end - begin) - 1));
+  for (unsigned h = 0; h < helpers; ++h) {
+    Enqueue([state, run_chunk]() {
+      run_chunk(state.get());
+      {
+        std::lock_guard<std::mutex> lock(state->done_mutex);
+        ++state->helpers_finished;
+      }
+      state->done_cv.notify_one();
+    });
+  }
+
+  run_chunk(state.get());  // the caller participates
+
+  // Work-stealing wait: our helper tasks may sit behind other tasks in
+  // the queue (or *be* the queue, if every worker is occupied by an
+  // enclosing ParallelFor). Draining the queue from here guarantees they
+  // run, which makes nested ParallelFor deadlock-free. Only once the
+  // queue is empty are all our helpers either done or running on some
+  // thread, and it is safe to sleep until they notify.
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(state->done_mutex);
+      if (state->helpers_finished == helpers) break;
+    }
+    if (RunOneTask()) continue;
+    std::unique_lock<std::mutex> lock(state->done_mutex);
+    if (state->helpers_finished == helpers) break;
+    state->done_cv.wait_for(lock, std::chrono::milliseconds(1));
+  }
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace parsim

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# CI driver for the execution layer.
+#
+#   1. Release build + the full test suite (the tier-1 gate).
+#   2. ThreadSanitizer build running the concurrency-sensitive tests:
+#      any data race in the cost-capture / thread-pool / QueryBatch path
+#      fails the run.
+#
+# Usage: tools/ci.sh            (from anywhere; builds into build-ci/ and
+#                                build-tsan/ next to the sources)
+#        JOBS=8 tools/ci.sh     (override build/test parallelism)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+
+echo "== [1/2] Release build + full suite =="
+cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build-ci -j "$JOBS"
+ctest --test-dir build-ci --output-on-failure -j "$JOBS"
+
+echo "== [2/2] TSAN build + concurrency tests =="
+TSAN_TESTS=(util_thread_pool_test parallel_concurrency_test
+            parallel_threads_test)
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -O1 -g" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+cmake --build build-tsan -j "$JOBS" --target "${TSAN_TESTS[@]}"
+for t in "${TSAN_TESTS[@]}"; do
+    echo "-- tsan: ${t}"
+    "./build-tsan/tests/${t}"
+done
+
+echo "ci: all green"
