@@ -1,0 +1,210 @@
+// Microbenchmark of the fault-injection layer and replica-based degraded
+// reads. Plain main() binary (no google-benchmark): it sweeps the number
+// of failed disks over a shared-tree engine (d=16, 16 disks) with
+// replicas on and off, and emits machine-readable results.
+//
+// For every configuration it reports the batch makespan against the
+// healthy makespan of the same page distribution (the degradation
+// factor), the throughput, and the degraded-read counters. With replicas
+// on, the k-NN answers must be identical to the healthy run for every
+// failure count — the binary exits nonzero if they are not, or if one
+// failed disk (with replicas) degrades the makespan by more than 2x.
+//
+// Output: a human-readable table on stdout and BENCH_fault_injection.json
+// in the working directory. Scale with PARSIM_BENCH_N / PARSIM_BENCH_QUERIES.
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "src/core/near_optimal.h"
+#include "src/eval/throughput.h"
+#include "src/io/disk_model.h"
+#include "src/parallel/engine.h"
+#include "src/workload/generators.h"
+
+namespace parsim {
+namespace {
+
+std::size_t EnvSize(const char* name, std::size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  const std::size_t parsed =
+      static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
+  if (parsed == 0) {
+    std::fprintf(stderr, "ignoring %s=\"%s\" (want a positive integer)\n",
+                 name, value);
+    return fallback;
+  }
+  return parsed;
+}
+
+bool AnswersIdentical(const std::vector<KnnResult>& a,
+                      const std::vector<KnnResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].size() != b[i].size()) return false;
+    for (std::size_t j = 0; j < a[i].size(); ++j) {
+      if (a[i][j].id != b[i][j].id || a[i][j].distance != b[i][j].distance) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+struct Row {
+  std::size_t failed = 0;
+  bool replicas = false;
+  double makespan_ms = 0.0;
+  double healthy_makespan_ms = 0.0;
+  double degradation = 1.0;
+  double qps = 0.0;
+  std::size_t degraded_queries = 0;
+  std::uint64_t replica_pages = 0;
+  std::uint64_t failed_read_attempts = 0;
+  std::uint64_t unavailable_pages = 0;
+  bool answers_ok = true;
+};
+
+}  // namespace
+
+int Run() {
+  const std::size_t n = EnvSize("PARSIM_BENCH_N", 40000);
+  const std::size_t dim = 16;
+  const std::size_t num_queries = EnvSize("PARSIM_BENCH_QUERIES", 32);
+  const std::size_t k = 10;
+  const std::size_t disks = 16;
+  const std::uint64_t fault_seed = 97;
+  const std::size_t failure_counts[] = {0, 1, 2, 4};
+
+  std::printf("== microbench_fault_injection ==\n");
+  std::printf("workload: n=%zu dim=%zu queries=%zu k=%zu disks=%zu\n", n, dim,
+              num_queries, k, disks);
+
+  const PointSet data = GenerateUniform(n, dim, 4301);
+  const PointSet queries = GenerateUniformQueries(num_queries, dim, 4303);
+
+  const auto make_engine = [&](bool replicas) {
+    EngineOptions options;
+    options.architecture = Architecture::kSharedTree;
+    options.bulk_load = true;
+    options.enable_replicas = replicas;
+    auto engine = std::make_unique<ParallelSearchEngine>(
+        dim, std::make_unique<NearOptimalDeclusterer>(dim, disks), options);
+    if (!engine->Build(data).ok()) {
+      std::fprintf(stderr, "engine build failed\n");
+      std::exit(1);
+    }
+    return engine;
+  };
+  const auto with_replicas = make_engine(true);
+  const auto without_replicas = make_engine(false);
+
+  const std::vector<KnnResult> healthy_answers =
+      with_replicas->QueryBatch(queries, k);
+
+  std::vector<Row> rows;
+  bool all_answers_ok = true;
+  double one_failed_replica_degradation = 1.0;
+  for (const bool replicas : {true, false}) {
+    ParallelSearchEngine& engine = replicas ? *with_replicas
+                                            : *without_replicas;
+    for (const std::size_t failed : failure_counts) {
+      engine.SetFaultPlan(
+          FaultPlan::WithRandomFailures(disks, failed, fault_seed));
+      const ThroughputResult result =
+          SimulateThroughput(engine, queries, k);
+
+      Row row;
+      row.failed = failed;
+      row.replicas = replicas;
+      row.makespan_ms = result.makespan_ms;
+      row.healthy_makespan_ms = result.healthy_makespan_ms;
+      row.degradation = result.makespan_ms / result.healthy_makespan_ms;
+      row.qps = result.throughput_qps;
+      row.degraded_queries = result.degraded_queries;
+      row.replica_pages = result.replica_pages;
+      row.failed_read_attempts = result.failed_read_attempts;
+      row.unavailable_pages = result.unavailable_pages;
+      if (replicas) {
+        row.answers_ok =
+            AnswersIdentical(engine.QueryBatch(queries, k), healthy_answers);
+        all_answers_ok = all_answers_ok && row.answers_ok;
+        if (failed == 1) one_failed_replica_degradation = row.degradation;
+      }
+      engine.ClearFaults();
+      rows.push_back(row);
+    }
+  }
+
+  std::printf(
+      "\n%-9s %-8s %12s %12s %8s %9s %9s %9s %8s\n", "replicas", "failed",
+      "makespan", "healthy", "degrad", "qps", "repl.pg", "unavail", "answers");
+  for (const Row& row : rows) {
+    std::printf("%-9s %-8zu %10.1fms %10.1fms %7.3fx %9.1f %9llu %9llu %8s\n",
+                row.replicas ? "on" : "off", row.failed, row.makespan_ms,
+                row.healthy_makespan_ms, row.degradation, row.qps,
+                static_cast<unsigned long long>(row.replica_pages),
+                static_cast<unsigned long long>(row.unavailable_pages),
+                row.replicas ? (row.answers_ok ? "same" : "DIFFER") : "-");
+  }
+
+  FILE* json = std::fopen("BENCH_fault_injection.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_fault_injection.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n");
+  std::fprintf(json,
+               "  \"workload\": {\"points\": %zu, \"dim\": %zu, "
+               "\"queries\": %zu, \"k\": %zu, \"disks\": %zu, "
+               "\"fault_seed\": %llu},\n",
+               n, dim, num_queries, k, disks,
+               static_cast<unsigned long long>(fault_seed));
+  std::fprintf(json, "  \"runs\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::fprintf(
+        json,
+        "    {\"replicas\": %s, \"failed_disks\": %zu, "
+        "\"makespan_ms\": %.3f, \"healthy_makespan_ms\": %.3f, "
+        "\"degradation\": %.4f, \"throughput_qps\": %.1f, "
+        "\"degraded_queries\": %zu, \"replica_pages\": %llu, "
+        "\"failed_read_attempts\": %llu, \"unavailable_pages\": %llu, "
+        "\"answers_identical\": %s}%s\n",
+        row.replicas ? "true" : "false", row.failed, row.makespan_ms,
+        row.healthy_makespan_ms, row.degradation, row.qps,
+        row.degraded_queries,
+        static_cast<unsigned long long>(row.replica_pages),
+        static_cast<unsigned long long>(row.failed_read_attempts),
+        static_cast<unsigned long long>(row.unavailable_pages),
+        row.replicas ? (row.answers_ok ? "true" : "false") : "null",
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(json, "  ],\n");
+  std::fprintf(json, "  \"answers_identical_with_replicas\": %s,\n",
+               all_answers_ok ? "true" : "false");
+  std::fprintf(json, "  \"one_failed_replica_degradation\": %.4f\n",
+               one_failed_replica_degradation);
+  std::fprintf(json, "}\n");
+  std::fclose(json);
+  std::printf("\nwrote BENCH_fault_injection.json\n");
+
+  if (!all_answers_ok) {
+    std::fprintf(stderr, "FAIL: degraded answers differ from healthy\n");
+    return 1;
+  }
+  if (one_failed_replica_degradation > 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: one failed disk degraded the makespan %.3fx (> 2x)\n",
+                 one_failed_replica_degradation);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace parsim
+
+int main() { return parsim::Run(); }

@@ -1,0 +1,92 @@
+#include "src/core/replica.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace parsim {
+
+namespace {
+
+std::uint32_t PrimaryDisks(std::size_t dim, std::uint32_t num_disks) {
+  return std::min(num_disks, NumColors(dim));
+}
+
+}  // namespace
+
+ReplicaPlacement::ReplicaPlacement(std::size_t dim, std::uint32_t num_disks)
+    : bucketizer_(dim),
+      num_disks_(num_disks),
+      folding_(NumColors(dim), PrimaryDisks(dim, num_disks)) {
+  PARSIM_CHECK(num_disks >= 1);
+  BuildTable();
+}
+
+ReplicaPlacement::ReplicaPlacement(Bucketizer bucketizer,
+                                   std::uint32_t num_disks)
+    : bucketizer_(std::move(bucketizer)),
+      num_disks_(num_disks),
+      folding_(NumColors(bucketizer_.dim()),
+               PrimaryDisks(bucketizer_.dim(), num_disks)) {
+  PARSIM_CHECK(num_disks >= 1);
+  BuildTable();
+}
+
+void ReplicaPlacement::BuildTable() {
+  const std::size_t d = bucketizer_.dim();
+  const std::uint32_t num_colors = folding_.num_colors();
+  replica_of_color_.resize(num_colors);
+
+  for (Color v = 0; v < num_colors; ++v) {
+    const DiskId self = folding_.DiskOf(v);
+    // Primaries of the color's direct and indirect neighbors. Every
+    // neighbor color is v XOR s with s = (i+1) or (i+1)^(j+1), all < C.
+    std::vector<DiskId> direct, indirect;
+    direct.reserve(d);
+    indirect.reserve(d * (d - 1) / 2);
+    for (std::size_t i = 0; i < d; ++i) {
+      const Color si = static_cast<Color>(i + 1);
+      direct.push_back(folding_.DiskOf(v ^ si));
+      for (std::size_t j = i + 1; j < d; ++j) {
+        const Color sj = static_cast<Color>(j + 1);
+        indirect.push_back(folding_.DiskOf(v ^ si ^ sj));
+      }
+    }
+    const auto in = [](const std::vector<DiskId>& set, DiskId disk) {
+      return std::find(set.begin(), set.end(), disk) != set.end();
+    };
+
+    // Deterministic rotation: start past the primary, offset by the
+    // color so that colors folding onto the same primary disk spread
+    // their replicas over different disks (a failed disk's buckets then
+    // fail over to several disks, not one).
+    const std::uint32_t start = self + 1 + v % num_disks_;
+    DiskId choice = self;  // n == 1 fallback: self (no replica possible)
+    for (int pass = 0; pass < 3; ++pass) {
+      bool found = false;
+      for (std::uint32_t o = 0; o < num_disks_ && !found; ++o) {
+        const DiskId disk = (start + o) % num_disks_;
+        if (disk == self) continue;
+        if (pass <= 1 && in(direct, disk)) continue;
+        if (pass == 0 && in(indirect, disk)) continue;
+        choice = disk;
+        found = true;
+      }
+      if (found) break;
+    }
+    replica_of_color_[v] = choice;
+  }
+}
+
+DiskId ReplicaPlacement::ReplicaOfColor(Color color) const {
+  PARSIM_CHECK(color < replica_of_color_.size());
+  return replica_of_color_[color];
+}
+
+DiskId ReplicaPlacement::ReplicaFor(BucketId bucket, DiskId primary) const {
+  const DiskId replica = ReplicaOfBucket(bucket);
+  if (replica != primary) return replica;
+  return (replica + 1) % num_disks_;
+}
+
+}  // namespace parsim

@@ -39,6 +39,21 @@ struct ThroughputResult {
   /// Aggregate pages served per disk over the batch.
   std::vector<std::uint64_t> pages_per_disk;
 
+  // Fault / degraded-read aggregates. All zero (and healthy_makespan_ms
+  // == makespan_ms bit for bit) on a healthy disk array.
+  /// Batch makespan at healthy rates: same page distribution, but no
+  /// slow-disk scaling and no retry penalties. makespan_ms divided by
+  /// healthy_makespan_ms is the batch degradation factor.
+  double healthy_makespan_ms = 0.0;
+  /// Queries that read a replica, retried a failed disk, or lost pages.
+  std::size_t degraded_queries = 0;
+  /// Pages served by replicas on behalf of failed primaries.
+  std::uint64_t replica_pages = 0;
+  /// Timed-out read attempts against failed primaries (bounded retry).
+  std::uint64_t failed_read_attempts = 0;
+  /// Pages no healthy copy could serve (failed disk, no replica).
+  std::uint64_t unavailable_pages = 0;
+
   /// Real (measured) wall-clock execution of the batch on this machine,
   /// alongside the simulated makespan above.
   double wall_ms = 0.0;

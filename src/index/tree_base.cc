@@ -64,22 +64,27 @@ NodeId TreeBase::AllocateNode(int level) {
 const Node& TreeBase::AccessNode(NodeId id) const {
   PARSIM_CHECK(id < nodes_.size());
   const Node& node = *nodes_[id];
-  SimulatedDisk* disk =
-      node_disk_resolver_ ? node_disk_resolver_(node) : disk_;
-  PARSIM_CHECK(disk != nullptr);
+  const DiskRoute route =
+      node_disk_resolver_ ? node_disk_resolver_(node) : DiskRoute{disk_};
+  PARSIM_CHECK(route.disk != nullptr);
+  // Fault annotations are recorded exactly once per node READ (distance
+  // charges re-resolve the route but do not repeat them).
+  if (route.failover) route.disk->RecordFailover(route.retry_attempts,
+                                                node.pages);
+  if (route.unavailable) route.disk->RecordUnavailable(node.pages);
   if (node.IsLeaf()) {
-    disk->ReadDataPagesBuffered(node.id, node.pages);
+    route.disk->ReadDataPagesBuffered(node.id, node.pages);
   } else {
-    disk->ReadDirectoryPagesBuffered(node.id, node.pages);
+    route.disk->ReadDirectoryPagesBuffered(node.id, node.pages);
   }
   return node;
 }
 
 void TreeBase::ChargeNodeDistances(const Node& node, std::uint64_t n) const {
-  SimulatedDisk* disk =
-      node_disk_resolver_ ? node_disk_resolver_(node) : disk_;
-  PARSIM_CHECK(disk != nullptr);
-  disk->ChargeDistanceComputations(n);
+  const DiskRoute route =
+      node_disk_resolver_ ? node_disk_resolver_(node) : DiskRoute{disk_};
+  PARSIM_CHECK(route.disk != nullptr);
+  route.disk->ChargeDistanceComputations(n);
 }
 
 const Node& TreeBase::PeekNode(NodeId id) const {

@@ -94,11 +94,26 @@ class TreeBase {
   /// Root node id (kInvalidNodeId when empty).
   NodeId root_id() const { return root_; }
 
+  /// Where a node access lands, plus its fault-handling annotations. The
+  /// default route (no resolver) is the tree's own disk, healthy.
+  struct DiskRoute {
+    SimulatedDisk* disk = nullptr;
+    /// Timed-out read attempts against a failed primary, charged to
+    /// `disk` (the replica) before the failover read itself.
+    std::uint32_t retry_attempts = 0;
+    /// True when `disk` is the replica of a failed primary; the access
+    /// is then also tallied as replica pages.
+    bool failover = false;
+    /// True when no healthy copy exists; `disk` is the failed primary,
+    /// and the access is tallied as unavailable.
+    bool unavailable = false;
+  };
+
   /// Routes a node's charges to a disk. The default (unset resolver)
   /// charges everything to the tree's own disk; the shared-tree parallel
-  /// engine resolves leaves to the disk owning their page and directory
-  /// nodes to the query host.
-  using NodeDiskResolver = std::function<SimulatedDisk*(const Node&)>;
+  /// engine resolves leaves to the disk owning their page (or, for a
+  /// failed disk, its replica) and directory nodes to the query host.
+  using NodeDiskResolver = std::function<DiskRoute(const Node&)>;
 
   /// Installs (or clears, with nullptr) the charge-routing policy.
   void set_node_disk_resolver(NodeDiskResolver resolver) {

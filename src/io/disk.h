@@ -43,6 +43,32 @@ class SimulatedDisk {
   DiskId id() const { return id_; }
   const DiskParameters& parameters() const { return params_; }
 
+  /// Injected fault state. Setting it must not race with queries: inject
+  /// faults between query waves, like Insert/Remove.
+  void set_fault(const DiskFault& fault) { fault_ = fault; }
+  const DiskFault& fault() const { return fault_; }
+  bool is_failed() const { return fault_.health == DiskHealth::kFailed; }
+  bool is_slow() const { return fault_.health == DiskHealth::kSlow; }
+  /// Elapsed-time multiplier of the current fault state (1.0 if healthy).
+  double time_scale() const { return fault_.TimeScale(); }
+
+  /// Records a failover served by THIS disk (the replica of a failed
+  /// primary): `attempts` timed-out reads against the primary plus
+  /// `pages` pages served here on its behalf. The actual page charges
+  /// follow separately through the normal Read* calls.
+  void RecordFailover(std::uint64_t attempts, std::uint64_t pages) {
+    DiskStats& sink = Sink();
+    sink.failed_read_attempts += attempts;
+    sink.replica_pages_read += pages;
+  }
+
+  /// Records `pages` that no healthy copy could serve (this disk failed
+  /// and had no replica). Queries seeing any unavailable page report
+  /// kUnavailable through the engine's TryQuery.
+  void RecordUnavailable(std::uint64_t pages) {
+    Sink().unavailable_pages += pages;
+  }
+
   /// Charges one data-page (leaf) read. `pages` > 1 models a multi-page
   /// read, e.g. an X-tree supernode.
   void ReadDataPages(std::uint64_t pages = 1) {
@@ -95,8 +121,17 @@ class SimulatedDisk {
 
   const DiskStats& stats() const { return stats_; }
 
-  /// Simulated elapsed time for everything charged since the last reset.
-  double ElapsedMs() const { return parsim::ElapsedMs(stats_, params_); }
+  /// Simulated elapsed time for everything charged since the last reset,
+  /// scaled by the disk's fault state (a slow disk takes slow_factor
+  /// times longer for the same accesses).
+  double ElapsedMs() const {
+    return parsim::ElapsedMs(stats_, params_) * time_scale();
+  }
+
+  /// Elapsed time at healthy rates, ignoring the fault state.
+  double HealthyElapsedMs() const {
+    return parsim::HealthyElapsedMs(stats_, params_);
+  }
 
   void ResetStats() { stats_ = DiskStats{}; }
 
@@ -121,6 +156,7 @@ class SimulatedDisk {
 
   DiskId id_;
   DiskParameters params_;
+  DiskFault fault_;
   DiskStats stats_;
   std::unique_ptr<LruCache<std::uint64_t>> buffer_;
   // Guards buffer_->Touch only: the LRU is the single piece of shared

@@ -80,4 +80,33 @@ void DiskArray::ResetStats() {
   for (auto& d : disks_) d.ResetStats();
 }
 
+void DiskArray::ApplyFaultPlan(const FaultPlan& plan) {
+  if (plan.empty()) {
+    ClearFaults();
+    return;
+  }
+  PARSIM_CHECK(plan.num_disks() == disks_.size());
+  for (std::size_t d = 0; d < disks_.size(); ++d) {
+    disks_[d].set_fault(plan.fault(static_cast<DiskId>(d)));
+  }
+  fault_plan_ = plan;
+}
+
+void DiskArray::ClearFaults() {
+  for (auto& d : disks_) d.set_fault(DiskFault{});
+  fault_plan_ = FaultPlan{};
+}
+
+std::size_t DiskArray::NumFailedDisks() const {
+  std::size_t n = 0;
+  for (const auto& d : disks_) if (d.is_failed()) ++n;
+  return n;
+}
+
+std::size_t DiskArray::NumSlowDisks() const {
+  std::size_t n = 0;
+  for (const auto& d : disks_) if (d.is_slow()) ++n;
+  return n;
+}
+
 }  // namespace parsim

@@ -53,8 +53,24 @@ class DiskArray {
 
   void ResetStats();
 
+  /// Applies `plan` to every disk. The plan must be empty (all healthy)
+  /// or cover exactly size() disks. Do not race with in-flight queries:
+  /// inject faults between query waves.
+  void ApplyFaultPlan(const FaultPlan& plan);
+
+  /// Restores every disk to healthy.
+  void ClearFaults();
+
+  /// The plan last applied (empty if none / cleared).
+  const FaultPlan& fault_plan() const { return fault_plan_; }
+
+  /// Number of currently failed / slow disks.
+  std::size_t NumFailedDisks() const;
+  std::size_t NumSlowDisks() const;
+
  private:
   std::vector<SimulatedDisk> disks_;
+  FaultPlan fault_plan_;
 };
 
 }  // namespace parsim

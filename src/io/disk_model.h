@@ -13,6 +13,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
+#include <vector>
 
 namespace parsim {
 
@@ -31,11 +33,85 @@ struct DiskParameters {
   /// CPU cost charged per distance computation during search; models the
   /// (small but nonzero) CPU share of nearest-neighbor search.
   double cpu_ms_per_distance = 0.001;
+  /// Cost of one timed-out read attempt against a failed disk before the
+  /// engine fails over to a replica (fail-fast detection, not a full SCSI
+  /// timeout — the array learns quickly that a disk is dead).
+  double failover_timeout_ms = 1.0;
 
   /// Cost of one random page read.
   double PageAccessMs() const {
     return avg_seek_ms + avg_rotational_ms + transfer_ms_per_page;
   }
+};
+
+// ---------------------------------------------------------------------------
+// Fault injection.
+
+/// Health of one simulated disk.
+enum class DiskHealth {
+  kHealthy = 0,
+  /// Serves every request, but `slow_factor` times slower (a degraded
+  /// spindle, a congested node).
+  kSlow,
+  /// Serves nothing; reads must fail over to a replica or go unavailable.
+  kFailed,
+};
+
+const char* DiskHealthToString(DiskHealth health);
+
+/// Injected state of one disk.
+struct DiskFault {
+  DiskHealth health = DiskHealth::kHealthy;
+  /// Elapsed-time multiplier, applied when health == kSlow (>= 1).
+  double slow_factor = 1.0;
+
+  /// Multiplier this fault applies to the disk's elapsed time (1.0 for
+  /// healthy and failed disks — a failed disk does no work at all).
+  double TimeScale() const {
+    return health == DiskHealth::kSlow ? slow_factor : 1.0;
+  }
+};
+
+/// A deterministic per-disk fault schedule, injectable into a DiskArray.
+/// An empty (default) plan means every disk is healthy. The seeded
+/// factories make fault runs exactly reproducible: the same
+/// (num_disks, count, seed) triple always yields the same plan.
+class FaultPlan {
+ public:
+  /// Empty plan: all disks healthy, applies to an array of any size.
+  FaultPlan() = default;
+
+  /// All-healthy plan for `num_disks` disks.
+  explicit FaultPlan(std::size_t num_disks) : faults_(num_disks) {}
+
+  /// `failures` distinct disks failed, chosen by a seeded shuffle.
+  static FaultPlan WithRandomFailures(std::size_t num_disks,
+                                      std::size_t failures,
+                                      std::uint64_t seed);
+
+  /// `slow` distinct disks slowed by `factor`, chosen by a seeded shuffle.
+  static FaultPlan WithRandomSlowdowns(std::size_t num_disks,
+                                       std::size_t slow, double factor,
+                                       std::uint64_t seed);
+
+  std::size_t num_disks() const { return faults_.size(); }
+  bool empty() const { return faults_.empty(); }
+
+  void FailDisk(std::uint32_t disk);
+  void SlowDisk(std::uint32_t disk, double factor);
+  void HealDisk(std::uint32_t disk);
+
+  const DiskFault& fault(std::uint32_t disk) const;
+  bool IsFailed(std::uint32_t disk) const;
+
+  std::size_t NumFailed() const;
+  std::size_t NumSlow() const;
+
+  /// "disk 3: FAILED, disk 7: SLOW x4.0" (healthy disks omitted).
+  std::string ToString() const;
+
+ private:
+  std::vector<DiskFault> faults_;
 };
 
 /// Cumulative access statistics of one disk (or of a whole array).
@@ -46,6 +122,19 @@ struct DiskStats {
   std::uint64_t distance_computations = 0;
   /// Pages served from the disk's main-memory buffer (no I/O charged).
   std::uint64_t buffer_hit_pages = 0;
+  /// Of data_pages_read: pages this disk served as the replica of a
+  /// failed primary (tag-along counter; already inside data_pages_read).
+  std::uint64_t replica_pages_read = 0;
+  /// Timed-out read attempts against a failed primary that this disk
+  /// absorbed before serving the failover (each costs failover_timeout_ms).
+  std::uint64_t failed_read_attempts = 0;
+  /// Pages that could not be served at all: the disk failed and no
+  /// healthy replica existed. Queries that saw any unavailable page
+  /// report an error through the engine's TryQuery. (The shared-tree
+  /// engine still charges the would-be page reads to the failed primary
+  /// for accounting continuity; the federated engines skip the
+  /// partition's work entirely and record only this counter.)
+  std::uint64_t unavailable_pages = 0;
 
   std::uint64_t TotalPagesRead() const {
     return data_pages_read + directory_pages_read;
@@ -57,15 +146,28 @@ struct DiskStats {
     pages_written += other.pages_written;
     distance_computations += other.distance_computations;
     buffer_hit_pages += other.buffer_hit_pages;
+    replica_pages_read += other.replica_pages_read;
+    failed_read_attempts += other.failed_read_attempts;
+    unavailable_pages += other.unavailable_pages;
     return *this;
   }
 };
 
-/// Simulated elapsed time for the given stats under the given parameters.
-inline double ElapsedMs(const DiskStats& stats, const DiskParameters& params) {
+/// Simulated elapsed time at healthy rates: page and CPU work only, no
+/// fault penalties. This is the paper's original cost formula.
+inline double HealthyElapsedMs(const DiskStats& stats,
+                               const DiskParameters& params) {
   return static_cast<double>(stats.TotalPagesRead()) * params.PageAccessMs() +
          static_cast<double>(stats.distance_computations) *
              params.cpu_ms_per_distance;
+}
+
+/// Simulated elapsed time including failover retry penalties. Identical
+/// (bit for bit) to HealthyElapsedMs when no faults were encountered.
+inline double ElapsedMs(const DiskStats& stats, const DiskParameters& params) {
+  return HealthyElapsedMs(stats, params) +
+         static_cast<double>(stats.failed_read_attempts) *
+             params.failover_timeout_ms;
 }
 
 }  // namespace parsim

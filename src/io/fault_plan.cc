@@ -1,0 +1,113 @@
+#include <algorithm>
+#include <numeric>
+
+#include "src/io/disk_model.h"
+#include "src/util/check.h"
+#include "src/util/random.h"
+
+namespace parsim {
+
+const char* DiskHealthToString(DiskHealth health) {
+  switch (health) {
+    case DiskHealth::kHealthy:
+      return "HEALTHY";
+    case DiskHealth::kSlow:
+      return "SLOW";
+    case DiskHealth::kFailed:
+      return "FAILED";
+  }
+  return "UNKNOWN";
+}
+
+namespace {
+
+// First `count` positions of a seeded shuffle of [0, num_disks): the
+// deterministic fault schedule both factories draw from.
+std::vector<std::uint32_t> PickDisks(std::size_t num_disks, std::size_t count,
+                                     std::uint64_t seed) {
+  PARSIM_CHECK(count <= num_disks);
+  std::vector<std::uint32_t> disks(num_disks);
+  std::iota(disks.begin(), disks.end(), 0u);
+  Rng rng(seed);
+  rng.Shuffle(&disks);
+  disks.resize(count);
+  return disks;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::WithRandomFailures(std::size_t num_disks,
+                                        std::size_t failures,
+                                        std::uint64_t seed) {
+  FaultPlan plan(num_disks);
+  for (std::uint32_t disk : PickDisks(num_disks, failures, seed)) {
+    plan.FailDisk(disk);
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::WithRandomSlowdowns(std::size_t num_disks,
+                                         std::size_t slow, double factor,
+                                         std::uint64_t seed) {
+  FaultPlan plan(num_disks);
+  for (std::uint32_t disk : PickDisks(num_disks, slow, seed)) {
+    plan.SlowDisk(disk, factor);
+  }
+  return plan;
+}
+
+void FaultPlan::FailDisk(std::uint32_t disk) {
+  PARSIM_CHECK(disk < faults_.size());
+  faults_[disk] = DiskFault{DiskHealth::kFailed, 1.0};
+}
+
+void FaultPlan::SlowDisk(std::uint32_t disk, double factor) {
+  PARSIM_CHECK(disk < faults_.size());
+  PARSIM_CHECK(factor >= 1.0);
+  faults_[disk] = DiskFault{DiskHealth::kSlow, factor};
+}
+
+void FaultPlan::HealDisk(std::uint32_t disk) {
+  PARSIM_CHECK(disk < faults_.size());
+  faults_[disk] = DiskFault{};
+}
+
+const DiskFault& FaultPlan::fault(std::uint32_t disk) const {
+  PARSIM_CHECK(disk < faults_.size());
+  return faults_[disk];
+}
+
+bool FaultPlan::IsFailed(std::uint32_t disk) const {
+  return fault(disk).health == DiskHealth::kFailed;
+}
+
+std::size_t FaultPlan::NumFailed() const {
+  return static_cast<std::size_t>(
+      std::count_if(faults_.begin(), faults_.end(), [](const DiskFault& f) {
+        return f.health == DiskHealth::kFailed;
+      }));
+}
+
+std::size_t FaultPlan::NumSlow() const {
+  return static_cast<std::size_t>(
+      std::count_if(faults_.begin(), faults_.end(), [](const DiskFault& f) {
+        return f.health == DiskHealth::kSlow;
+      }));
+}
+
+std::string FaultPlan::ToString() const {
+  std::string out;
+  for (std::size_t d = 0; d < faults_.size(); ++d) {
+    const DiskFault& f = faults_[d];
+    if (f.health == DiskHealth::kHealthy) continue;
+    if (!out.empty()) out += ", ";
+    out += "disk " + std::to_string(d) + ": " +
+           DiskHealthToString(f.health);
+    if (f.health == DiskHealth::kSlow) {
+      out += " x" + std::to_string(f.slow_factor);
+    }
+  }
+  return out.empty() ? "all healthy" : out;
+}
+
+}  // namespace parsim

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "src/core/near_optimal.h"
 #include "src/index/rstar_tree.h"
 #include "src/index/xtree.h"
 #include "src/util/check.h"
@@ -28,14 +29,27 @@ ParallelSearchEngine::ParallelSearchEngine(
     }
     host_.ConfigureBuffer(options_.buffer_pages_per_disk);
   }
+  if (options_.enable_replicas &&
+      options_.architecture == Architecture::kSharedTree) {
+    // Replicas follow the same bucket geometry the primaries use, so a
+    // near-optimal (or recursive) declusterer's split values carry over;
+    // other declusterers fall back to midpoint buckets, and ReplicaFor
+    // nudges off the actual primary either way.
+    const auto* near_optimal =
+        dynamic_cast<const NearOptimalDeclusterer*>(declusterer_.get());
+    replicas_ = std::make_unique<ReplicaPlacement>(
+        near_optimal != nullptr ? near_optimal->bucketizer()
+                                : Bucketizer(dim_),
+        static_cast<std::uint32_t>(disks_.size()));
+  }
   switch (options_.architecture) {
     case Architecture::kSharedTree:
       // One global tree. Structural (build-time) charges go to the host;
       // query-time charges are routed per node by the resolver below.
       trees_.push_back(MakeTree(&host_));
       trees_[0]->set_node_disk_resolver([this](const Node& node) {
-        if (!node.IsLeaf()) return &host_;
-        return &disks_.disk(DiskOfLeaf(node));
+        if (!node.IsLeaf()) return TreeBase::DiskRoute{&host_};
+        return RouteLeaf(node);
       });
       break;
     case Architecture::kFederatedTrees:
@@ -86,6 +100,42 @@ DiskId ParallelSearchEngine::DiskOfLeaf(const Node& leaf) const {
   const Point center = leaf.ComputeMbr(dim_).Center();
   return declusterer_->DiskOfPoint(center, leaf.id);
 }
+
+TreeBase::DiskRoute ParallelSearchEngine::RouteLeaf(const Node& leaf) const {
+  PARSIM_DCHECK(leaf.IsLeaf());
+  const Point center = leaf.ComputeMbr(dim_).Center();
+  const DiskId primary_id = declusterer_->DiskOfPoint(center, leaf.id);
+  SimulatedDisk& primary = disks_.disk(primary_id);
+  if (!primary.is_failed()) return TreeBase::DiskRoute{&primary};
+  if (replicas_ != nullptr) {
+    const DiskId replica_id = replicas_->ReplicaFor(
+        replicas_->bucketizer().BucketOf(center), primary_id);
+    SimulatedDisk& replica = disks_.disk(replica_id);
+    if (!replica.is_failed()) {
+      TreeBase::DiskRoute route{&replica};
+      route.failover = true;
+      route.retry_attempts = options_.max_read_retries;
+      return route;
+    }
+  }
+  TreeBase::DiskRoute route{&primary};
+  route.unavailable = true;
+  return route;
+}
+
+bool ParallelSearchEngine::SkipFailedDisk(DiskId d,
+                                          std::uint64_t pages) const {
+  SimulatedDisk& disk = disks_.disk(d);
+  if (!disk.is_failed()) return false;
+  disk.RecordUnavailable(pages);
+  return true;
+}
+
+void ParallelSearchEngine::SetFaultPlan(const FaultPlan& plan) {
+  disks_.ApplyFaultPlan(plan);
+}
+
+void ParallelSearchEngine::ClearFaults() { disks_.ClearFaults(); }
 
 Status ParallelSearchEngine::Build(const PointSet& points) {
   if (points.dim() != dim_) {
@@ -221,8 +271,10 @@ KnnResult ParallelSearchEngine::ScanQuery(PointView query,
   for (std::size_t d = 0; d < scan_partitions_.size(); ++d) {
     const PointSet& part = scan_partitions_[d];
     if (part.empty()) continue;
+    const std::uint64_t pages = (part.size() + per_page - 1) / per_page;
+    if (SkipFailedDisk(static_cast<DiskId>(d), pages)) continue;
     SimulatedDisk& disk = disks_.disk(static_cast<DiskId>(d));
-    disk.ReadDataPages((part.size() + per_page - 1) / per_page);
+    disk.ReadDataPages(pages);
     disk.ChargeDistanceComputations(part.size());
     KnnResult local = BruteForceKnn(part, query, k, options_.metric);
     for (Neighbor& n : local) n.id = scan_ids_[d][n.id];
@@ -258,20 +310,34 @@ QueryStats ParallelSearchEngine::StatsFromAccumulator(
   stats.pages_per_disk.reserve(n);
   double max_ms = 0.0;
   double sum_ms = 0.0;
+  double max_healthy_ms = 0.0;
   for (std::size_t d = 0; d < n; ++d) {
     const DiskStats& s = acc.slot(d);
-    const double ms = ElapsedMs(s, params);
+    // Actual service time scales with the disk's health (slow disks take
+    // slow_factor times longer); the healthy figure ignores faults and
+    // retry penalties, so healthy == actual bit-for-bit on a clean array.
+    const double healthy_ms = HealthyElapsedMs(s, params);
+    const double ms =
+        ElapsedMs(s, params) * disks_.disk(static_cast<DiskId>(d)).time_scale();
     max_ms = std::max(max_ms, ms);
     sum_ms += ms;
+    max_healthy_ms = std::max(max_healthy_ms, healthy_ms);
     const std::uint64_t pages = s.TotalPagesRead();
     stats.max_pages = std::max(stats.max_pages, pages);
     stats.total_pages += pages;
     stats.directory_pages += s.directory_pages_read;
     stats.buffer_hit_pages += s.buffer_hit_pages;
+    stats.replica_pages += s.replica_pages_read;
+    stats.failed_read_attempts += s.failed_read_attempts;
+    stats.unavailable_pages += s.unavailable_pages;
     stats.pages_per_disk.push_back(pages);
   }
   stats.parallel_ms = host_ms + max_ms;
+  stats.healthy_parallel_ms = HealthyElapsedMs(host, params) + max_healthy_ms;
   stats.sum_ms = host_ms + sum_ms;
+  stats.degraded = stats.replica_pages > 0 || stats.failed_read_attempts > 0 ||
+                   stats.unavailable_pages > 0 ||
+                   stats.parallel_ms != stats.healthy_parallel_ms;
   stats.balance =
       stats.max_pages == 0
           ? 1.0
@@ -315,16 +381,19 @@ std::vector<PointId> ParallelSearchEngine::RangeQuery(
       for (std::size_t d = 0; d < scan_partitions_.size(); ++d) {
         const PointSet& part = scan_partitions_[d];
         if (part.empty()) continue;
+        const std::uint64_t pages = (part.size() + per_page - 1) / per_page;
+        if (SkipFailedDisk(static_cast<DiskId>(d), pages)) continue;
         SimulatedDisk& disk = disks_.disk(static_cast<DiskId>(d));
-        disk.ReadDataPages((part.size() + per_page - 1) / per_page);
+        disk.ReadDataPages(pages);
         for (std::size_t i = 0; i < part.size(); ++i) {
           if (query.Contains(part[i])) out.push_back(scan_ids_[d][i]);
         }
       }
     } else {
-      for (const auto& tree : trees_) {
-        if (tree->empty()) continue;
-        const std::vector<PointId> local = tree->RangeQuery(query);
+      for (std::size_t d = 0; d < trees_.size(); ++d) {
+        if (trees_[d]->empty()) continue;
+        if (SkipFailedDisk(static_cast<DiskId>(d), 1)) continue;
+        const std::vector<PointId> local = trees_[d]->RangeQuery(query);
         out.insert(out.end(), local.begin(), local.end());
       }
     }
@@ -367,8 +436,10 @@ KnnResult ParallelSearchEngine::SimilarityQuery(PointView query,
       for (std::size_t d = 0; d < scan_partitions_.size(); ++d) {
         const PointSet& part = scan_partitions_[d];
         if (part.empty()) continue;
+        const std::uint64_t pages = (part.size() + per_page - 1) / per_page;
+        if (SkipFailedDisk(static_cast<DiskId>(d), pages)) continue;
         SimulatedDisk& disk = disks_.disk(static_cast<DiskId>(d));
-        disk.ReadDataPages((part.size() + per_page - 1) / per_page);
+        disk.ReadDataPages(pages);
         disk.ChargeDistanceComputations(part.size());
         KnnResult local =
             BruteForceBallQuery(part, query, radius, options_.metric);
@@ -376,10 +447,11 @@ KnnResult ParallelSearchEngine::SimilarityQuery(PointView query,
         merged.insert(merged.end(), local.begin(), local.end());
       }
     } else {
-      for (const auto& tree : trees_) {
-        if (tree->empty()) continue;
+      for (std::size_t d = 0; d < trees_.size(); ++d) {
+        if (trees_[d]->empty()) continue;
+        if (SkipFailedDisk(static_cast<DiskId>(d), 1)) continue;
         const KnnResult local =
-            BallQuery(*tree, query, radius, options_.metric);
+            BallQuery(*trees_[d], query, radius, options_.metric);
         merged.insert(merged.end(), local.begin(), local.end());
       }
     }
@@ -420,13 +492,15 @@ KnnResult ParallelSearchEngine::Query(PointView query, std::size_t k,
         EnsurePool(workers)->ParallelFor(
             0, trees_.size(), [&](std::size_t i) {
               ScopedCostCapture worker_capture(&acc);
-              if (!trees_[i]->empty()) {
-                local[i] = RunKnn(*trees_[i], query, k);
-              }
+              if (trees_[i]->empty()) return;
+              if (SkipFailedDisk(static_cast<DiskId>(i), 1)) return;
+              local[i] = RunKnn(*trees_[i], query, k);
             });
       } else {
         for (std::size_t i = 0; i < trees_.size(); ++i) {
-          if (!trees_[i]->empty()) local[i] = RunKnn(*trees_[i], query, k);
+          if (trees_[i]->empty()) continue;
+          if (SkipFailedDisk(static_cast<DiskId>(i), 1)) continue;
+          local[i] = RunKnn(*trees_[i], query, k);
         }
       }
       for (const KnnResult& r : local) {
@@ -443,6 +517,20 @@ KnnResult ParallelSearchEngine::Query(PointView query, std::size_t k,
   if (stats != nullptr) *stats = StatsFromAccumulator(acc);
   MergeAccumulator(acc);
   return merged;
+}
+
+Status ParallelSearchEngine::TryQuery(PointView query, std::size_t k,
+                                      KnnResult* result,
+                                      QueryStats* stats) const {
+  PARSIM_CHECK(result != nullptr);
+  QueryStats local;
+  *result = Query(query, k, &local);
+  if (stats != nullptr) *stats = local;
+  if (local.unavailable_pages > 0) {
+    return Status::Unavailable(
+        "query touched a failed disk with no healthy replica");
+  }
+  return Status::Ok();
 }
 
 std::vector<KnnResult> ParallelSearchEngine::QueryBatch(

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "src/core/declusterer.h"
+#include "src/core/replica.h"
 #include "src/index/knn.h"
 #include "src/index/tree_base.h"
 #include "src/io/cost_capture.h"
@@ -94,6 +95,17 @@ struct EngineOptions {
   /// like a real buffer pool. The paper's workstations had 64 MB RAM
   /// (~16k pages) against several hundred MB of data.
   std::uint64_t buffer_pages_per_disk = 0;
+  /// Assign every bucket a secondary disk (ReplicaPlacement over the
+  /// coloring) and transparently fail reads of a failed disk over to it.
+  /// Supported on kSharedTree (the paper's architecture, where data
+  /// pages are virtual and declustering is a routing decision); the
+  /// federated architectures physically partition the data, so a failed
+  /// disk there is reported as unavailable instead.
+  bool enable_replicas = false;
+  /// Bounded-retry policy: timed-out read attempts charged (at
+  /// disk_parameters.failover_timeout_ms each) against a failed primary
+  /// before the read fails over to the replica.
+  std::uint32_t max_read_retries = 1;
   DiskParameters disk_parameters{};
   Metric metric{};
 };
@@ -118,6 +130,22 @@ struct QueryStats {
   double balance = 1.0;
   /// Data-page reads per disk.
   std::vector<std::uint64_t> pages_per_disk;
+
+  // Fault / degraded-read accounting. All zero (and degraded false, with
+  // healthy_parallel_ms == parallel_ms bit for bit) on a healthy array.
+  /// True when the query felt any fault: a replica read, a retry, an
+  /// unavailable page, or slow-disk time scaling.
+  bool degraded = false;
+  /// Pages served by replicas on behalf of failed primaries.
+  std::uint64_t replica_pages = 0;
+  /// Timed-out read attempts against failed primaries (bounded retry).
+  std::uint64_t failed_read_attempts = 0;
+  /// Pages no healthy copy could serve (failed disk, no replica).
+  std::uint64_t unavailable_pages = 0;
+  /// The makespan this query would have had at healthy rates: same page
+  /// distribution, but no slow-disk scaling and no retry penalties.
+  /// parallel_ms / healthy_parallel_ms is the degradation factor.
+  double healthy_parallel_ms = 0.0;
 };
 
 /// A parallel k-NN search engine over declustered data.
@@ -158,6 +186,15 @@ class ParallelSearchEngine {
   KnnResult Query(PointView query, std::size_t k,
                   QueryStats* stats = nullptr) const;
 
+  /// Fault-aware Query: identical traversal and accounting, but data
+  /// unavailability (a failed disk whose pages have no healthy replica)
+  /// is reported as StatusCode::kUnavailable instead of being silently
+  /// answered from the simulator's in-memory structures. On success
+  /// `*result` holds the k nearest neighbors; on kUnavailable it holds
+  /// the answer the healthy system would have given (diagnostics only).
+  Status TryQuery(PointView query, std::size_t k, KnnResult* result,
+                  QueryStats* stats = nullptr) const;
+
   /// Answers every query in `queries` (k-NN, like Query) and returns the
   /// per-query results in order. With `threads` > 1 — or `threads` == 0
   /// and options().parallel_workers > 1 — the batch executes on the
@@ -189,6 +226,24 @@ class ParallelSearchEngine {
   KnnResult SimilarityQuery(PointView query, double radius,
                             QueryStats* stats = nullptr) const;
 
+  /// Applies a fault plan to the disk array (empty plan = all healthy).
+  /// Seeded plans (FaultPlan::WithRandomFailures) make degraded runs
+  /// exactly reproducible. Must not race with in-flight queries — inject
+  /// faults between query waves, like Insert/Remove.
+  void SetFaultPlan(const FaultPlan& plan);
+
+  /// Restores every disk to healthy.
+  void ClearFaults();
+
+  const FaultPlan& fault_plan() const { return disks_.fault_plan(); }
+
+  bool replicas_enabled() const { return replicas_ != nullptr; }
+
+  /// The replica placement, or nullptr when replicas are disabled.
+  const ReplicaPlacement* replica_placement() const {
+    return replicas_.get();
+  }
+
   std::size_t dim() const { return dim_; }
   std::size_t size() const { return size_; }
   std::uint32_t num_disks() const;
@@ -211,6 +266,16 @@ class ParallelSearchEngine {
   KnnResult ScanQuery(PointView query, std::size_t k) const;
   DiskId DiskOfLeaf(const Node& leaf) const;
 
+  /// Shared-tree leaf routing with fault handling: healthy primary, or
+  /// its replica (failover) when the primary failed, or the failed
+  /// primary flagged unavailable when no healthy copy exists.
+  TreeBase::DiskRoute RouteLeaf(const Node& leaf) const;
+
+  /// Federated fault handling (no replicas there): if disk `d` is
+  /// failed, records `pages` unavailable on it and returns true (the
+  /// caller skips the partition).
+  bool SkipFailedDisk(DiskId d, std::uint64_t pages) const;
+
   /// Derives the per-query stats from a query's captured charges; the
   /// formulas mirror the old reset-charge-read protocol exactly, so the
   /// numbers are bit-identical to it.
@@ -225,6 +290,7 @@ class ParallelSearchEngine {
   std::size_t dim_;
   std::unique_ptr<Declusterer> declusterer_;
   EngineOptions options_;
+  std::unique_ptr<ReplicaPlacement> replicas_;
   // disks_ and host_ must outlive the trees (raw pointers inside).
   mutable DiskArray disks_;
   mutable SimulatedDisk host_;

@@ -25,6 +25,7 @@
 #include "src/core/neighborhood.h"
 #include "src/core/quantile.h"
 #include "src/core/recursive.h"
+#include "src/core/replica.h"
 #include "src/cost/model.h"
 #include "src/eval/experiment.h"
 #include "src/eval/throughput.h"

@@ -23,6 +23,9 @@ enum class StatusCode {
   kResourceExhausted,
   kUnimplemented,
   kInternal,
+  /// The data exists but cannot be served right now (e.g. a failed disk
+  /// with no healthy replica). Retry after the fault clears.
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name, e.g. "INVALID_ARGUMENT".
@@ -59,6 +62,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -4,7 +4,9 @@
 // composition with folding, quantile splits and recursion.
 
 #include <algorithm>
+#include <cstdlib>
 #include <set>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -224,6 +226,140 @@ TEST(CompositionTest, NearOptimalScalesToMaxDimension) {
     seen.insert(disk);
   }
   EXPECT_EQ(seen.size(), 64u) << "all 64 disks must be reachable";
+}
+
+// ---------------------------------------------------------------------------
+// Seeded randomized property suite: near-optimality and replica
+// separation across d in 2..16, n in 2..64. Every trial carries a
+// SCOPED_TRACE with the seed and the drawn configuration, so a failure
+// prints its exact repro; rerun it with PARSIM_PROPERTY_SEED=<seed>.
+
+std::uint64_t PropertySeed() {
+  const char* env = std::getenv("PARSIM_PROPERTY_SEED");
+  if (env != nullptr && *env != '\0') {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 260805;  // default: fixed, so CI runs are reproducible verbatim
+}
+
+std::string ReproLine(std::uint64_t seed, int trial, std::size_t d,
+                      std::uint32_t n) {
+  return "repro: PARSIM_PROPERTY_SEED=" + std::to_string(seed) +
+         " (trial " + std::to_string(trial) + ", d=" + std::to_string(d) +
+         ", n=" + std::to_string(n) + ")";
+}
+
+BucketId RandomBucket(std::size_t d, Rng* rng) {
+  const BucketId mask = static_cast<BucketId>((std::uint64_t{1} << d) - 1);
+  return static_cast<BucketId>(rng->NextUint64()) & mask;
+}
+
+TEST(RandomizedPropertyTest, FullColorCountSeparatesAllNeighbors) {
+  // With n == NumColors(d) disks, no bucket shares its disk with any
+  // direct or indirect neighbor (Theorem 1) — for every dimension, on
+  // randomly sampled buckets.
+  const std::uint64_t seed = PropertySeed();
+  Rng rng(seed);
+  for (std::size_t d = 2; d <= 16; ++d) {
+    const std::uint32_t n = NumColors(d);
+    SCOPED_TRACE(ReproLine(seed, -1, d, n));
+    const NearOptimalDeclusterer dec(d, n);
+    for (int s = 0; s < 128; ++s) {
+      const BucketId b = RandomBucket(d, &rng);
+      const DiskId disk = dec.DiskOfBucket(b);
+      for (std::size_t i = 0; i < d; ++i) {
+        const BucketId direct = b ^ (BucketId{1} << i);
+        ASSERT_NE(dec.DiskOfBucket(direct), disk)
+            << "bucket " << b << " direct neighbor " << direct;
+        for (std::size_t j = i + 1; j < d; ++j) {
+          const BucketId indirect = direct ^ (BucketId{1} << j);
+          ASSERT_NE(dec.DiskOfBucket(indirect), disk)
+              << "bucket " << b << " indirect neighbor " << indirect;
+        }
+      }
+    }
+  }
+}
+
+TEST(RandomizedPropertyTest, RandomQuantileSplitsStayNearOptimal) {
+  // Full-graph audit (every bucket, every neighbor edge) of randomly
+  // drawn dimensions and split values. Bounded at d <= 10 to keep the
+  // 2^d-bucket graph walk fast; split positions cannot depend on d.
+  const std::uint64_t seed = PropertySeed();
+  Rng rng(seed + 1);
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::size_t d = 2 + rng.NextBounded(9);  // 2..10
+    const std::uint32_t n = NumColors(d);
+    SCOPED_TRACE(ReproLine(seed, trial, d, n));
+    std::vector<Scalar> splits(d);
+    for (auto& s : splits) s = static_cast<Scalar>(rng.NextDouble());
+    const NearOptimalDeclusterer dec(Bucketizer(splits), n);
+    const DiskAssignmentGraph graph(d);
+    EXPECT_TRUE(graph.IsNearOptimal(
+        [&](BucketId b) { return dec.DiskOfBucket(b); }));
+  }
+}
+
+TEST(RandomizedPropertyTest, ReplicaTierGuaranteesHold) {
+  // The three separation tiers of ReplicaPlacement, on random (d, n)
+  // pairs and sampled buckets:
+  //   n >= 2                       -> replica != own primary,
+  //   n >= DirectSeparationDisks   -> also != direct-neighbor primaries,
+  //   n >= FullSeparationDisks     -> also != indirect-neighbor primaries.
+  const std::uint64_t seed = PropertySeed();
+  Rng rng(seed + 2);
+  for (int trial = 0; trial < 80; ++trial) {
+    const std::size_t d = 2 + rng.NextBounded(15);        // 2..16
+    const std::uint32_t n =
+        2 + static_cast<std::uint32_t>(rng.NextBounded(63));  // 2..64
+    SCOPED_TRACE(ReproLine(seed, trial, d, n));
+    const ReplicaPlacement placement(d, n);
+    // Mirror of the primary mapping the placement assumes: fold(col(b))
+    // over min(n, NumColors(d)) disks.
+    const ColorFolding fold(NumColors(d), std::min(n, NumColors(d)));
+    const bool direct_tier = n >= ReplicaPlacement::DirectSeparationDisks(d);
+    const bool full_tier = n >= ReplicaPlacement::FullSeparationDisks(d);
+    for (int s = 0; s < 64; ++s) {
+      const BucketId b = RandomBucket(d, &rng);
+      const DiskId replica = placement.ReplicaOfBucket(b);
+      ASSERT_LT(replica, n);
+      ASSERT_NE(replica, fold.DiskOf(ColorOf(b))) << "bucket " << b;
+      if (!direct_tier) continue;
+      for (std::size_t i = 0; i < d; ++i) {
+        const BucketId direct = b ^ (BucketId{1} << i);
+        ASSERT_NE(replica, fold.DiskOf(ColorOf(direct)))
+            << "bucket " << b << " direct neighbor " << direct;
+        if (!full_tier) continue;
+        for (std::size_t j = i + 1; j < d; ++j) {
+          const BucketId indirect = direct ^ (BucketId{1} << j);
+          ASSERT_NE(replica, fold.DiskOf(ColorOf(indirect)))
+              << "bucket " << b << " indirect neighbor " << indirect;
+        }
+      }
+    }
+  }
+}
+
+TEST(RandomizedPropertyTest, ReplicaForNeverMatchesAnyClaimedPrimary) {
+  // ReplicaFor must keep the two copies of a bucket on different disks
+  // even when the caller's primary mapping disagrees with the
+  // near-optimal one (round robin, Hilbert, ...): whatever primary the
+  // caller claims, the returned replica differs from it (n >= 2).
+  const std::uint64_t seed = PropertySeed();
+  Rng rng(seed + 3);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t d = 2 + rng.NextBounded(15);
+    const std::uint32_t n =
+        2 + static_cast<std::uint32_t>(rng.NextBounded(63));
+    SCOPED_TRACE(ReproLine(seed, trial, d, n));
+    const ReplicaPlacement placement(d, n);
+    for (int s = 0; s < 64; ++s) {
+      const BucketId b = RandomBucket(d, &rng);
+      const DiskId primary = static_cast<DiskId>(rng.NextBounded(n));
+      ASSERT_NE(placement.ReplicaFor(b, primary), primary)
+          << "bucket " << b << " primary " << primary;
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,142 @@
+// Golden-file regression test of the simulated accounting: a fixed
+// workload's per-query stats — healthy and degraded — must stay
+// bit-identical across refactors. Doubles are printed with %.17g, which
+// round-trips IEEE binary64 exactly, so any drift in the cost formulas
+// shows up as a diff.
+//
+// Regenerate after an *intentional* accounting change with
+//   PARSIM_UPDATE_GOLDEN=1 ./golden_stats_test
+// and commit the updated tests/golden/query_stats.golden alongside it.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/parsim/parsim.h"
+
+namespace parsim {
+namespace {
+
+#ifndef PARSIM_TEST_SRCDIR
+#error "PARSIM_TEST_SRCDIR must point at the tests/ source directory"
+#endif
+
+std::string GoldenPath() {
+  return std::string(PARSIM_TEST_SRCDIR) + "/golden/query_stats.golden";
+}
+
+std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+void AppendQueryStats(std::ostringstream* out, const QueryStats& stats) {
+  *out << "parallel_ms=" << FormatDouble(stats.parallel_ms)
+       << " healthy_parallel_ms=" << FormatDouble(stats.healthy_parallel_ms)
+       << " sum_ms=" << FormatDouble(stats.sum_ms)
+       << " balance=" << FormatDouble(stats.balance)
+       << " max_pages=" << stats.max_pages
+       << " total_pages=" << stats.total_pages
+       << " directory_pages=" << stats.directory_pages
+       << " degraded=" << (stats.degraded ? 1 : 0)
+       << " replica_pages=" << stats.replica_pages
+       << " failed_read_attempts=" << stats.failed_read_attempts
+       << " unavailable_pages=" << stats.unavailable_pages
+       << " pages_per_disk=";
+  for (std::size_t d = 0; d < stats.pages_per_disk.size(); ++d) {
+    *out << (d == 0 ? "" : ",") << stats.pages_per_disk[d];
+  }
+  *out << "\n";
+}
+
+std::string RenderActualStats() {
+  const std::size_t dim = 6;
+  const std::uint32_t disks = 8;
+  const std::size_t k = 10;
+  const PointSet data = GenerateUniform(2500, dim, 3301);
+  const PointSet queries = GenerateUniformQueries(4, dim, 3303);
+
+  EngineOptions options;
+  options.architecture = Architecture::kSharedTree;
+  options.bulk_load = true;
+  options.enable_replicas = true;
+  ParallelSearchEngine engine(
+      dim, std::make_unique<NearOptimalDeclusterer>(dim, disks), options);
+  EXPECT_TRUE(engine.Build(data).ok());
+
+  std::ostringstream out;
+  out << "# golden simulated accounting: uniform d=6 n=2500 disks=8 k=10\n";
+  out << "[healthy]\n";
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    QueryStats stats;
+    (void)engine.Query(queries[qi], k, &stats);
+    out << "query " << qi << ": ";
+    AppendQueryStats(&out, stats);
+  }
+
+  out << "[degraded disk0_failed replicas_on]\n";
+  FaultPlan plan(disks);
+  plan.FailDisk(0);
+  engine.SetFaultPlan(plan);
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    QueryStats stats;
+    (void)engine.Query(queries[qi], k, &stats);
+    out << "query " << qi << ": ";
+    AppendQueryStats(&out, stats);
+  }
+
+  out << "[degraded disk2_slow_x3]\n";
+  FaultPlan slow_plan(disks);
+  slow_plan.SlowDisk(2, 3.0);
+  engine.SetFaultPlan(slow_plan);
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    QueryStats stats;
+    (void)engine.Query(queries[qi], k, &stats);
+    out << "query " << qi << ": ";
+    AppendQueryStats(&out, stats);
+  }
+  engine.ClearFaults();
+
+  const ThroughputResult batch = SimulateThroughput(engine, queries, k);
+  out << "[throughput healthy]\n";
+  out << "makespan_ms=" << FormatDouble(batch.makespan_ms)
+      << " healthy_makespan_ms=" << FormatDouble(batch.healthy_makespan_ms)
+      << " throughput_qps=" << FormatDouble(batch.throughput_qps)
+      << " avg_latency_ms=" << FormatDouble(batch.avg_latency_ms)
+      << " degraded_queries=" << batch.degraded_queries << "\n";
+  return out.str();
+}
+
+TEST(GoldenStatsTest, SimulatedAccountingMatchesGoldenFile) {
+  const std::string actual = RenderActualStats();
+  const std::string path = GoldenPath();
+
+  if (const char* update = std::getenv("PARSIM_UPDATE_GOLDEN");
+      update != nullptr && *update != '\0' && *update != '0') {
+    std::ofstream out(path, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    GTEST_SKIP() << "golden file regenerated: " << path;
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good())
+      << "missing golden file " << path
+      << " — regenerate with PARSIM_UPDATE_GOLDEN=1";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(actual, expected.str())
+      << "simulated accounting drifted from " << path
+      << "\nIf the change is intentional, regenerate with "
+         "PARSIM_UPDATE_GOLDEN=1 and commit the diff.";
+}
+
+}  // namespace
+}  // namespace parsim

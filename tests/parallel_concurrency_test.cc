@@ -3,6 +3,8 @@
 // must match the serial run bit for bit. Built into the TSAN suite by
 // tools/ci.sh, so any data race in the cost-capture path is caught here.
 
+#include <algorithm>
+#include <latch>
 #include <thread>
 #include <vector>
 
@@ -33,6 +35,17 @@ void ExpectSameStats(const QueryStats& a, const QueryStats& b) {
   EXPECT_EQ(a.parallel_ms, b.parallel_ms);  // bitwise
   EXPECT_EQ(a.sum_ms, b.sum_ms);
   EXPECT_EQ(a.balance, b.balance);
+  EXPECT_EQ(a.degraded, b.degraded);
+  EXPECT_EQ(a.replica_pages, b.replica_pages);
+  EXPECT_EQ(a.failed_read_attempts, b.failed_read_attempts);
+  EXPECT_EQ(a.unavailable_pages, b.unavailable_pages);
+  EXPECT_EQ(a.healthy_parallel_ms, b.healthy_parallel_ms);  // bitwise
+}
+
+/// Stress-thread count: every core up to 8, but at least 2 so the test
+/// still exercises real interleaving on single-core CI machines.
+unsigned StressThreads() {
+  return std::max(2u, std::min(8u, std::thread::hardware_concurrency()));
 }
 
 std::unique_ptr<ParallelSearchEngine> MakeEngine(Architecture arch,
@@ -67,17 +80,21 @@ TEST_P(ConcurrencyTest, RawThreadsMatchSerialBaseline) {
     expected[i] = engine->Query(queries[i], k, &expected_stats[i]);
   }
 
-  constexpr unsigned kThreads = 4;
+  const unsigned num_threads = StressThreads();
   constexpr int kRounds = 3;
   std::vector<KnnResult> got(queries.size());
   std::vector<QueryStats> got_stats(queries.size());
   std::vector<std::thread> threads;
-  for (unsigned t = 0; t < kThreads; ++t) {
+  // Start gate: no thread issues a query until all of them exist, so the
+  // queries genuinely overlap instead of racing thread creation.
+  std::latch start(num_threads);
+  for (unsigned t = 0; t < num_threads; ++t) {
     threads.emplace_back([&, t] {
+      start.arrive_and_wait();
       // Every thread answers a strided slice, several times over, so
       // queries genuinely overlap in time.
       for (int round = 0; round < kRounds; ++round) {
-        for (std::size_t i = t; i < queries.size(); i += kThreads) {
+        for (std::size_t i = t; i < queries.size(); i += num_threads) {
           got[i] = engine->Query(queries[i], k, &got_stats[i]);
         }
       }

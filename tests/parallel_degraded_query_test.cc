@@ -1,0 +1,254 @@
+// Degraded-read behavior of the parallel engine under injected faults:
+// answer identity under failover, kUnavailable reporting, and the
+// healthy-vs-degraded time accounting.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/parsim/parsim.h"
+
+namespace parsim {
+namespace {
+
+constexpr std::size_t kDim = 6;
+constexpr std::uint32_t kDisks = 8;  // == NumColors(6): one color per disk
+constexpr std::size_t kK = 10;
+
+std::unique_ptr<ParallelSearchEngine> MakeEngine(bool replicas,
+                                                 Architecture architecture,
+                                                 const PointSet& data) {
+  EngineOptions options;
+  options.architecture = architecture;
+  options.bulk_load = architecture != Architecture::kFederatedScan;
+  options.enable_replicas = replicas;
+  auto engine = std::make_unique<ParallelSearchEngine>(
+      kDim, std::make_unique<NearOptimalDeclusterer>(kDim, kDisks), options);
+  EXPECT_TRUE(engine->Build(data).ok());
+  return engine;
+}
+
+void ExpectSameAnswers(const KnnResult& a, const KnnResult& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id) << "rank " << i;
+    EXPECT_EQ(a[i].distance, b[i].distance) << "rank " << i;
+  }
+}
+
+class DegradedQueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_ = GenerateUniform(4000, kDim, 2101);
+    queries_ = GenerateUniformQueries(12, kDim, 2103);
+  }
+
+  PointSet data_{kDim};
+  PointSet queries_{kDim};
+};
+
+TEST_F(DegradedQueryTest, AnySingleDiskFailureKeepsKnnAnswersIdentical) {
+  const auto engine = MakeEngine(true, Architecture::kSharedTree, data_);
+  const std::vector<KnnResult> healthy = engine->QueryBatch(queries_, kK);
+
+  for (std::uint32_t failed = 0; failed < kDisks; ++failed) {
+    FaultPlan plan(kDisks);
+    plan.FailDisk(failed);
+    engine->SetFaultPlan(plan);
+    for (std::size_t qi = 0; qi < queries_.size(); ++qi) {
+      SCOPED_TRACE("failed disk " + std::to_string(failed) + ", query " +
+                   std::to_string(qi));
+      KnnResult result;
+      QueryStats stats;
+      const Status status =
+          engine->TryQuery(queries_[qi], kK, &result, &stats);
+      EXPECT_TRUE(status.ok()) << status.message();
+      ExpectSameAnswers(result, healthy[qi]);
+      EXPECT_EQ(stats.unavailable_pages, 0u);
+      // Every read of the failed disk fails over, so a query that needed
+      // it is flagged degraded with matching replica accounting.
+      if (stats.replica_pages > 0) {
+        EXPECT_TRUE(stats.degraded);
+        EXPECT_GT(stats.failed_read_attempts, 0u);
+        EXPECT_GE(stats.parallel_ms, stats.healthy_parallel_ms);
+      }
+    }
+    engine->ClearFaults();
+  }
+}
+
+TEST_F(DegradedQueryTest, SingleFailureTouchesReplicasForSomeQuery) {
+  const auto engine = MakeEngine(true, Architecture::kSharedTree, data_);
+  FaultPlan plan(kDisks);
+  plan.FailDisk(0);
+  engine->SetFaultPlan(plan);
+  std::uint64_t replica_pages = 0;
+  for (std::size_t qi = 0; qi < queries_.size(); ++qi) {
+    QueryStats stats;
+    (void)engine->Query(queries_[qi], kK, &stats);
+    replica_pages += stats.replica_pages;
+  }
+  EXPECT_GT(replica_pages, 0u)
+      << "no query ever read a replica: fault routing is dead code";
+}
+
+TEST_F(DegradedQueryTest, NoReplicasFailureReportsUnavailableWithoutCrash) {
+  const auto engine = MakeEngine(false, Architecture::kSharedTree, data_);
+  FaultPlan plan(kDisks);
+  plan.FailDisk(3);
+  engine->SetFaultPlan(plan);
+
+  bool saw_unavailable = false;
+  for (std::size_t qi = 0; qi < queries_.size(); ++qi) {
+    KnnResult result;
+    QueryStats stats;
+    const Status status = engine->TryQuery(queries_[qi], kK, &result, &stats);
+    EXPECT_EQ(status.ok(), stats.unavailable_pages == 0);
+    if (!status.ok()) {
+      EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+      EXPECT_TRUE(stats.degraded);
+      saw_unavailable = true;
+    }
+    // The plain Query interface stays infallible (simulator semantics):
+    // identical traversal, correct answers, never a crash.
+    EXPECT_EQ(result.size(), kK);
+  }
+  EXPECT_TRUE(saw_unavailable)
+      << "no query touched the failed disk; workload too small";
+}
+
+TEST_F(DegradedQueryTest, PrimaryAndReplicaBothFailedGoesUnavailable) {
+  const auto engine = MakeEngine(true, Architecture::kSharedTree, data_);
+  ASSERT_TRUE(engine->replicas_enabled());
+  // With kDisks == NumColors(kDim) the folding is the identity: disk 0
+  // serves color 0, whose replica disk the placement tells us directly.
+  const DiskId partner = engine->replica_placement()->ReplicaOfColor(0);
+  ASSERT_NE(partner, 0u);
+
+  // Find a query that needs disk 0 while healthy.
+  std::vector<QueryStats> healthy_stats;
+  (void)engine->QueryBatch(queries_, kK, &healthy_stats);
+  std::size_t victim = queries_.size();
+  for (std::size_t qi = 0; qi < queries_.size(); ++qi) {
+    if (healthy_stats[qi].pages_per_disk[0] > 0) {
+      victim = qi;
+      break;
+    }
+  }
+  ASSERT_LT(victim, queries_.size()) << "no query used disk 0";
+
+  FaultPlan plan(kDisks);
+  plan.FailDisk(0);
+  plan.FailDisk(partner);
+  engine->SetFaultPlan(plan);
+  KnnResult result;
+  QueryStats stats;
+  const Status status = engine->TryQuery(queries_[victim], kK, &result, &stats);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_GT(stats.unavailable_pages, 0u);
+}
+
+TEST_F(DegradedQueryTest, SlowDiskKeepsAnswersAndStretchesTime) {
+  const auto engine = MakeEngine(true, Architecture::kSharedTree, data_);
+  std::vector<QueryStats> healthy_stats;
+  const std::vector<KnnResult> healthy =
+      engine->QueryBatch(queries_, kK, &healthy_stats);
+
+  FaultPlan plan(kDisks);
+  plan.SlowDisk(2, 4.0);
+  engine->SetFaultPlan(plan);
+  for (std::size_t qi = 0; qi < queries_.size(); ++qi) {
+    SCOPED_TRACE("query " + std::to_string(qi));
+    QueryStats stats;
+    const KnnResult result = engine->Query(queries_[qi], kK, &stats);
+    ExpectSameAnswers(result, healthy[qi]);
+    // Same traversal, same pages; only time stretches.
+    EXPECT_EQ(stats.pages_per_disk, healthy_stats[qi].pages_per_disk);
+    EXPECT_EQ(stats.healthy_parallel_ms, healthy_stats[qi].parallel_ms);
+    EXPECT_GE(stats.parallel_ms, stats.healthy_parallel_ms);
+    if (stats.pages_per_disk[2] > 0) {
+      EXPECT_TRUE(stats.degraded);
+    }
+  }
+}
+
+TEST_F(DegradedQueryTest, HealthyRunsReportNoDegradation) {
+  const auto engine = MakeEngine(true, Architecture::kSharedTree, data_);
+  for (std::size_t qi = 0; qi < queries_.size(); ++qi) {
+    QueryStats stats;
+    (void)engine->Query(queries_[qi], kK, &stats);
+    EXPECT_FALSE(stats.degraded);
+    EXPECT_EQ(stats.replica_pages, 0u);
+    EXPECT_EQ(stats.failed_read_attempts, 0u);
+    EXPECT_EQ(stats.unavailable_pages, 0u);
+    EXPECT_EQ(stats.healthy_parallel_ms, stats.parallel_ms);  // bit-identical
+  }
+}
+
+TEST_F(DegradedQueryTest, RangeQueryAnswersSurviveFailover) {
+  const auto engine = MakeEngine(true, Architecture::kSharedTree, data_);
+  std::vector<Scalar> lo(kDim, Scalar{0.2}), hi(kDim, Scalar{0.8});
+  const Rect box(std::move(lo), std::move(hi));
+  const std::vector<PointId> healthy = engine->RangeQuery(box);
+
+  FaultPlan plan(kDisks);
+  plan.FailDisk(1);
+  engine->SetFaultPlan(plan);
+  QueryStats stats;
+  const std::vector<PointId> degraded = engine->RangeQuery(box, &stats);
+  EXPECT_EQ(degraded, healthy);
+  EXPECT_EQ(stats.unavailable_pages, 0u);
+}
+
+TEST_F(DegradedQueryTest, FederatedTreesFailureIsUnavailable) {
+  const auto engine = MakeEngine(false, Architecture::kFederatedTrees, data_);
+  FaultPlan plan(kDisks);
+  plan.FailDisk(4);
+  engine->SetFaultPlan(plan);
+  // The federated fan-out touches every non-empty partition, so every
+  // query sees the failed partition.
+  KnnResult result;
+  QueryStats stats;
+  const Status status = engine->TryQuery(queries_[0], kK, &result, &stats);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_GT(stats.unavailable_pages, 0u);
+  EXPECT_EQ(stats.pages_per_disk[4], 0u) << "failed disk must do no work";
+
+  engine->ClearFaults();
+  KnnResult healed;
+  EXPECT_TRUE(engine->TryQuery(queries_[0], kK, &healed).ok());
+  EXPECT_EQ(healed.size(), kK);
+}
+
+TEST_F(DegradedQueryTest, FederatedScanFailureIsUnavailable) {
+  const auto engine = MakeEngine(false, Architecture::kFederatedScan, data_);
+  FaultPlan plan(kDisks);
+  plan.FailDisk(6);
+  engine->SetFaultPlan(plan);
+  KnnResult result;
+  QueryStats stats;
+  const Status status = engine->TryQuery(queries_[1], kK, &result, &stats);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_GT(stats.unavailable_pages, 0u);
+}
+
+TEST_F(DegradedQueryTest, ThroughputReportsDegradationFactors) {
+  const auto engine = MakeEngine(true, Architecture::kSharedTree, data_);
+  const ThroughputResult healthy = SimulateThroughput(*engine, queries_, kK);
+  EXPECT_EQ(healthy.degraded_queries, 0u);
+  EXPECT_EQ(healthy.makespan_ms, healthy.healthy_makespan_ms);
+
+  engine->SetFaultPlan(FaultPlan::WithRandomFailures(kDisks, 1, 17));
+  const ThroughputResult degraded = SimulateThroughput(*engine, queries_, kK);
+  EXPECT_GT(degraded.degraded_queries, 0u);
+  EXPECT_GT(degraded.replica_pages, 0u);
+  EXPECT_GE(degraded.makespan_ms, degraded.healthy_makespan_ms);
+  EXPECT_EQ(degraded.unavailable_pages, 0u);
+}
+
+}  // namespace
+}  // namespace parsim

@@ -2,12 +2,16 @@
 # CI driver for the execution layer.
 #
 #   1. Release build + the full test suite (the tier-1 gate).
-#   2. ThreadSanitizer build running the concurrency-sensitive tests:
+#   2. ASAN+UBSAN build + the full test suite: any heap error, leak, or
+#      undefined behavior anywhere in the library fails the run
+#      (-fno-sanitize-recover makes every UBSAN report fatal).
+#   3. ThreadSanitizer build running the concurrency-sensitive tests:
 #      any data race in the cost-capture / thread-pool / QueryBatch path
 #      fails the run.
 #
-# Usage: tools/ci.sh            (from anywhere; builds into build-ci/ and
-#                                build-tsan/ next to the sources)
+# Usage: tools/ci.sh            (from anywhere; builds into build-ci/,
+#                                build-asan/ and build-tsan/ next to the
+#                                sources)
 #        JOBS=8 tools/ci.sh     (override build/test parallelism)
 
 set -euo pipefail
@@ -15,14 +19,23 @@ cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-$(nproc)}"
 
-echo "== [1/2] Release build + full suite =="
+echo "== [1/3] Release build + full suite =="
 cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-ci -j "$JOBS"
 ctest --test-dir build-ci --output-on-failure -j "$JOBS"
 
-echo "== [2/2] TSAN build + concurrency tests =="
+echo "== [2/3] ASAN+UBSAN build + full suite =="
+cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -O1 -g" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+cmake --build build-asan -j "$JOBS"
+ASAN_OPTIONS="detect_leaks=1:abort_on_error=1" \
+UBSAN_OPTIONS="print_stacktrace=1" \
+    ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo "== [3/3] TSAN build + concurrency tests =="
 TSAN_TESTS=(util_thread_pool_test parallel_concurrency_test
-            parallel_threads_test)
+            parallel_threads_test parallel_degraded_query_test)
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -O1 -g" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
