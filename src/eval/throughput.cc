@@ -17,17 +17,21 @@ ThroughputResult SimulateThroughput(const ParallelSearchEngine& engine,
       engine.options().disk_parameters.PageAccessMs();
 
   // Execute the batch (on the pool when execution_threads > 1) and time
-  // it; per-query simulated stats are independent of the interleaving.
+  // it. QueryBatch reports the worker count it actually ran on — e.g. 1
+  // when a buffered engine in deterministic mode serializes the batch —
+  // so wall_qps is never attributed to threads that never executed.
   Stopwatch watch;
   std::vector<QueryStats> per_query;
+  unsigned effective_threads = 1;
   (void)engine.QueryBatch(queries, k, &per_query,
-                          execution_threads == 0 ? 1 : execution_threads);
+                          execution_threads == 0 ? 1 : execution_threads,
+                          &effective_threads);
   const double wall_ms = watch.ElapsedMillis();
 
   ThroughputResult out;
   out.num_queries = queries.size();
   out.pages_per_disk.assign(disks, 0);
-  out.execution_threads = std::max(1u, execution_threads);
+  out.execution_threads = effective_threads;
   out.wall_ms = wall_ms;
   out.wall_qps = wall_ms > 0.0
                      ? static_cast<double>(queries.size()) / (wall_ms / 1000.0)

@@ -59,7 +59,10 @@ struct ThroughputResult {
   double wall_ms = 0.0;
   /// Queries per real second.
   double wall_qps = 0.0;
-  /// Worker threads the batch actually executed on (1 = serial).
+  /// Worker threads the batch actually executed on (1 = serial), as
+  /// reported by QueryBatch — not the requested count, so a buffered
+  /// engine in deterministic mode (which serializes the batch) reports 1
+  /// whatever was asked for.
   unsigned execution_threads = 1;
 };
 
@@ -68,9 +71,13 @@ struct ThroughputResult {
 ///
 /// `execution_threads` controls the *real* execution only: > 1 fans the
 /// batch out over the engine's worker pool (QueryBatch) and reports
-/// genuine wall-clock throughput in wall_ms / wall_qps, while every
-/// simulated number stays bit-identical to the serial run (0 or 1 =
-/// serial execution).
+/// genuine wall-clock throughput in wall_ms / wall_qps (0 or 1 = serial
+/// execution). On an unbuffered engine every simulated number stays
+/// bit-identical to the serial run; on a buffered engine the aggregate
+/// page totals (hits + misses per disk) stay exact but their hit/miss
+/// split — and thus the simulated makespan — can vary with thread
+/// interleaving, unless options().deterministic_batch serializes the
+/// batch.
 ThroughputResult SimulateThroughput(const ParallelSearchEngine& engine,
                                     const PointSet& queries, std::size_t k,
                                     unsigned execution_threads = 0);

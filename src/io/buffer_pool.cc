@@ -1,0 +1,88 @@
+#include "src/io/buffer_pool.h"
+
+#include "src/util/check.h"
+
+namespace parsim {
+
+BufferPool::BufferPool(std::size_t num_shards, std::uint64_t pages_per_shard)
+    : pages_per_shard_(pages_per_shard) {
+  PARSIM_CHECK(num_shards >= 1);
+  shards_.reserve(num_shards);
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(pages_per_shard));
+  }
+}
+
+BufferPool::Shard& BufferPool::shard(std::size_t index) const {
+  PARSIM_CHECK(index < shards_.size());
+  return *shards_[index];
+}
+
+bool BufferPool::Touch(std::size_t shard_index, std::uint64_t key,
+                       std::uint64_t pages) {
+  Shard& s = shard(shard_index);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  const bool hit = s.lru.Touch(key, pages);
+  (hit ? s.hit_pages : s.miss_pages) += pages;
+  return hit;
+}
+
+bool BufferPool::Contains(std::size_t shard_index, std::uint64_t key) const {
+  Shard& s = shard(shard_index);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return s.lru.Contains(key);
+}
+
+std::uint64_t BufferPool::ShardWeight(std::size_t shard_index) const {
+  Shard& s = shard(shard_index);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return s.lru.weight();
+}
+
+std::uint64_t BufferPool::TotalHitPages() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mutex);
+    total += s->hit_pages;
+  }
+  return total;
+}
+
+std::uint64_t BufferPool::TotalMissPages() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mutex);
+    total += s->miss_pages;
+  }
+  return total;
+}
+
+std::uint64_t BufferPool::TotalTouchedPages() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mutex);
+    total += s->hit_pages + s->miss_pages;
+  }
+  return total;
+}
+
+std::vector<std::uint64_t> BufferPool::TouchedPagesPerShard() const {
+  std::vector<std::uint64_t> touched;
+  touched.reserve(shards_.size());
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mutex);
+    touched.push_back(s->hit_pages + s->miss_pages);
+  }
+  return touched;
+}
+
+void BufferPool::Clear() {
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mutex);
+    s->lru.Clear();
+    s->hit_pages = 0;
+    s->miss_pages = 0;
+  }
+}
+
+}  // namespace parsim

@@ -12,18 +12,18 @@
 //
 // The only shared state a captured read still touches is the optional
 // main-memory page buffer (an LRU is history-dependent by design); that
-// access is serialized by a per-disk mutex.
+// access goes through a BufferPool shard, serialized by the shard's own
+// mutex (src/io/buffer_pool.h).
 
 #ifndef PARSIM_SRC_IO_DISK_H_
 #define PARSIM_SRC_IO_DISK_H_
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 
+#include "src/io/buffer_pool.h"
 #include "src/io/cost_capture.h"
 #include "src/io/disk_model.h"
-#include "src/util/lru_cache.h"
 
 namespace parsim {
 
@@ -36,9 +36,7 @@ using DiskId = std::uint32_t;
 class SimulatedDisk {
  public:
   explicit SimulatedDisk(DiskId id, DiskParameters params = {})
-      : id_(id),
-        params_(params),
-        buffer_mutex_(std::make_unique<std::mutex>()) {}
+      : id_(id), params_(params) {}
 
   DiskId id() const { return id_; }
   const DiskParameters& parameters() const { return params_; }
@@ -80,21 +78,39 @@ class SimulatedDisk {
     Sink().directory_pages_read += pages;
   }
 
-  /// Installs a main-memory page buffer of `pages` pages (0 removes it).
-  /// Resident blocks are served without I/O charges. The buffer persists
-  /// across ResetStats() — that is its purpose.
-  void ConfigureBuffer(std::uint64_t pages) {
-    buffer_ = pages == 0 ? nullptr
-                         : std::make_unique<LruCache<std::uint64_t>>(pages);
+  /// Attaches shard `shard` of `pool` (not owned; must outlive this
+  /// disk) as the main-memory page buffer. nullptr detaches. Resident
+  /// blocks are served without I/O charges. The buffer persists across
+  /// ResetStats() — that is its purpose.
+  void AttachBufferPool(BufferPool* pool, std::size_t shard) {
+    owned_pool_.reset();
+    pool_ = pool;
+    shard_ = pool != nullptr ? shard : 0;
   }
 
-  bool has_buffer() const { return buffer_ != nullptr; }
+  /// Convenience for a standalone disk: installs a private single-shard
+  /// pool of `pages` pages (0 removes any buffer, attached or owned).
+  void ConfigureBuffer(std::uint64_t pages) {
+    if (pages == 0) {
+      AttachBufferPool(nullptr, 0);
+      return;
+    }
+    owned_pool_ = std::make_unique<BufferPool>(/*num_shards=*/1, pages);
+    pool_ = owned_pool_.get();
+    shard_ = 0;
+  }
+
+  bool has_buffer() const { return pool_ != nullptr; }
+
+  /// The attached pool (nullptr without one) and this disk's shard in it.
+  const BufferPool* buffer_pool() const { return pool_; }
+  std::size_t buffer_shard() const { return shard_; }
 
   /// Buffered variant of ReadDataPages: `key` identifies the block (a
   /// node id); hits charge nothing but are counted.
   void ReadDataPagesBuffered(std::uint64_t key, std::uint64_t pages = 1) {
     DiskStats& sink = Sink();
-    if (buffer_ != nullptr && TouchBuffer(key, pages)) {
+    if (pool_ != nullptr && pool_->Touch(shard_, key, pages)) {
       sink.buffer_hit_pages += pages;
       return;
     }
@@ -104,7 +120,7 @@ class SimulatedDisk {
   /// Buffered variant of ReadDirectoryPages.
   void ReadDirectoryPagesBuffered(std::uint64_t key, std::uint64_t pages = 1) {
     DiskStats& sink = Sink();
-    if (buffer_ != nullptr && TouchBuffer(key, pages)) {
+    if (pool_ != nullptr && pool_->Touch(shard_, key, pages)) {
       sink.buffer_hit_pages += pages;
       return;
     }
@@ -149,20 +165,15 @@ class SimulatedDisk {
     return stats_;
   }
 
-  bool TouchBuffer(std::uint64_t key, std::uint64_t pages) {
-    std::lock_guard<std::mutex> lock(*buffer_mutex_);
-    return buffer_->Touch(key, pages);
-  }
-
   DiskId id_;
   DiskParameters params_;
   DiskFault fault_;
   DiskStats stats_;
-  std::unique_ptr<LruCache<std::uint64_t>> buffer_;
-  // Guards buffer_->Touch only: the LRU is the single piece of shared
-  // state a captured (concurrent) read still mutates. unique_ptr keeps
-  // SimulatedDisk movable for DiskArray's vector storage.
-  std::unique_ptr<std::mutex> buffer_mutex_;
+  // ConfigureBuffer's private pool; empty when AttachBufferPool wired
+  // this disk into a shared (engine- or array-owned) pool.
+  std::unique_ptr<BufferPool> owned_pool_;
+  BufferPool* pool_ = nullptr;
+  std::size_t shard_ = 0;
 };
 
 }  // namespace parsim

@@ -80,6 +80,24 @@ void DiskArray::ResetStats() {
   for (auto& d : disks_) d.ResetStats();
 }
 
+void DiskArray::ConfigureBufferPool(std::uint64_t pages_per_disk) {
+  if (pages_per_disk == 0) {
+    AttachBufferPool(nullptr);
+    return;
+  }
+  auto pool = std::make_unique<BufferPool>(disks_.size(), pages_per_disk);
+  AttachBufferPool(pool.get());
+  owned_pool_ = std::move(pool);  // after attach: AttachBufferPool resets it
+}
+
+void DiskArray::AttachBufferPool(BufferPool* pool) {
+  PARSIM_CHECK(pool == nullptr || pool->num_shards() >= disks_.size());
+  owned_pool_.reset();
+  for (std::size_t i = 0; i < disks_.size(); ++i) {
+    disks_[i].AttachBufferPool(pool, i);
+  }
+}
+
 void DiskArray::ApplyFaultPlan(const FaultPlan& plan) {
   if (plan.empty()) {
     ClearFaults();

@@ -8,8 +8,10 @@
 #define PARSIM_SRC_IO_DISK_ARRAY_H_
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
+#include "src/io/buffer_pool.h"
 #include "src/io/disk.h"
 #include "src/io/disk_model.h"
 
@@ -53,6 +55,20 @@ class DiskArray {
 
   void ResetStats();
 
+  /// Creates an array-owned BufferPool with one shard of
+  /// `pages_per_disk` pages per disk and attaches disk i to shard i
+  /// (0 removes it). Standalone-array convenience; the engine instead
+  /// owns one pool covering the disks and the query host and wires it
+  /// in through AttachBufferPool.
+  void ConfigureBufferPool(std::uint64_t pages_per_disk);
+
+  /// Attaches disk i to shard i of `pool` (not owned; must have at
+  /// least size() shards and outlive the array). nullptr detaches.
+  void AttachBufferPool(BufferPool* pool);
+
+  /// The array-owned pool (nullptr unless ConfigureBufferPool made one).
+  const BufferPool* buffer_pool() const { return owned_pool_.get(); }
+
   /// Applies `plan` to every disk. The plan must be empty (all healthy)
   /// or cover exactly size() disks. Do not race with in-flight queries:
   /// inject faults between query waves.
@@ -70,6 +86,7 @@ class DiskArray {
 
  private:
   std::vector<SimulatedDisk> disks_;
+  std::unique_ptr<BufferPool> owned_pool_;
   FaultPlan fault_plan_;
 };
 

@@ -101,6 +101,9 @@ class FaultPlan {
   void SlowDisk(std::uint32_t disk, double factor);
   void HealDisk(std::uint32_t disk);
 
+  /// The fault of `disk`. On an empty plan any disk id answers healthy
+  /// (the empty plan covers arrays of every size); a non-empty plan
+  /// requires disk < num_disks().
   const DiskFault& fault(std::uint32_t disk) const;
   bool IsFailed(std::uint32_t disk) const;
 

@@ -73,6 +73,11 @@ void FaultPlan::HealDisk(std::uint32_t disk) {
 }
 
 const DiskFault& FaultPlan::fault(std::uint32_t disk) const {
+  // An empty (default) plan is documented to apply to an array of any
+  // size with every disk healthy, so it must answer for any disk id
+  // instead of indexing into its empty schedule.
+  static const DiskFault kHealthy{};
+  if (faults_.empty()) return kHealthy;
   PARSIM_CHECK(disk < faults_.size());
   return faults_[disk];
 }

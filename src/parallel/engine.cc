@@ -23,11 +23,14 @@ ParallelSearchEngine::ParallelSearchEngine(
   PARSIM_CHECK(dim >= 1);
   PARSIM_CHECK(declusterer_ != nullptr);
   if (options_.buffer_pages_per_disk > 0) {
-    for (std::size_t i = 0; i < disks_.size(); ++i) {
-      disks_.disk(static_cast<DiskId>(i))
-          .ConfigureBuffer(options_.buffer_pages_per_disk);
-    }
-    host_.ConfigureBuffer(options_.buffer_pages_per_disk);
+    // One sharded pool for the whole engine: shard i buffers disk i, the
+    // last shard buffers the query host's directory pages. Shard locks
+    // are per disk, so concurrent queries only contend when they touch
+    // the same simulated disk at the same instant.
+    buffer_pool_ = std::make_unique<BufferPool>(
+        disks_.size() + 1, options_.buffer_pages_per_disk);
+    disks_.AttachBufferPool(buffer_pool_.get());
+    host_.AttachBufferPool(buffer_pool_.get(), disks_.size());
   }
   if (options_.enable_replicas &&
       options_.architecture == Architecture::kSharedTree) {
@@ -535,18 +538,26 @@ Status ParallelSearchEngine::TryQuery(PointView query, std::size_t k,
 
 std::vector<KnnResult> ParallelSearchEngine::QueryBatch(
     const PointSet& queries, std::size_t k, std::vector<QueryStats>* stats,
-    unsigned threads) const {
+    unsigned threads, unsigned* effective_threads) const {
   PARSIM_CHECK(queries.empty() || queries.dim() == dim_);
   std::vector<KnnResult> results(queries.size());
   if (stats != nullptr) stats->assign(queries.size(), QueryStats{});
+  if (effective_threads != nullptr) *effective_threads = 1;
   if (queries.empty()) return results;
 
   unsigned effective = threads != 0 ? threads : options_.parallel_workers;
-  effective = std::min<unsigned>(
-      effective, static_cast<unsigned>(queries.size()));
-  // An LRU page buffer makes per-query cost depend on query order;
-  // execute such batches serially so the numbers stay reproducible.
-  if (options_.buffer_pages_per_disk > 0) effective = 1;
+  effective = std::max(1u, std::min<unsigned>(
+                               effective,
+                               static_cast<unsigned>(queries.size())));
+  // Deterministic replay: an LRU buffer makes per-query costs depend on
+  // the access history, so this mode serializes buffered batches to keep
+  // their per-query numbers reproducible. The default executes them on
+  // the sharded BufferPool — results and aggregate buffer accounting are
+  // exact under any interleaving (see the header contract).
+  if (options_.buffer_pages_per_disk > 0 && options_.deterministic_batch) {
+    effective = 1;
+  }
+  if (effective_threads != nullptr) *effective_threads = effective;
 
   const auto run_one = [&](std::size_t i) {
     results[i] =

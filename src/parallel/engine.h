@@ -92,9 +92,20 @@ struct EngineOptions {
   /// Main-memory page buffer per disk (and for the query host), in
   /// pages; 0 disables buffering. Buffered reads are free and persist
   /// across queries, so query costs become history-dependent — exactly
-  /// like a real buffer pool. The paper's workstations had 64 MB RAM
-  /// (~16k pages) against several hundred MB of data.
+  /// like a real buffer pool. Backed by one sharded BufferPool (one
+  /// mutex-guarded LRU shard per disk plus one for the host), so
+  /// buffered batches still execute concurrently. The paper's
+  /// workstations had 64 MB RAM (~16k pages) against several hundred MB
+  /// of data.
   std::uint64_t buffer_pages_per_disk = 0;
+  /// Replay buffered batches serially. An LRU buffer makes per-query
+  /// costs depend on the access history, so a concurrent batch's
+  /// *per-query* hit/miss split varies with thread interleaving (the
+  /// aggregate — total buffer hits + misses — and all query results are
+  /// exact under any schedule). Set this when per-query numbers must be
+  /// reproducible, e.g. golden-stats runs; it only affects engines with
+  /// buffer_pages_per_disk > 0.
+  bool deterministic_batch = false;
   /// Assign every bucket a secondary disk (ReplicaPlacement over the
   /// coloring) and transparently fail reads of a failed disk over to it.
   /// Supported on kSharedTree (the paper's architecture, where data
@@ -199,13 +210,20 @@ class ParallelSearchEngine {
   /// per-query results in order. With `threads` > 1 — or `threads` == 0
   /// and options().parallel_workers > 1 — the batch executes on the
   /// engine's shared worker pool for real wall-clock parallelism;
-  /// results and per-query simulated stats are bit-identical to the
-  /// serial execution. Engines with a configured page buffer run the
-  /// batch serially (an LRU buffer makes per-query costs depend on query
-  /// order, so parallel interleaving would change the numbers).
+  /// results are bit-identical to the serial execution, and so are the
+  /// per-query simulated stats on an unbuffered engine. A buffered
+  /// engine runs the batch concurrently on the sharded BufferPool: query
+  /// results and the aggregate buffer accounting (total hits + misses,
+  /// per disk) stay exact under any interleaving, while the per-query
+  /// hit/miss split may vary; set options().deterministic_batch to
+  /// replay such batches serially when per-query numbers must be
+  /// reproducible. `effective_threads` (optional) receives the worker
+  /// count the batch actually executed on (1 = serial), e.g. 1 for a
+  /// buffered engine in deterministic mode whatever `threads` says.
   std::vector<KnnResult> QueryBatch(const PointSet& queries, std::size_t k,
                                     std::vector<QueryStats>* stats = nullptr,
-                                    unsigned threads = 0) const;
+                                    unsigned threads = 0,
+                                    unsigned* effective_threads = nullptr) const;
 
   /// All point ids inside `query` (inclusive). The query type the
   /// baseline declusterers were designed for (Section 1: "range queries
@@ -252,6 +270,10 @@ class ParallelSearchEngine {
   DiskArray& disks() { return disks_; }
   const DiskArray& disks() const { return disks_; }
 
+  /// The sharded page-buffer pool: shard i buffers disk i, the last
+  /// shard buffers the query host. nullptr when buffering is off.
+  const BufferPool* buffer_pool() const { return buffer_pool_.get(); }
+
   /// kSharedTree: the global tree (disk argument ignored);
   /// kFederatedTrees: the tree of that disk.
   const TreeBase& tree(DiskId disk = 0) const;
@@ -291,7 +313,9 @@ class ParallelSearchEngine {
   std::unique_ptr<Declusterer> declusterer_;
   EngineOptions options_;
   std::unique_ptr<ReplicaPlacement> replicas_;
-  // disks_ and host_ must outlive the trees (raw pointers inside).
+  // buffer_pool_ must outlive disks_ and host_ (attached shards), which
+  // must outlive the trees (raw pointers inside).
+  std::unique_ptr<BufferPool> buffer_pool_;
   mutable DiskArray disks_;
   mutable SimulatedDisk host_;
   mutable std::mutex stats_mutex_;       // guards cumulative stats merges

@@ -37,6 +37,7 @@
 #include "src/index/rstar_tree.h"
 #include "src/index/serialize.h"
 #include "src/index/xtree.h"
+#include "src/io/buffer_pool.h"
 #include "src/io/disk.h"
 #include "src/io/disk_array.h"
 #include "src/io/disk_model.h"

@@ -29,12 +29,34 @@ class LruCache {
   /// Looks up `key`; on hit, promotes it to most-recently-used and
   /// returns true. On miss, inserts it with `entry_weight` (evicting LRU
   /// entries as needed) and returns false. Entries heavier than the
-  /// whole capacity are not cached.
+  /// whole capacity are not cached; a resident entry re-touched at a
+  /// weight above capacity is dropped and reported as a miss.
+  ///
+  /// A resident key re-touched at a different `entry_weight` (a
+  /// supernode that grew or shrank) is re-admitted at the new weight,
+  /// evicting LRU entries if the cache now overflows — the stored
+  /// weight always matches the last touch, so the capacity stays exact.
   bool Touch(const Key& key, std::uint64_t entry_weight = 1) {
     PARSIM_DCHECK(entry_weight >= 1);
     auto it = map_.find(key);
     if (it != map_.end()) {
-      order_.splice(order_.begin(), order_, it->second.position);
+      Entry& entry = it->second;
+      if (entry.entry_weight != entry_weight) {
+        if (entry_weight > capacity_) {
+          weight_ -= entry.entry_weight;
+          order_.erase(entry.position);
+          map_.erase(it);
+          return false;
+        }
+        weight_ = weight_ - entry.entry_weight + entry_weight;
+        entry.entry_weight = entry_weight;
+      }
+      order_.splice(order_.begin(), order_, entry.position);
+      // The touched key sits at the front, so eviction (from the back)
+      // can only remove other entries; if it is alone, its weight fits.
+      while (weight_ > capacity_) {
+        EvictOne();
+      }
       return true;
     }
     if (entry_weight > capacity_) return false;

@@ -111,6 +111,31 @@ std::string RenderActualStats() {
       << " throughput_qps=" << FormatDouble(batch.throughput_qps)
       << " avg_latency_ms=" << FormatDouble(batch.avg_latency_ms)
       << " degraded_queries=" << batch.degraded_queries << "\n";
+
+  // Buffered accounting in deterministic mode: the sharded page-buffer
+  // pool is order-dependent by design, so QueryBatch replays the batch
+  // serially (whatever thread count is requested) and per-query hit /
+  // miss numbers stay golden-able.
+  EngineOptions buffered = options;
+  buffered.buffer_pages_per_disk = 32;
+  buffered.deterministic_batch = true;
+  ParallelSearchEngine buffered_engine(
+      dim, std::make_unique<NearOptimalDeclusterer>(dim, disks), buffered);
+  EXPECT_TRUE(buffered_engine.Build(data).ok());
+  std::vector<QueryStats> batch_stats;
+  unsigned effective_threads = 0;
+  (void)buffered_engine.QueryBatch(queries, k, &batch_stats,
+                                   /*threads=*/8, &effective_threads);
+  out << "[buffered deterministic pages_per_disk=32 threads_requested=8]\n";
+  out << "effective_threads=" << effective_threads
+      << " pool_hit_pages=" << buffered_engine.buffer_pool()->TotalHitPages()
+      << " pool_miss_pages=" << buffered_engine.buffer_pool()->TotalMissPages()
+      << "\n";
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    out << "query " << qi << ": hits=" << batch_stats[qi].buffer_hit_pages
+        << " ";
+    AppendQueryStats(&out, batch_stats[qi]);
+  }
   return out.str();
 }
 

@@ -1,0 +1,161 @@
+// Unit and concurrency tests of the sharded page-buffer pool. The
+// concurrency tests run in the TSAN lane of tools/ci.sh, so any race on
+// a shard's LRU or counters is caught here.
+
+#include <algorithm>
+#include <cstdint>
+#include <latch>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/io/buffer_pool.h"
+#include "src/io/disk.h"
+#include "src/io/disk_array.h"
+
+namespace parsim {
+namespace {
+
+TEST(BufferPoolTest, MissThenHitPerShard) {
+  BufferPool pool(2, 4);
+  EXPECT_FALSE(pool.Touch(0, 1, 1));
+  EXPECT_TRUE(pool.Touch(0, 1, 1));
+  // Shards are independent: the same key misses on the other shard.
+  EXPECT_FALSE(pool.Touch(1, 1, 1));
+  EXPECT_TRUE(pool.Contains(0, 1));
+  EXPECT_TRUE(pool.Contains(1, 1));
+  EXPECT_EQ(pool.TotalHitPages(), 1u);
+  EXPECT_EQ(pool.TotalMissPages(), 2u);
+  EXPECT_EQ(pool.TotalTouchedPages(), 3u);
+}
+
+TEST(BufferPoolTest, ShardsEvictIndependently) {
+  BufferPool pool(2, 2);
+  pool.Touch(0, 1, 1);
+  pool.Touch(0, 2, 1);
+  pool.Touch(1, 9, 2);
+  pool.Touch(0, 3, 1);  // evicts key 1 on shard 0 only
+  EXPECT_FALSE(pool.Contains(0, 1));
+  EXPECT_TRUE(pool.Contains(0, 2));
+  EXPECT_TRUE(pool.Contains(1, 9));
+  EXPECT_EQ(pool.ShardWeight(0), 2u);
+  EXPECT_EQ(pool.ShardWeight(1), 2u);
+}
+
+TEST(BufferPoolTest, WeightUpdateCarriesIntoShards) {
+  // The LruCache re-admission fix: a resident key re-touched at a larger
+  // weight must update the shard's resident weight (and evict if the
+  // shard now overflows) instead of keeping the stale weight.
+  BufferPool pool(1, 6);
+  pool.Touch(0, 1, 2);
+  pool.Touch(0, 2, 2);
+  EXPECT_EQ(pool.ShardWeight(0), 4u);
+  EXPECT_TRUE(pool.Touch(0, 1, 4));  // supernode 1 grew: 2 -> 4 pages
+  EXPECT_EQ(pool.ShardWeight(0), 6u);
+  EXPECT_TRUE(pool.Touch(0, 1, 4));
+  pool.Touch(0, 3, 2);  // 6 + 2 > 6: evicts key 2 (LRU), not the grown 1
+  EXPECT_TRUE(pool.Contains(0, 1));
+  EXPECT_FALSE(pool.Contains(0, 2));
+  EXPECT_LE(pool.ShardWeight(0), 6u);
+}
+
+TEST(BufferPoolTest, ClearDropsContentsAndCounters) {
+  BufferPool pool(2, 4);
+  pool.Touch(0, 1, 1);
+  pool.Touch(0, 1, 1);
+  pool.Touch(1, 2, 3);
+  pool.Clear();
+  EXPECT_EQ(pool.TotalHitPages(), 0u);
+  EXPECT_EQ(pool.TotalMissPages(), 0u);
+  EXPECT_FALSE(pool.Contains(0, 1));
+  EXPECT_FALSE(pool.Touch(0, 1, 1));  // cold again
+}
+
+TEST(BufferPoolTest, ZeroCapacityAlwaysMissesButCounts) {
+  BufferPool pool(1, 0);
+  EXPECT_FALSE(pool.Touch(0, 1, 2));
+  EXPECT_FALSE(pool.Touch(0, 1, 2));
+  EXPECT_EQ(pool.TotalMissPages(), 4u);
+  EXPECT_EQ(pool.TotalHitPages(), 0u);
+}
+
+// The aggregate accounting contract: under any interleaving, every
+// touched page is exactly one hit or one miss, so hits + misses equals
+// the (deterministic) total touched pages — per shard and overall.
+TEST(BufferPoolTest, AggregateAccountingExactUnderConcurrency) {
+  const unsigned num_threads =
+      std::max(2u, std::min(8u, std::thread::hardware_concurrency()));
+  constexpr std::size_t kShards = 4;
+  constexpr std::uint64_t kTouchesPerThread = 5000;
+  BufferPool pool(kShards, 16);
+
+  std::vector<std::thread> threads;
+  std::latch start(num_threads);
+  for (unsigned t = 0; t < num_threads; ++t) {
+    threads.emplace_back([&, t] {
+      start.arrive_and_wait();
+      for (std::uint64_t i = 0; i < kTouchesPerThread; ++i) {
+        // Every thread touches every shard with a small hot key set plus
+        // a per-thread cold tail, forcing both hits and evictions.
+        const std::size_t shard = (t + i) % kShards;
+        const std::uint64_t key = (i % 7 == 0) ? 1000 + t * kTouchesPerThread + i
+                                               : i % 23;
+        (void)pool.Touch(shard, key, 1 + i % 3);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  std::uint64_t expected = 0;
+  for (unsigned t = 0; t < num_threads; ++t) {
+    for (std::uint64_t i = 0; i < kTouchesPerThread; ++i) {
+      expected += 1 + i % 3;
+    }
+  }
+  EXPECT_EQ(pool.TotalTouchedPages(), expected);
+  EXPECT_EQ(pool.TotalHitPages() + pool.TotalMissPages(), expected);
+  EXPECT_GT(pool.TotalHitPages(), 0u) << "hot keys must produce hits";
+  EXPECT_GT(pool.TotalMissPages(), 0u) << "cold tail must produce misses";
+  for (std::size_t s = 0; s < kShards; ++s) {
+    EXPECT_LE(pool.ShardWeight(s), pool.pages_per_shard());
+  }
+}
+
+TEST(BufferedDiskPoolTest, AttachedDisksShareOnePool) {
+  BufferPool pool(3, 8);
+  DiskArray array(2);
+  array.AttachBufferPool(&pool);
+  SimulatedDisk host(2);
+  host.AttachBufferPool(&pool, 2);
+
+  array.disk(0).ReadDataPagesBuffered(/*key=*/5, 2);  // miss
+  array.disk(0).ReadDataPagesBuffered(/*key=*/5, 2);  // hit
+  array.disk(1).ReadDataPagesBuffered(/*key=*/5, 2);  // own shard: miss
+  host.ReadDirectoryPagesBuffered(/*key=*/5, 1);      // own shard: miss
+  EXPECT_EQ(array.disk(0).stats().data_pages_read, 2u);
+  EXPECT_EQ(array.disk(0).stats().buffer_hit_pages, 2u);
+  EXPECT_EQ(array.disk(1).stats().data_pages_read, 2u);
+  EXPECT_EQ(host.stats().directory_pages_read, 1u);
+  EXPECT_EQ(pool.TotalTouchedPages(), 7u);
+}
+
+TEST(BufferedDiskPoolTest, ArrayOwnedPoolConfiguresEveryDisk) {
+  DiskArray array(4);
+  EXPECT_EQ(array.buffer_pool(), nullptr);
+  array.ConfigureBufferPool(8);
+  ASSERT_NE(array.buffer_pool(), nullptr);
+  EXPECT_EQ(array.buffer_pool()->num_shards(), 4u);
+  for (DiskId d = 0; d < 4; ++d) {
+    EXPECT_TRUE(array.disk(d).has_buffer());
+    array.disk(d).ReadDataPagesBuffered(1, 1);
+    array.disk(d).ReadDataPagesBuffered(1, 1);
+    EXPECT_EQ(array.disk(d).stats().buffer_hit_pages, 1u) << "disk " << d;
+  }
+  array.ConfigureBufferPool(0);
+  EXPECT_EQ(array.buffer_pool(), nullptr);
+  EXPECT_FALSE(array.disk(0).has_buffer());
+}
+
+}  // namespace
+}  // namespace parsim

@@ -26,6 +26,18 @@ TEST(FaultPlanTest, DefaultPlanIsEmptyAndHealthy) {
   }
 }
 
+TEST(FaultPlanTest, EmptyPlanReportsHealthyForAnyDisk) {
+  // Regression: fault() used to index faults_ unconditionally, so a
+  // default-constructed (empty) plan crashed on the first lookup even
+  // though "empty" is documented as "every disk healthy".
+  const FaultPlan plan;
+  for (std::uint32_t d : {0u, 1u, 7u, 1000u}) {
+    EXPECT_EQ(plan.fault(d).health, DiskHealth::kHealthy) << "disk " << d;
+    EXPECT_DOUBLE_EQ(plan.fault(d).TimeScale(), 1.0);
+    EXPECT_FALSE(plan.IsFailed(d)) << "disk " << d;
+  }
+}
+
 TEST(FaultPlanTest, MutatorsSetAndClearStates) {
   FaultPlan plan(4);
   plan.FailDisk(1);

@@ -232,9 +232,10 @@ TEST(ConcurrencyMixedTest, MixedQueryTypesUnderConcurrency) {
   });
 }
 
-// Engines with a page buffer order-depend on query history, so QueryBatch
-// must fall back to serial execution and stay deterministic.
-TEST(ConcurrencyMixedTest, BufferedEngineBatchStaysSerialAndDeterministic) {
+// With deterministic_batch set, a buffered QueryBatch replays serially
+// (whatever thread count is requested) and every per-query stat —
+// including the order-dependent buffer hit counts — is reproducible.
+TEST(ConcurrencyMixedTest, BufferedEngineDeterministicModeReplaysSerially) {
   const std::size_t d = 4;
   const PointSet data = GenerateUniform(3000, d, 1317);
   const PointSet queries = GenerateUniformQueries(10, d, 1319);
@@ -242,6 +243,7 @@ TEST(ConcurrencyMixedTest, BufferedEngineBatchStaysSerialAndDeterministic) {
   EngineOptions options;
   options.bulk_load = true;
   options.buffer_pages_per_disk = 64;
+  options.deterministic_batch = true;
 
   std::vector<QueryStats> first_stats;
   std::vector<QueryStats> second_stats;
@@ -249,17 +251,96 @@ TEST(ConcurrencyMixedTest, BufferedEngineBatchStaysSerialAndDeterministic) {
     ParallelSearchEngine engine(
         d, std::make_unique<NearOptimalDeclusterer>(d, 4), options);
     ASSERT_TRUE(engine.Build(data).ok());
-    (void)engine.QueryBatch(queries, 5, out, 4);  // forced serial inside
+    unsigned effective_threads = 0;
+    (void)engine.QueryBatch(queries, 5, out, 4, &effective_threads);
+    EXPECT_EQ(effective_threads, 1u) << "deterministic mode must serialize";
   }
   ASSERT_EQ(first_stats.size(), second_stats.size());
   for (std::size_t i = 0; i < first_stats.size(); ++i) {
     ExpectSameStats(first_stats[i], second_stats[i]);
   }
-  // Warm buffers must actually have produced hits, or the fallback path
-  // is not being exercised.
+  // Warm buffers must actually have produced hits, or the serial-replay
+  // path is not being exercised.
   std::uint64_t hits = 0;
   for (const QueryStats& s : first_stats) hits += s.buffer_hit_pages;
   EXPECT_GT(hits, 0u);
+}
+
+// Default (concurrent) buffered batches: the interleaving may shift
+// which touches hit, but every query's RESULT and the pool's aggregate
+// accounting are invariant across thread counts and query order. One
+// fresh engine per run — the buffer carries history across batches, so
+// reusing an engine would conflate runs.
+TEST(ConcurrencyMixedTest, BufferedBatchAggregatesInvariantUnderInterleaving) {
+  const std::size_t d = 6;
+  const std::size_t k = 5;
+  const PointSet data = GenerateUniform(4000, d, 1321);
+  const PointSet queries = GenerateUniformQueries(24, d, 1323);
+
+  EngineOptions options;
+  options.bulk_load = true;
+  options.buffer_pages_per_disk = 64;
+
+  struct Run {
+    std::vector<KnnResult> results;
+    std::uint64_t touched = 0;
+    std::uint64_t hit_plus_miss = 0;
+    std::vector<std::uint64_t> touched_per_shard;
+    unsigned effective_threads = 0;
+  };
+  const auto run_batch = [&](unsigned threads,
+                             const std::vector<std::size_t>& order) {
+    ParallelSearchEngine engine(
+        d, std::make_unique<NearOptimalDeclusterer>(d, 4), options);
+    EXPECT_TRUE(engine.Build(data).ok());
+    PointSet permuted(d);
+    for (std::size_t qi : order) permuted.Add(queries[qi]);
+    Run run;
+    const std::vector<KnnResult> batch =
+        engine.QueryBatch(permuted, k, nullptr, threads,
+                          &run.effective_threads);
+    // Report results in canonical query order whatever the issue order.
+    run.results.resize(queries.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      run.results[order[i]] = batch[i];
+    }
+    const BufferPool* pool = engine.buffer_pool();
+    run.touched = pool->TotalTouchedPages();
+    run.hit_plus_miss = pool->TotalHitPages() + pool->TotalMissPages();
+    run.touched_per_shard = pool->TouchedPagesPerShard();
+    return run;
+  };
+
+  std::vector<std::size_t> identity(queries.size());
+  for (std::size_t i = 0; i < identity.size(); ++i) identity[i] = i;
+  std::vector<std::size_t> reversed(identity.rbegin(), identity.rend());
+  // A fixed interleave permutation (stride walk), deterministic and
+  // coprime with the query count.
+  std::vector<std::size_t> strided;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    strided.push_back((i * 7) % queries.size());
+  }
+
+  const Run baseline = run_batch(1, identity);
+  EXPECT_EQ(baseline.effective_threads, 1u);
+  EXPECT_EQ(baseline.hit_plus_miss, baseline.touched);
+  EXPECT_GT(baseline.touched, 0u);
+
+  const unsigned stress = StressThreads();
+  for (const unsigned threads : {4u, 8u, stress}) {
+    for (const auto* order : {&identity, &reversed, &strided}) {
+      const Run run = run_batch(threads, *order);
+      for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+        ExpectSameResult(baseline.results[qi], run.results[qi]);
+      }
+      EXPECT_EQ(run.touched, baseline.touched)
+          << threads << " threads: total touched pages must be invariant";
+      EXPECT_EQ(run.hit_plus_miss, run.touched)
+          << threads << " threads: every touch is exactly one hit or miss";
+      EXPECT_EQ(run.touched_per_shard, baseline.touched_per_shard)
+          << threads << " threads: per-shard touch totals must be invariant";
+    }
+  }
 }
 
 }  // namespace

@@ -34,8 +34,12 @@ UBSAN_OPTIONS="print_stacktrace=1" \
     ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
 echo "== [3/3] TSAN build + concurrency tests =="
-TSAN_TESTS=(util_thread_pool_test parallel_concurrency_test
-            parallel_threads_test parallel_degraded_query_test)
+# io_buffer_pool_test hammers the sharded pool from raw threads;
+# parallel_concurrency_test covers concurrent buffered batches; and
+# golden_stats_test pins the buffered deterministic-replay accounting.
+TSAN_TESTS=(util_thread_pool_test io_buffer_pool_test
+            parallel_concurrency_test parallel_threads_test
+            parallel_degraded_query_test golden_stats_test)
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -O1 -g" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
