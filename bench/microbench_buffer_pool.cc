@@ -12,13 +12,15 @@
 //
 // Output: a human-readable table on stdout and BENCH_buffer_pool.json in
 // the working directory. Scale with PARSIM_BENCH_N / PARSIM_BENCH_DIM /
-// PARSIM_BENCH_QUERIES. The speedup is wall-clock, so on a single-core
+// PARSIM_BENCH_QUERIES; pass --smoke for a seconds-scale CI run.
+// The speedup is wall-clock, so on a single-core
 // machine it sits near 1.0 however well the locking behaves; the
 // invariance checks are meaningful regardless.
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <limits>
 #include <memory>
 #include <thread>
@@ -87,10 +89,11 @@ bool ResultsIdentical(const std::vector<KnnResult>& a,
 
 }  // namespace
 
-int Run() {
-  const std::size_t n = EnvSize("PARSIM_BENCH_N", 60000);
+int Run(bool smoke) {
+  const std::size_t n = EnvSize("PARSIM_BENCH_N", smoke ? 15000 : 60000);
   const std::size_t dim = EnvSize("PARSIM_BENCH_DIM", 12);
-  const std::size_t num_queries = EnvSize("PARSIM_BENCH_QUERIES", 96);
+  const std::size_t num_queries =
+      EnvSize("PARSIM_BENCH_QUERIES", smoke ? 24 : 96);
   const std::size_t k = 10;
   const std::size_t disks = 8;
   const std::uint64_t pages_per_disk = 256;
@@ -122,13 +125,14 @@ int Run() {
   std::vector<KnnResult> pooled_results;
   unsigned serial_threads = 0;
   unsigned pooled_effective = 0;
+  const int batch_reps = smoke ? 1 : 3;
   (void)serial_engine->QueryBatch(queries, k, nullptr, 1);  // warm-up
-  const double serial_ms = BestOfMs(3, [&] {
+  const double serial_ms = BestOfMs(batch_reps, [&] {
     serial_results =
         serial_engine->QueryBatch(queries, k, nullptr, 1, &serial_threads);
   });
   (void)pooled_engine->QueryBatch(queries, k, nullptr, pooled_threads);
-  const double pooled_ms = BestOfMs(3, [&] {
+  const double pooled_ms = BestOfMs(batch_reps, [&] {
     pooled_results = pooled_engine->QueryBatch(queries, k, nullptr,
                                                pooled_threads,
                                                &pooled_effective);
@@ -150,7 +154,7 @@ int Run() {
       pooled_pool.TotalHitPages() + pooled_pool.TotalMissPages() ==
       pooled_pool.TotalTouchedPages();
 
-  std::printf("\nbuffered QueryBatch wall-clock (best of 3):\n");
+  std::printf("\nbuffered QueryBatch wall-clock (best of %d):\n", batch_reps);
   std::printf("  serial (1 thread):   %8.2f ms  %10.1f qps\n", serial_ms,
               serial_qps);
   std::printf("  pooled (%u threads): %8.2f ms  %10.1f qps  (%.2fx)\n",
@@ -253,4 +257,10 @@ int Run() {
 
 }  // namespace parsim
 
-int main() { return parsim::Run(); }
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  return parsim::Run(smoke);
+}

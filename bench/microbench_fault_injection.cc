@@ -11,10 +11,12 @@
 // failed disk (with replicas) degrades the makespan by more than 2x.
 //
 // Output: a human-readable table on stdout and BENCH_fault_injection.json
-// in the working directory. Scale with PARSIM_BENCH_N / PARSIM_BENCH_QUERIES.
+// in the working directory. Scale with PARSIM_BENCH_N / PARSIM_BENCH_QUERIES;
+// pass --smoke for a seconds-scale CI run.
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <vector>
 
@@ -70,10 +72,11 @@ struct Row {
 
 }  // namespace
 
-int Run() {
-  const std::size_t n = EnvSize("PARSIM_BENCH_N", 40000);
+int Run(bool smoke) {
+  const std::size_t n = EnvSize("PARSIM_BENCH_N", smoke ? 10000 : 40000);
   const std::size_t dim = 16;
-  const std::size_t num_queries = EnvSize("PARSIM_BENCH_QUERIES", 32);
+  const std::size_t num_queries =
+      EnvSize("PARSIM_BENCH_QUERIES", smoke ? 8 : 32);
   const std::size_t k = 10;
   const std::size_t disks = 16;
   const std::uint64_t fault_seed = 97;
@@ -207,4 +210,10 @@ int Run() {
 
 }  // namespace parsim
 
-int main() { return parsim::Run(); }
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  return parsim::Run(smoke);
+}

@@ -10,11 +10,13 @@
 //      dispatched kernel vs the pre-dispatch scalar loop, per metric.
 //
 // Output: a human-readable table on stdout and BENCH_query_parallel.json
-// in the working directory. Scale with PARSIM_BENCH_N / PARSIM_BENCH_QUERIES.
+// in the working directory. Scale with PARSIM_BENCH_N / PARSIM_BENCH_QUERIES;
+// pass --smoke for a seconds-scale CI run.
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <limits>
 #include <memory>
 #include <thread>
@@ -113,10 +115,11 @@ KernelRow BenchKernel(const char* name, MetricKind kind,
 
 }  // namespace
 
-int Run() {
-  const std::size_t n = EnvSize("PARSIM_BENCH_N", 100000);
+int Run(bool smoke) {
+  const std::size_t n = EnvSize("PARSIM_BENCH_N", smoke ? 20000 : 100000);
   const std::size_t dim = EnvSize("PARSIM_BENCH_DIM", 16);
-  const std::size_t num_queries = EnvSize("PARSIM_BENCH_QUERIES", 64);
+  const std::size_t num_queries =
+      EnvSize("PARSIM_BENCH_QUERIES", smoke ? 16 : 64);
   const std::size_t k = 10;
   const std::size_t disks = 8;
   const unsigned pooled_threads = 4;
@@ -144,11 +147,12 @@ int Run() {
   // --- Experiment 1: batch execution, serial vs pooled -----------------
   std::vector<QueryStats> serial_stats;
   std::vector<QueryStats> pooled_stats;
+  const int batch_reps = smoke ? 1 : 3;
   (void)engine.QueryBatch(queries, k, nullptr, 1);  // warm-up
-  const double serial_ms = BestOfMs(3, [&] {
+  const double serial_ms = BestOfMs(batch_reps, [&] {
     (void)engine.QueryBatch(queries, k, &serial_stats, 1);
   });
-  const double pooled_ms = BestOfMs(3, [&] {
+  const double pooled_ms = BestOfMs(batch_reps, [&] {
     (void)engine.QueryBatch(queries, k, &pooled_stats, pooled_threads);
   });
   const double serial_qps =
@@ -157,7 +161,7 @@ int Run() {
       static_cast<double>(num_queries) / (pooled_ms / 1000.0);
   const bool identical = StatsBitIdentical(serial_stats, pooled_stats);
 
-  std::printf("\nQueryBatch wall-clock (best of 3):\n");
+  std::printf("\nQueryBatch wall-clock (best of %d):\n", batch_reps);
   std::printf("  serial  (1 thread):  %8.2f ms  %10.1f qps\n", serial_ms,
               serial_qps);
   std::printf("  pooled  (%u threads): %8.2f ms  %10.1f qps  (%.2fx)\n",
@@ -167,7 +171,7 @@ int Run() {
 
   // --- Experiment 2: kernel throughput ---------------------------------
   const PointView query = queries[0];
-  const int reps = 10;
+  const int reps = smoke ? 2 : 10;
   std::vector<KernelRow> rows;
   rows.push_back(BenchKernel("squared_l2", MetricKind::kL2,
                              &detail::SquaredL2Scalar, data, query, reps));
@@ -226,4 +230,10 @@ int Run() {
 
 }  // namespace parsim
 
-int main() { return parsim::Run(); }
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  return parsim::Run(smoke);
+}

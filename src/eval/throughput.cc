@@ -44,6 +44,8 @@ ThroughputResult SimulateThroughput(const ParallelSearchEngine& engine,
     out.replica_pages += stats.replica_pages;
     out.failed_read_attempts += stats.failed_read_attempts;
     out.unavailable_pages += stats.unavailable_pages;
+    out.coalesced_reads += stats.coalesced_reads;
+    out.block_kernel_invocations += stats.block_kernel_invocations;
     // Host share of this query's time (directory work on the shared
     // architecture; zero for federated ones). Derived from the healthy
     // figure so fault penalties never leak into the host share.

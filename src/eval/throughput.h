@@ -54,6 +54,14 @@ struct ThroughputResult {
   /// Pages no healthy copy could serve (failed disk, no replica).
   std::uint64_t unavailable_pages = 0;
 
+  // Batched-execution aggregates. Zero outside the coalesced path.
+  /// Page reads the batch avoided by cross-query coalescing (summed
+  /// per-query coalesced_reads); every one of them is a page the
+  /// per-query execution would have charged to a disk.
+  std::uint64_t coalesced_reads = 0;
+  /// Many-to-many kernel participations (summed per-query counts).
+  std::uint64_t block_kernel_invocations = 0;
+
   /// Real (measured) wall-clock execution of the batch on this machine,
   /// alongside the simulated makespan above.
   double wall_ms = 0.0;

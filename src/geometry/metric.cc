@@ -250,20 +250,234 @@ __attribute__((target("avx2,fma"))) double LmaxAvx2(const float* a,
 
 using PairKernel = double (*)(const float*, const float*, std::size_t);
 
+// ---------------------------------------------------------------------
+// Many-to-many block kernels: Q queries against one contiguous block of
+// candidate rows (an SoA leaf block), out[q * count + i]. The scalar
+// fallbacks stream the pair kernel point-major so each candidate row is
+// loaded once per sweep; the AVX2 variants additionally hoist the
+// candidate row into registers for dim <= 16 (one to four widened
+// vectors) and replay the pair kernel's exact op sequence per query, so
+// every value stays bit-identical to the one-to-one kernel.
+// ---------------------------------------------------------------------
+
+using BlockKernel = void (*)(const float*, std::size_t, const float*,
+                             std::size_t, std::size_t, double*);
+
+void SquaredL2BlockUnrolled(const float* queries, std::size_t num_queries,
+                            const float* points, std::size_t count,
+                            std::size_t dim, double* out) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const float* p = points + i * dim;
+    for (std::size_t q = 0; q < num_queries; ++q) {
+      out[q * count + i] = SquaredL2Unrolled(queries + q * dim, p, dim);
+    }
+  }
+}
+
+void L1BlockUnrolled(const float* queries, std::size_t num_queries,
+                     const float* points, std::size_t count, std::size_t dim,
+                     double* out) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const float* p = points + i * dim;
+    for (std::size_t q = 0; q < num_queries; ++q) {
+      out[q * count + i] = L1Unrolled(queries + q * dim, p, dim);
+    }
+  }
+}
+
+void LmaxBlockUnrolled(const float* queries, std::size_t num_queries,
+                       const float* points, std::size_t count, std::size_t dim,
+                       double* out) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const float* p = points + i * dim;
+    for (std::size_t q = 0; q < num_queries; ++q) {
+      out[q * count + i] = LmaxUnrolled(queries + q * dim, p, dim);
+    }
+  }
+}
+
+#ifdef PARSIM_METRIC_X86
+
+/// How many widened 4-lane vectors a row of `dim` floats occupies; rows
+/// of dim <= 16 fit in the four-register hoist of the block kernels.
+inline constexpr std::size_t kBlockHoistDim = 16;
+
+__attribute__((target("avx2,fma"))) void SquaredL2BlockAvx2(
+    const float* queries, std::size_t num_queries, const float* points,
+    std::size_t count, std::size_t dim, double* out) {
+  if (dim > kBlockHoistDim) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const float* p = points + i * dim;
+      for (std::size_t q = 0; q < num_queries; ++q) {
+        out[q * count + i] = SquaredL2Avx2(queries + q * dim, p, dim);
+      }
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    const float* p = points + i * dim;
+    __m256d prow[kBlockHoistDim / 4] = {_mm256_setzero_pd(),
+                                        _mm256_setzero_pd(),
+                                        _mm256_setzero_pd(),
+                                        _mm256_setzero_pd()};
+    for (std::size_t c = 0; c * 4 + 4 <= dim; ++c) {
+      prow[c] = _mm256_cvtps_pd(_mm_loadu_ps(p + c * 4));
+    }
+    for (std::size_t q = 0; q < num_queries; ++q) {
+      const float* a = queries + q * dim;
+      __m256d acc0 = _mm256_setzero_pd();
+      __m256d acc1 = _mm256_setzero_pd();
+      std::size_t j = 0;
+      for (; j + 8 <= dim; j += 8) {
+        const __m256d a0 = _mm256_cvtps_pd(_mm_loadu_ps(a + j));
+        const __m256d d0 = _mm256_sub_pd(a0, prow[j / 4]);
+        acc0 = _mm256_fmadd_pd(d0, d0, acc0);
+        const __m256d a1 = _mm256_cvtps_pd(_mm_loadu_ps(a + j + 4));
+        const __m256d d1 = _mm256_sub_pd(a1, prow[j / 4 + 1]);
+        acc1 = _mm256_fmadd_pd(d1, d1, acc1);
+      }
+      if (j + 4 <= dim) {
+        const __m256d a0 = _mm256_cvtps_pd(_mm_loadu_ps(a + j));
+        const __m256d d0 = _mm256_sub_pd(a0, prow[j / 4]);
+        acc0 = _mm256_fmadd_pd(d0, d0, acc0);
+        j += 4;
+      }
+      double sum = HorizontalSum(_mm256_add_pd(acc0, acc1));
+      for (; j < dim; ++j) {
+        const double d = static_cast<double>(a[j]) - static_cast<double>(p[j]);
+        sum += d * d;
+      }
+      out[q * count + i] = sum;
+    }
+  }
+}
+
+__attribute__((target("avx2,fma"))) void L1BlockAvx2(
+    const float* queries, std::size_t num_queries, const float* points,
+    std::size_t count, std::size_t dim, double* out) {
+  if (dim > kBlockHoistDim) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const float* p = points + i * dim;
+      for (std::size_t q = 0; q < num_queries; ++q) {
+        out[q * count + i] = L1Avx2(queries + q * dim, p, dim);
+      }
+    }
+    return;
+  }
+  const __m256d abs_mask =
+      _mm256_castsi256_pd(_mm256_set1_epi64x(0x7fffffffffffffffLL));
+  for (std::size_t i = 0; i < count; ++i) {
+    const float* p = points + i * dim;
+    __m256d prow[kBlockHoistDim / 4] = {_mm256_setzero_pd(),
+                                        _mm256_setzero_pd(),
+                                        _mm256_setzero_pd(),
+                                        _mm256_setzero_pd()};
+    for (std::size_t c = 0; c * 4 + 4 <= dim; ++c) {
+      prow[c] = _mm256_cvtps_pd(_mm_loadu_ps(p + c * 4));
+    }
+    for (std::size_t q = 0; q < num_queries; ++q) {
+      const float* a = queries + q * dim;
+      __m256d acc0 = _mm256_setzero_pd();
+      __m256d acc1 = _mm256_setzero_pd();
+      std::size_t j = 0;
+      for (; j + 8 <= dim; j += 8) {
+        const __m256d d0 = _mm256_sub_pd(_mm256_cvtps_pd(_mm_loadu_ps(a + j)),
+                                         prow[j / 4]);
+        acc0 = _mm256_add_pd(acc0, _mm256_and_pd(abs_mask, d0));
+        const __m256d d1 = _mm256_sub_pd(
+            _mm256_cvtps_pd(_mm_loadu_ps(a + j + 4)), prow[j / 4 + 1]);
+        acc1 = _mm256_add_pd(acc1, _mm256_and_pd(abs_mask, d1));
+      }
+      if (j + 4 <= dim) {
+        const __m256d d0 = _mm256_sub_pd(_mm256_cvtps_pd(_mm_loadu_ps(a + j)),
+                                         prow[j / 4]);
+        acc0 = _mm256_add_pd(acc0, _mm256_and_pd(abs_mask, d0));
+        j += 4;
+      }
+      double sum = HorizontalSum(_mm256_add_pd(acc0, acc1));
+      for (; j < dim; ++j) {
+        sum += std::abs(static_cast<double>(a[j]) - static_cast<double>(p[j]));
+      }
+      out[q * count + i] = sum;
+    }
+  }
+}
+
+__attribute__((target("avx2,fma"))) void LmaxBlockAvx2(
+    const float* queries, std::size_t num_queries, const float* points,
+    std::size_t count, std::size_t dim, double* out) {
+  if (dim > kBlockHoistDim) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const float* p = points + i * dim;
+      for (std::size_t q = 0; q < num_queries; ++q) {
+        out[q * count + i] = LmaxAvx2(queries + q * dim, p, dim);
+      }
+    }
+    return;
+  }
+  const __m256d abs_mask =
+      _mm256_castsi256_pd(_mm256_set1_epi64x(0x7fffffffffffffffLL));
+  for (std::size_t i = 0; i < count; ++i) {
+    const float* p = points + i * dim;
+    __m256d prow[kBlockHoistDim / 4] = {_mm256_setzero_pd(),
+                                        _mm256_setzero_pd(),
+                                        _mm256_setzero_pd(),
+                                        _mm256_setzero_pd()};
+    for (std::size_t c = 0; c * 4 + 4 <= dim; ++c) {
+      prow[c] = _mm256_cvtps_pd(_mm_loadu_ps(p + c * 4));
+    }
+    for (std::size_t q = 0; q < num_queries; ++q) {
+      const float* a = queries + q * dim;
+      __m256d acc0 = _mm256_setzero_pd();
+      __m256d acc1 = _mm256_setzero_pd();
+      std::size_t j = 0;
+      for (; j + 8 <= dim; j += 8) {
+        const __m256d d0 = _mm256_sub_pd(_mm256_cvtps_pd(_mm_loadu_ps(a + j)),
+                                         prow[j / 4]);
+        acc0 = _mm256_max_pd(acc0, _mm256_and_pd(abs_mask, d0));
+        const __m256d d1 = _mm256_sub_pd(
+            _mm256_cvtps_pd(_mm_loadu_ps(a + j + 4)), prow[j / 4 + 1]);
+        acc1 = _mm256_max_pd(acc1, _mm256_and_pd(abs_mask, d1));
+      }
+      if (j + 4 <= dim) {
+        const __m256d d0 = _mm256_sub_pd(_mm256_cvtps_pd(_mm_loadu_ps(a + j)),
+                                         prow[j / 4]);
+        acc0 = _mm256_max_pd(acc0, _mm256_and_pd(abs_mask, d0));
+        j += 4;
+      }
+      double best = HorizontalMax(_mm256_max_pd(acc0, acc1));
+      for (; j < dim; ++j) {
+        best = std::max(best, std::abs(static_cast<double>(a[j]) -
+                                       static_cast<double>(p[j])));
+      }
+      out[q * count + i] = best;
+    }
+  }
+}
+
+#endif  // PARSIM_METRIC_X86
+
 struct KernelTable {
   PairKernel squared_l2;
   PairKernel l1;
   PairKernel lmax;
+  BlockKernel squared_l2_block;
+  BlockKernel l1_block;
+  BlockKernel lmax_block;
   bool simd;
 };
 
 KernelTable PickKernels() {
 #ifdef PARSIM_METRIC_X86
   if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
-    return {SquaredL2Avx2, L1Avx2, LmaxAvx2, /*simd=*/true};
+    return {SquaredL2Avx2,      L1Avx2,      LmaxAvx2,
+            SquaredL2BlockAvx2, L1BlockAvx2, LmaxBlockAvx2,
+            /*simd=*/true};
   }
 #endif
-  return {SquaredL2Unrolled, L1Unrolled, LmaxUnrolled, /*simd=*/false};
+  return {SquaredL2Unrolled,      L1Unrolled,      LmaxUnrolled,
+          SquaredL2BlockUnrolled, L1BlockUnrolled, LmaxBlockUnrolled,
+          /*simd=*/false};
 }
 
 const KernelTable& Kernels() {
@@ -345,6 +559,35 @@ void Metric::ComparableMany(PointView query, const Scalar* points,
   for (std::size_t i = 0; i < count; ++i) {
     out[i] = kernel(q, points + i * dim, dim);
   }
+}
+
+void Metric::ComparableBlock(const Scalar* queries, std::size_t num_queries,
+                             const Scalar* points, std::size_t count,
+                             std::size_t dim, double* out) const {
+  // A one-query block is exactly ComparableMany, whose kernels hoist the
+  // query row into registers and stream the points past it; the block
+  // kernels instead hoist each point row and re-read every query, which
+  // only pays off from two queries up. Both produce bit-identical values,
+  // so singleton groups can take the cheaper path.
+  if (num_queries == 1) {
+    ComparableMany(PointView{queries, dim}, points, count, dim, out);
+    return;
+  }
+  BlockKernel kernel;
+  switch (kind_) {
+    case MetricKind::kL1:
+      kernel = Kernels().l1_block;
+      break;
+    case MetricKind::kL2:
+      kernel = Kernels().squared_l2_block;
+      break;
+    case MetricKind::kLmax:
+      kernel = Kernels().lmax_block;
+      break;
+    default:
+      PARSIM_UNREACHABLE();
+  }
+  kernel(queries, num_queries, points, count, dim, out);
 }
 
 }  // namespace parsim

@@ -87,6 +87,21 @@ class Metric {
   void ComparableMany(PointView query, const Scalar* points,
                       std::size_t count, std::size_t dim, double* out) const;
 
+  /// Many-queries-to-many-points kernel, the batched execution path's
+  /// workhorse: out[q * count + i] = Comparable(query_q, p_i), where
+  /// query_q is `queries + q * dim` and p_i is `points + i * dim`, both
+  /// row-major and contiguous (the points side is typically an SoA leaf
+  /// block, src/index/leaf_block.h). One pass evaluates every query of a
+  /// batch against one leaf page: the AVX2 path keeps the candidate row
+  /// resident in registers across queries for dim <= 16 and otherwise
+  /// streams the pair kernel point-major. Every out value is bit-identical
+  /// to the corresponding one-to-one Comparable() call — the kernels
+  /// replay the pair kernel's reduction order exactly — so batched and
+  /// per-query searches produce the same results bit for bit.
+  void ComparableBlock(const Scalar* queries, std::size_t num_queries,
+                       const Scalar* points, std::size_t count,
+                       std::size_t dim, double* out) const;
+
  private:
   MetricKind kind_;
 };

@@ -5,6 +5,7 @@
 #include <limits>
 #include <queue>
 
+#include "src/index/leaf_block.h"
 #include "src/util/check.h"
 
 namespace parsim {
@@ -88,32 +89,19 @@ class TopK {
 
 namespace {
 
-/// Comparable distances from `query` to every entry of a leaf, via the
-/// blocked one-to-many kernel. Leaf entries store their point inside
-/// their (degenerate) rect, so rows are gathered into a contiguous
-/// thread-local scratch first; the kernel then streams over it with the
-/// query held hot. Values are bit-identical to per-entry Comparable()
-/// calls (same dispatched kernel). The returned pointer is valid until
-/// the next call on this thread.
-const double* ScanLeafEntries(const Node& node, PointView query,
-                              const Metric& metric) {
-  struct Scratch {
-    std::vector<Scalar> coords;
-    std::vector<double> dists;
-  };
-  thread_local Scratch scratch;
-  const std::size_t dim = query.size();
-  const std::size_t n = node.entries.size();
-  scratch.coords.resize(n * dim);
-  for (std::size_t i = 0; i < n; ++i) {
-    const PointView p = node.entries[i].AsPoint();
-    std::copy(p.begin(), p.end(), scratch.coords.begin() +
-                                      static_cast<std::ptrdiff_t>(i * dim));
-  }
-  scratch.dists.resize(n);
-  metric.ComparableMany(query, scratch.coords.data(), n, dim,
-                        scratch.dists.data());
-  return scratch.dists.data();
+/// Comparable distances from `query` to every point of a leaf block, via
+/// the one-to-many kernel streaming over the block's SoA coordinate rows
+/// (no per-query gather: the tree's LeafBlockCache materialized the rows
+/// once per structural epoch). Values are bit-identical to per-entry
+/// Comparable() calls (same dispatched kernel). The returned pointer is
+/// valid until the next call on this thread.
+const double* ScanLeafBlock(const LeafBlock& block, PointView query,
+                            const Metric& metric) {
+  thread_local std::vector<double> dists;
+  dists.resize(block.count);
+  metric.ComparableMany(query, block.coords.data(), block.count, block.dim,
+                        dists.data());
+  return dists.data();
 }
 
 }  // namespace
@@ -137,6 +125,29 @@ KnnResult HsKnn(const TreeBase& tree, PointView query, std::size_t k,
   };
   std::priority_queue<Item, std::vector<Item>, decltype(greater_key)> queue(
       greater_key);
+  // Max-heap of the k smallest point keys pushed so far. A point whose
+  // key exceeds its top can never be popped: at least k point items with
+  // smaller keys are already queued ahead of it, and the k-th of those
+  // terminates the search. Skipping such pushes therefore leaves the pop
+  // sequence — results, page fetches, and distance counts — bit-identical
+  // while keeping the frontier orders of magnitude smaller (the batched
+  // scheduler in src/parallel/batch_knn.cc interleaves many frontiers, so
+  // their total footprint decides cache residency).
+  std::vector<double> bound;
+  bound.reserve(k);
+  const auto push_point = [&](double key, std::uint32_t id) {
+    if (bound.size() < k) {
+      bound.push_back(key);
+      std::push_heap(bound.begin(), bound.end());
+    } else if (key > bound.front()) {
+      return;
+    } else if (key < bound.front()) {
+      std::pop_heap(bound.begin(), bound.end());
+      bound.back() = key;
+      std::push_heap(bound.begin(), bound.end());
+    }
+    queue.push(Item{key, true, id});
+  };
   queue.push(Item{0.0, false, tree.root_id()});
   while (!queue.empty() && result.size() < k) {
     const Item item = queue.top();
@@ -148,9 +159,10 @@ KnnResult HsKnn(const TreeBase& tree, PointView query, std::size_t k,
     const Node& node = tree.AccessNode(item.ref);
     if (node.IsLeaf()) {
       tree.ChargeNodeDistances(node, node.entries.size());
-      const double* dists = ScanLeafEntries(node, query, metric);
-      for (std::size_t i = 0; i < node.entries.size(); ++i) {
-        queue.push(Item{dists[i], true, node.entries[i].child});
+      const LeafBlock& block = tree.LeafBlockOf(node);
+      const double* dists = ScanLeafBlock(block, query, metric);
+      for (std::size_t i = 0; i < block.count; ++i) {
+        push_point(dists[i], block.ids[i]);
       }
     } else {
       for (const NodeEntry& e : node.entries) {
@@ -169,9 +181,10 @@ void RkvVisit(const TreeBase& tree, NodeId node_id, PointView query,
   const Node& node = tree.AccessNode(node_id);
   if (node.IsLeaf()) {
     tree.ChargeNodeDistances(node, node.entries.size());
-    const double* dists = ScanLeafEntries(node, query, metric);
-    for (std::size_t i = 0; i < node.entries.size(); ++i) {
-      best->Offer(dists[i], node.entries[i].child);
+    const LeafBlock& block = tree.LeafBlockOf(node);
+    const double* dists = ScanLeafBlock(block, query, metric);
+    for (std::size_t i = 0; i < block.count; ++i) {
+      best->Offer(dists[i], block.ids[i]);
     }
     return;
   }
@@ -232,10 +245,11 @@ KnnResult BallQuery(const TreeBase& tree, PointView query, double radius,
     const Node& node = tree.AccessNode(id);
     if (node.IsLeaf()) {
       tree.ChargeNodeDistances(node, node.entries.size());
-      const double* dists = ScanLeafEntries(node, query, metric);
-      for (std::size_t i = 0; i < node.entries.size(); ++i) {
+      const LeafBlock& block = tree.LeafBlockOf(node);
+      const double* dists = ScanLeafBlock(block, query, metric);
+      for (std::size_t i = 0; i < block.count; ++i) {
         if (dists[i] <= threshold) {
-          out.push_back(Neighbor{node.entries[i].child,
+          out.push_back(Neighbor{block.ids[i],
                                  metric.FromComparable(dists[i])});
         }
       }

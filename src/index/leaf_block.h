@@ -1,0 +1,89 @@
+// Structure-of-arrays mirror of a leaf page.
+//
+// A leaf Node stores its points AoS — each NodeEntry carries a degenerate
+// Rect (lo == hi == the point) plus the point id — which keeps the
+// split/MBR machinery uniform across levels but scatters the coordinates
+// a page scan needs across Rect allocations. A LeafBlock peels them out
+// into two dense arrays (coords: count x dim row-major scalars; ids:
+// count PointIds), so a page scan is one contiguous sweep the one-to-many
+// and many-to-many distance kernels (Metric::ComparableMany /
+// ComparableBlock) stream over without a per-query gather.
+//
+// Blocks are derived state: LeafBlockCache builds them lazily on first
+// access and invalidates them wholesale whenever the tree's structure
+// changes (insert, delete, bulk load, deserialize). The tree's
+// concurrency contract — queries never race with mutations — makes a
+// single epoch counter sufficient: mutations bump the epoch between
+// query waves, and concurrent readers synchronize on a per-slot atomic.
+
+#ifndef PARSIM_SRC_INDEX_LEAF_BLOCK_H_
+#define PARSIM_SRC_INDEX_LEAF_BLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/geometry/point.h"
+#include "src/index/node.h"
+
+namespace parsim {
+
+/// The SoA layout of one leaf page: coordinates and ids of its points in
+/// entry order, contiguous.
+struct LeafBlock {
+  std::size_t count = 0;
+  std::size_t dim = 0;
+  /// count * dim scalars, row-major (point i at coords[i * dim]).
+  std::vector<Scalar> coords;
+  /// count point ids, parallel to coords.
+  std::vector<PointId> ids;
+
+  PointView row(std::size_t i) const {
+    return {coords.data() + i * dim, dim};
+  }
+
+  /// Rebuilds this block from `leaf` (entries in order).
+  void BuildFrom(const Node& leaf, std::size_t dimension);
+};
+
+/// Per-tree cache of leaf blocks, safe for concurrent read-only queries.
+///
+/// Thread-safety contract (the tree family's): any number of concurrent
+/// Get() calls may race with each other — the first one through a slot's
+/// build mutex materializes the block, the rest wait or take the fast
+/// atomic-epoch path — but Invalidate() must not race with Get(); it is
+/// called from the tree's mutating entry points, which are documented as
+/// exclusive with queries (like SetFaultPlan / Insert / Remove).
+class LeafBlockCache {
+ public:
+  /// Marks every cached block stale and makes room for `num_nodes`
+  /// slots. Call after any structural change, from the mutation side.
+  void Invalidate(std::size_t num_nodes);
+
+  /// The current block of `leaf`, building it if stale or absent.
+  const LeafBlock& Get(const Node& leaf, std::size_t dim) const;
+
+ private:
+  struct Slot {
+    /// Epoch the block was built at; acquire/release pairs with the
+    /// build below so a reader that sees the current epoch also sees
+    /// the fully built block.
+    std::atomic<std::uint64_t> built_epoch{0};
+    std::mutex build_mutex;
+    LeafBlock block;
+  };
+
+  // unique_ptr slots: Invalidate() may grow the vector, and Slot holds
+  // a mutex/atomic (neither movable).
+  std::vector<std::unique_ptr<Slot>> slots_;
+  /// Bumped by Invalidate; slots at an older epoch rebuild on access.
+  /// Starts above the slots' initial built_epoch of 0 so fresh slots
+  /// count as stale.
+  std::uint64_t epoch_ = 1;
+};
+
+}  // namespace parsim
+
+#endif  // PARSIM_SRC_INDEX_LEAF_BLOCK_H_

@@ -1,5 +1,7 @@
 #include "src/index/node.h"
 
+#include <algorithm>
+
 #include "src/util/check.h"
 
 namespace parsim {
@@ -8,6 +10,16 @@ Rect Node::ComputeMbr(std::size_t dim) const {
   Rect mbr = Rect::Empty(dim);
   for (const NodeEntry& e : entries) mbr.ExtendToInclude(e.rect);
   return mbr;
+}
+
+void Node::GatherLeafCoords([[maybe_unused]] std::size_t dim,
+                            Scalar* out) const {
+  PARSIM_DCHECK(IsLeaf());
+  for (const NodeEntry& e : entries) {
+    const PointView p = e.AsPoint();
+    PARSIM_DCHECK(p.size() == dim);
+    out = std::copy(p.begin(), p.end(), out);
+  }
 }
 
 std::size_t LeafCapacityPerPage(std::size_t dim) {

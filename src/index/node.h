@@ -48,6 +48,12 @@ struct Node {
 
   /// The MBR of all entries.
   Rect ComputeMbr(std::size_t dim) const;
+
+  /// Copies this leaf's points into `out` (entries.size() * dim scalars,
+  /// row-major): the gather step of the SoA leaf-block build
+  /// (src/index/leaf_block.h), peeling the coordinates out of the AoS
+  /// NodeEntry layout so page scans become one contiguous sweep.
+  void GatherLeafCoords(std::size_t dim, Scalar* out) const;
 };
 
 /// Entries per leaf page: a leaf record is the point plus its id.

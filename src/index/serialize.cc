@@ -208,6 +208,7 @@ Status LoadTree(TreeBase* tree, const std::string& path) {
   tree->nodes_ = std::move(nodes);
   tree->root_ = root;
   tree->size_ = static_cast<std::size_t>(size);
+  tree->InvalidateLeafBlocks();
   tree->disk_->WritePages(node_count);
   Status valid = tree->ValidateInvariants();
   if (!valid.ok()) {

@@ -61,12 +61,17 @@ NodeId TreeBase::AllocateNode(int level) {
   return id;
 }
 
-const Node& TreeBase::AccessNode(NodeId id) const {
-  PARSIM_CHECK(id < nodes_.size());
-  const Node& node = *nodes_[id];
+TreeBase::DiskRoute TreeBase::ResolveRoute(const Node& node) const {
   const DiskRoute route =
       node_disk_resolver_ ? node_disk_resolver_(node) : DiskRoute{disk_};
   PARSIM_CHECK(route.disk != nullptr);
+  return route;
+}
+
+const Node& TreeBase::AccessNode(NodeId id) const {
+  PARSIM_CHECK(id < nodes_.size());
+  const Node& node = *nodes_[id];
+  const DiskRoute route = ResolveRoute(node);
   // Fault annotations are recorded exactly once per node READ (distance
   // charges re-resolve the route but do not repeat them).
   if (route.failover) route.disk->RecordFailover(route.retry_attempts,
@@ -81,10 +86,7 @@ const Node& TreeBase::AccessNode(NodeId id) const {
 }
 
 void TreeBase::ChargeNodeDistances(const Node& node, std::uint64_t n) const {
-  const DiskRoute route =
-      node_disk_resolver_ ? node_disk_resolver_(node) : DiskRoute{disk_};
-  PARSIM_CHECK(route.disk != nullptr);
-  route.disk->ChargeDistanceComputations(n);
+  ResolveRoute(node).disk->ChargeDistanceComputations(n);
 }
 
 const Node& TreeBase::PeekNode(NodeId id) const {
@@ -106,6 +108,7 @@ Status TreeBase::Insert(PointView p, PointId id) {
                                   false);
   InsertEntryAtLevel(std::move(entry), /*target_level=*/0, &reinsert_done);
   ++size_;
+  InvalidateLeafBlocks();
   return Status::Ok();
 }
 
@@ -258,13 +261,23 @@ void TreeBase::ForcedReinsert(NodeId node_id, const std::vector<NodeId>& path,
   const Rect mbr = node.ComputeMbr(dim_);
   const Point center = mbr.Center();
   // Sort entries by distance of their rect center to the node center,
-  // descending; the farthest `reinsert_fraction` leave the node.
+  // descending; the farthest `reinsert_fraction` leave the node. The
+  // entry centers are gathered into one contiguous buffer so a single
+  // one-to-many kernel call computes every distance ((a-b)^2 == (b-a)^2
+  // bitwise, so swapping operands relative to the old per-pair loop
+  // cannot change the ordering).
   std::vector<std::size_t> order(node.entries.size());
   std::iota(order.begin(), order.end(), 0);
-  std::vector<double> dist(node.entries.size());
+  std::vector<Scalar> centers(node.entries.size() * dim_);
   for (std::size_t i = 0; i < node.entries.size(); ++i) {
-    dist[i] = SquaredL2(node.entries[i].rect.Center(), center);
+    const Point c = node.entries[i].rect.Center();
+    std::copy(c.data(), c.data() + dim_,
+              centers.data() + i * dim_);
   }
+  std::vector<double> dist(node.entries.size());
+  Metric(MetricKind::kL2).ComparableMany(center, centers.data(),
+                                         node.entries.size(), dim_,
+                                         dist.data());
   std::sort(order.begin(), order.end(),
             [&](std::size_t a, std::size_t b) { return dist[a] > dist[b]; });
   const auto k = std::max<std::size_t>(
@@ -579,6 +592,7 @@ Status TreeBase::BulkLoad(const PointSet& points,
   }
   root_ = level_nodes.front();
   size_ = n;
+  InvalidateLeafBlocks();
   return Status::Ok();
 }
 
@@ -628,6 +642,7 @@ Status TreeBase::Delete(PointView p, PointId id) {
   PARSIM_CHECK(removed);
   --size_;
   CondenseTree(path);
+  InvalidateLeafBlocks();
   return Status::Ok();
 }
 
@@ -732,13 +747,18 @@ std::vector<PointId> TreeBase::RangeQuery(const Rect& query) const {
     const NodeId id = stack.back();
     stack.pop_back();
     const Node& node = AccessNode(id);
-    for (const NodeEntry& e : node.entries) {
-      if (!query.Intersects(e.rect)) continue;
-      if (node.IsLeaf()) {
-        out.push_back(e.child);
-      } else {
-        stack.push_back(e.child);
+    if (node.IsLeaf()) {
+      // Sweep the SoA block instead of the AoS entries: a leaf entry's
+      // rect is the degenerate rect of its point, so Intersects(e.rect)
+      // is exactly Contains(point), and the block preserves entry order.
+      const LeafBlock& block = LeafBlockOf(node);
+      for (std::size_t i = 0; i < block.count; ++i) {
+        if (query.Contains(block.row(i))) out.push_back(block.ids[i]);
       }
+      continue;
+    }
+    for (const NodeEntry& e : node.entries) {
+      if (query.Intersects(e.rect)) stack.push_back(e.child);
     }
   }
   return out;

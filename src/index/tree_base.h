@@ -17,6 +17,7 @@
 
 #include "src/geometry/point.h"
 #include "src/geometry/rect.h"
+#include "src/index/leaf_block.h"
 #include "src/index/node.h"
 #include "src/io/disk.h"
 #include "src/util/status.h"
@@ -120,10 +121,22 @@ class TreeBase {
     node_disk_resolver_ = std::move(resolver);
   }
 
+  /// Resolves where `node`'s charges land without reading anything: the
+  /// installed resolver's route, or the tree's own disk (healthy) when no
+  /// resolver is set. The batched k-NN scheduler uses this to attribute a
+  /// coalesced page fetch to the right disk for every query in a group.
+  DiskRoute ResolveRoute(const Node& node) const;
+
   /// Reads a node, charging its pages to the resolved disk. Directory
   /// and data pages are metered separately, matching the paper's
   /// accounting.
   const Node& AccessNode(NodeId id) const;
+
+  /// The SoA block of `leaf`, built lazily and cached until the next
+  /// structural change. Safe for concurrent queries; see LeafBlockCache.
+  const LeafBlock& LeafBlockOf(const Node& leaf) const {
+    return leaf_blocks_.Get(leaf, dim_);
+  }
 
   /// Charges `n` distance computations to the disk that serves `node`
   /// (the CPU doing the work sits next to that disk).
@@ -193,6 +206,12 @@ class TreeBase {
   NodeId root_ = kInvalidNodeId;
   std::size_t size_ = 0;
   NodeDiskResolver node_disk_resolver_;
+  LeafBlockCache leaf_blocks_;
+
+  /// Marks every cached leaf block stale. Every mutating entry point
+  /// (Insert, Delete, BulkLoad, deserialization) must call this before
+  /// returning control to queries.
+  void InvalidateLeafBlocks() { leaf_blocks_.Invalidate(nodes_.size()); }
 
  private:
   // One top-down insertion of `entry` at `target_level`, with R* overflow

@@ -138,6 +138,16 @@ struct DiskStats {
   /// for accounting continuity; the federated engines skip the
   /// partition's work entirely and record only this counter.)
   std::uint64_t unavailable_pages = 0;
+  /// Pages this query obtained for free because another query of the same
+  /// coalesced batch round paid for the fetch (batched execution path).
+  /// Not part of TotalPagesRead() — coalescing is exactly the removal of
+  /// these reads from the cost model — but kept so the saving is visible
+  /// and auditable: per query, pages_read + coalesced_pages equals the
+  /// pages the single-query path would have read.
+  std::uint64_t coalesced_pages = 0;
+  /// Many-to-many kernel calls (Metric::ComparableBlock) issued on this
+  /// query's behalf: one per (leaf group, member) pair per batch round.
+  std::uint64_t block_kernel_invocations = 0;
 
   std::uint64_t TotalPagesRead() const {
     return data_pages_read + directory_pages_read;
@@ -152,6 +162,8 @@ struct DiskStats {
     replica_pages_read += other.replica_pages_read;
     failed_read_attempts += other.failed_read_attempts;
     unavailable_pages += other.unavailable_pages;
+    coalesced_pages += other.coalesced_pages;
+    block_kernel_invocations += other.block_kernel_invocations;
     return *this;
   }
 };

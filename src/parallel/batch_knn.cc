@@ -1,0 +1,219 @@
+#include "src/parallel/batch_knn.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "src/index/leaf_block.h"
+#include "src/util/check.h"
+
+namespace parsim {
+
+namespace {
+
+/// One query's best-first search, pausable at node fetches. The queue
+/// holds nodes (is_point == false) keyed by MINDIST and data points keyed
+/// by their actual distance, both in the Comparable scale — the exact
+/// structure of HsKnn (src/index/knn.cc), so the push/pop sequence (and
+/// with it the result) matches the single-query path bit for bit.
+struct QueryState {
+  struct Item {
+    double key;
+    bool is_point;
+    std::uint32_t ref;  // NodeId or PointId
+  };
+  struct GreaterKey {
+    bool operator()(const Item& a, const Item& b) const {
+      return a.key > b.key;
+    }
+  };
+  std::priority_queue<Item, std::vector<Item>, GreaterKey> queue;
+  /// Max-heap of the k smallest point keys pushed so far — HsKnn's
+  /// pruning bound. Points beyond it can never pop before the k-th
+  /// result does, so skipping them is invisible to the pop sequence but
+  /// keeps the frontier small enough that a 64-wide round stays cache
+  /// resident.
+  std::vector<double> bound;
+  KnnResult result;
+  /// The node the frontier needs next; kInvalidNodeId while none.
+  NodeId request = kInvalidNodeId;
+  bool done = false;
+
+  void PushPoint(double key, std::uint32_t id, std::size_t k) {
+    if (bound.size() < k) {
+      bound.push_back(key);
+      std::push_heap(bound.begin(), bound.end());
+    } else if (key > bound.front()) {
+      return;
+    } else if (key < bound.front()) {
+      std::pop_heap(bound.begin(), bound.end());
+      bound.back() = key;
+      std::push_heap(bound.begin(), bound.end());
+    }
+    queue.push(Item{key, true, id});
+  }
+};
+
+/// Replays HsKnn's main loop until the query finishes or needs a node:
+/// points pop into the result, the first node item pauses the query with
+/// `request` set (the round scheduler fetches and expands it).
+void Advance(QueryState* q, std::size_t k, const Metric& metric) {
+  q->request = kInvalidNodeId;
+  while (q->result.size() < k && !q->queue.empty()) {
+    const QueryState::Item item = q->queue.top();
+    q->queue.pop();
+    if (item.is_point) {
+      q->result.push_back(Neighbor{item.ref, metric.FromComparable(item.key)});
+      continue;
+    }
+    q->request = item.ref;
+    return;
+  }
+  q->done = true;
+}
+
+}  // namespace
+
+std::vector<KnnResult> CoalescedHsBatch(
+    const TreeBase& tree, const PointSet& queries, std::size_t k,
+    const Metric& metric, std::vector<QueryCostAccumulator>* accs,
+    ThreadPool* pool) {
+  PARSIM_CHECK(k >= 1);
+  PARSIM_CHECK(accs != nullptr && accs->size() == queries.size());
+  const std::size_t n = queries.size();
+  const std::size_t dim = queries.dim();
+  std::vector<KnnResult> results(n);
+  if (n == 0) return results;
+  PARSIM_CHECK(dim == tree.dim());
+
+  std::vector<QueryState> states(n);
+  if (tree.root_id() != kInvalidNodeId) {
+    for (std::size_t i = 0; i < n; ++i) {
+      states[i].queue.push(
+          QueryState::Item{0.0, false, tree.root_id()});
+      Advance(&states[i], k, metric);
+    }
+  } else {
+    for (QueryState& s : states) s.done = true;
+  }
+
+  struct Group {
+    NodeId node;
+    // Indices into `requests` delimiting this group's members.
+    std::size_t begin;
+    std::size_t end;
+    const Node* accessed = nullptr;
+    TreeBase::DiskRoute route;
+  };
+  std::vector<std::pair<NodeId, std::size_t>> requests;  // (node, query)
+  requests.reserve(n);
+  std::vector<Group> groups;
+  groups.reserve(n);
+
+  for (;;) {
+    requests.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!states[i].done) requests.emplace_back(states[i].request, i);
+    }
+    if (requests.empty()) break;
+    // Ascending (node id, query index): the grouping — and with it the
+    // buffer-pool access order below — is a pure function of the
+    // frontiers, so the whole schedule is deterministic at any thread
+    // count.
+    std::sort(requests.begin(), requests.end());
+    groups.clear();
+    for (std::size_t i = 0; i < requests.size();) {
+      std::size_t j = i;
+      while (j < requests.size() && requests[j].first == requests[i].first) {
+        ++j;
+      }
+      groups.push_back(Group{requests[i].first, i, j, nullptr, {}});
+      i = j;
+    }
+
+    // Phase 1 (serial): each group fetches its node once. The leader —
+    // the group's lowest query index — pays the read through the normal
+    // buffered, fault-aware path; every other member books the pages it
+    // was spared as coalesced_pages (plus its share of the degraded-read
+    // accounting, which stays per-query). This is the only phase that
+    // touches shared state (the buffer-pool LRU), so running it in sorted
+    // group order keeps buffered costs reproducible. Retry penalties of a
+    // failed primary (failed_read_attempts) are paid once per group by
+    // the leader — coalescing collapses the per-query retry storm by
+    // design.
+    for (Group& g : groups) {
+      const std::size_t leader = requests[g.begin].second;
+      {
+        ScopedCostCapture capture(&(*accs)[leader]);
+        g.accessed = &tree.AccessNode(g.node);
+      }
+      g.route = tree.ResolveRoute(*g.accessed);
+      const std::size_t slot = g.route.disk->id();
+      for (std::size_t m = g.begin + 1; m < g.end; ++m) {
+        DiskStats& s = (*accs)[requests[m].second].slot(slot);
+        s.coalesced_pages += g.accessed->pages;
+        if (g.route.failover) s.replica_pages_read += g.accessed->pages;
+        if (g.route.unavailable) s.unavailable_pages += g.accessed->pages;
+      }
+    }
+
+    // Phase 2 (parallelizable): expand each group into its members'
+    // frontiers. Every query sits in exactly one group per round, so
+    // groups touch disjoint states/accumulators; leaf blocks come from
+    // the tree's concurrent-read-safe cache.
+    const auto expand = [&](std::size_t gi) {
+      const Group& g = groups[gi];
+      const Node& node = *g.accessed;
+      const std::size_t members = g.end - g.begin;
+      const std::size_t slot = g.route.disk->id();
+      if (node.IsLeaf()) {
+        const LeafBlock& block = tree.LeafBlockOf(node);
+        // One many-to-many kernel call scores every member query against
+        // every point of the page. Scratch is thread-local: the rounds
+        // allocate nothing in steady state.
+        thread_local std::vector<Scalar> qbuf;
+        thread_local std::vector<double> dists;
+        qbuf.resize(members * dim);
+        for (std::size_t m = 0; m < members; ++m) {
+          const PointView qv = queries[requests[g.begin + m].second];
+          std::copy(qv.begin(), qv.end(), qbuf.data() + m * dim);
+        }
+        dists.resize(members * block.count);
+        metric.ComparableBlock(qbuf.data(), members, block.coords.data(),
+                               block.count, dim, dists.data());
+        for (std::size_t m = 0; m < members; ++m) {
+          const std::size_t qi = requests[g.begin + m].second;
+          DiskStats& s = (*accs)[qi].slot(slot);
+          s.distance_computations += block.count;
+          s.block_kernel_invocations += 1;
+          QueryState& state = states[qi];
+          const double* row = dists.data() + m * block.count;
+          for (std::size_t i = 0; i < block.count; ++i) {
+            state.PushPoint(row[i], block.ids[i], k);
+          }
+          Advance(&state, k, metric);
+        }
+      } else {
+        for (std::size_t m = 0; m < members; ++m) {
+          const std::size_t qi = requests[g.begin + m].second;
+          const PointView qv = queries[qi];
+          QueryState& state = states[qi];
+          for (const NodeEntry& e : node.entries) {
+            state.queue.push(QueryState::Item{
+                MinDistComparable(e.rect, qv, metric), false, e.child});
+          }
+          Advance(&state, k, metric);
+        }
+      }
+    };
+    if (pool != nullptr && groups.size() > 1) {
+      pool->ParallelFor(0, groups.size(), expand);
+    } else {
+      for (std::size_t gi = 0; gi < groups.size(); ++gi) expand(gi);
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) results[i] = std::move(states[i].result);
+  return results;
+}
+
+}  // namespace parsim

@@ -6,6 +6,7 @@
 #include "src/core/near_optimal.h"
 #include "src/index/rstar_tree.h"
 #include "src/index/xtree.h"
+#include "src/parallel/batch_knn.h"
 #include "src/util/check.h"
 
 namespace parsim {
@@ -310,6 +311,8 @@ QueryStats ParallelSearchEngine::StatsFromAccumulator(
   QueryStats stats;
   stats.directory_pages = host.directory_pages_read;
   stats.buffer_hit_pages = host.buffer_hit_pages;
+  stats.coalesced_reads = host.coalesced_pages;
+  stats.block_kernel_invocations = host.block_kernel_invocations;
   stats.pages_per_disk.reserve(n);
   double max_ms = 0.0;
   double sum_ms = 0.0;
@@ -333,6 +336,8 @@ QueryStats ParallelSearchEngine::StatsFromAccumulator(
     stats.replica_pages += s.replica_pages_read;
     stats.failed_read_attempts += s.failed_read_attempts;
     stats.unavailable_pages += s.unavailable_pages;
+    stats.coalesced_reads += s.coalesced_pages;
+    stats.block_kernel_invocations += s.block_kernel_invocations;
     stats.pages_per_disk.push_back(pages);
   }
   stats.parallel_ms = host_ms + max_ms;
@@ -549,15 +554,41 @@ std::vector<KnnResult> ParallelSearchEngine::QueryBatch(
   effective = std::max(1u, std::min<unsigned>(
                                effective,
                                static_cast<unsigned>(queries.size())));
+  // The coalesced path exists only where one shared tree serves every
+  // query with the pausable HS search; other configurations fall back to
+  // the per-query fan-out below.
+  const bool coalesce = options_.coalesced_batch &&
+                        options_.architecture == Architecture::kSharedTree &&
+                        options_.knn_algorithm == KnnAlgorithm::kHs;
   // Deterministic replay: an LRU buffer makes per-query costs depend on
   // the access history, so this mode serializes buffered batches to keep
   // their per-query numbers reproducible. The default executes them on
   // the sharded BufferPool — results and aggregate buffer accounting are
-  // exact under any interleaving (see the header contract).
-  if (options_.buffer_pages_per_disk > 0 && options_.deterministic_batch) {
+  // exact under any interleaving (see the header contract). The coalesced
+  // scheduler is exempt: its page-fetch order is serial and sorted, so
+  // its per-query numbers are reproducible at any thread count.
+  if (options_.buffer_pages_per_disk > 0 && options_.deterministic_batch &&
+      !coalesce) {
     effective = 1;
   }
   if (effective_threads != nullptr) *effective_threads = effective;
+
+  if (coalesce) {
+    std::vector<QueryCostAccumulator> accs;
+    accs.reserve(queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      accs.emplace_back(disks_.size() + 1);
+    }
+    std::shared_ptr<ThreadPool> pool;
+    if (effective > 1) pool = EnsurePool(effective);
+    results = CoalescedHsBatch(*trees_[0], queries, k, options_.metric,
+                               &accs, pool.get());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      if (stats != nullptr) (*stats)[i] = StatsFromAccumulator(accs[i]);
+      MergeAccumulator(accs[i]);
+    }
+    return results;
+  }
 
   const auto run_one = [&](std::size_t i) {
     results[i] =

@@ -106,6 +106,17 @@ struct EngineOptions {
   /// reproducible, e.g. golden-stats runs; it only affects engines with
   /// buffer_pages_per_disk > 0.
   bool deterministic_batch = false;
+  /// Batched execution path for QueryBatch (kSharedTree + kHs only;
+  /// other configurations ignore the flag): the batch's best-first
+  /// searches advance in lock-step rounds, queries whose frontiers
+  /// request the same page read it ONCE (one member pays the simulated
+  /// I/O, the rest record coalesced_pages), and a leaf page is scored
+  /// against all requesting queries by one many-to-many SIMD kernel call
+  /// over its SoA block. Results are bit-identical to per-query
+  /// execution; per-query costs are deterministic at any thread count
+  /// (the page-fetch schedule is serial and sorted), so buffered engines
+  /// need no deterministic_batch serialization on this path.
+  bool coalesced_batch = false;
   /// Assign every bucket a secondary disk (ReplicaPlacement over the
   /// coloring) and transparently fail reads of a failed disk over to it.
   /// Supported on kSharedTree (the paper's architecture, where data
@@ -157,6 +168,16 @@ struct QueryStats {
   /// distribution, but no slow-disk scaling and no retry penalties.
   /// parallel_ms / healthy_parallel_ms is the degradation factor.
   double healthy_parallel_ms = 0.0;
+
+  // Batched-execution accounting. Both zero outside the coalesced path.
+  /// Pages this query obtained for free because another query of the
+  /// same batch round paid for the fetch. Per query, total_pages +
+  /// directory_pages + buffer_hit_pages + coalesced_reads equals the
+  /// pages the single-query path would have touched.
+  std::uint64_t coalesced_reads = 0;
+  /// Many-to-many kernel calls (Metric::ComparableBlock) this query
+  /// participated in.
+  std::uint64_t block_kernel_invocations = 0;
 };
 
 /// A parallel k-NN search engine over declustered data.

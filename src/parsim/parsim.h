@@ -34,6 +34,7 @@
 #include "src/geometry/rect.h"
 #include "src/hilbert/hilbert.h"
 #include "src/index/knn.h"
+#include "src/index/leaf_block.h"
 #include "src/index/rstar_tree.h"
 #include "src/index/serialize.h"
 #include "src/index/xtree.h"
@@ -41,6 +42,7 @@
 #include "src/io/disk.h"
 #include "src/io/disk_array.h"
 #include "src/io/disk_model.h"
+#include "src/parallel/batch_knn.h"
 #include "src/parallel/engine.h"
 #include "src/util/random.h"
 #include "src/util/status.h"

@@ -49,6 +49,8 @@ void AppendQueryStats(std::ostringstream* out, const QueryStats& stats) {
        << " replica_pages=" << stats.replica_pages
        << " failed_read_attempts=" << stats.failed_read_attempts
        << " unavailable_pages=" << stats.unavailable_pages
+       << " coalesced_reads=" << stats.coalesced_reads
+       << " block_kernel_invocations=" << stats.block_kernel_invocations
        << " pages_per_disk=";
   for (std::size_t d = 0; d < stats.pages_per_disk.size(); ++d) {
     *out << (d == 0 ? "" : ",") << stats.pages_per_disk[d];
@@ -135,6 +137,31 @@ std::string RenderActualStats() {
     out << "query " << qi << ": hits=" << batch_stats[qi].buffer_hit_pages
         << " ";
     AppendQueryStats(&out, batch_stats[qi]);
+  }
+
+  // Coalesced batched execution over the same buffered workload: the
+  // round scheduler shares page fetches across the batch, so per-query
+  // coalesced_reads / block_kernel_invocations (and the pool ledger it
+  // leaves behind) are pinned here. Deterministic at any thread count by
+  // construction — threads=8 must reproduce these numbers bit for bit.
+  EngineOptions co_options = buffered;
+  co_options.coalesced_batch = true;
+  ParallelSearchEngine co_engine(
+      dim, std::make_unique<NearOptimalDeclusterer>(dim, disks), co_options);
+  EXPECT_TRUE(co_engine.Build(data).ok());
+  std::vector<QueryStats> co_stats;
+  unsigned co_threads = 0;
+  (void)co_engine.QueryBatch(queries, k, &co_stats, /*threads=*/8,
+                             &co_threads);
+  out << "[coalesced buffered pages_per_disk=32 threads_requested=8]\n";
+  out << "effective_threads=" << co_threads
+      << " pool_hit_pages=" << co_engine.buffer_pool()->TotalHitPages()
+      << " pool_miss_pages=" << co_engine.buffer_pool()->TotalMissPages()
+      << "\n";
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    out << "query " << qi << ": hits=" << co_stats[qi].buffer_hit_pages
+        << " ";
+    AppendQueryStats(&out, co_stats[qi]);
   }
   return out.str();
 }

@@ -80,6 +80,30 @@ TEST(BufferPoolTest, ZeroCapacityAlwaysMissesButCounts) {
   EXPECT_EQ(pool.TotalHitPages(), 0u);
 }
 
+// One touch of the concurrency workload below. Three kinds, chosen so
+// the schedule cannot flake the workload-sanity assertions: a pinned
+// key 0 refreshed on every other touch (between two refreshes its shard
+// receives at most one other insertion from the refreshing thread, so
+// LRU can never age it out during that thread's run — hits are
+// guaranteed even if the scheduler serializes the threads end to end),
+// a warm 23-key cycle whose weight exceeds a shard (forces evictions),
+// and per-thread unique cold keys (misses are guaranteed).
+struct PlannedTouch {
+  std::size_t shard;
+  std::uint64_t key;
+  std::uint64_t pages;
+};
+
+PlannedTouch PlanTouch(unsigned t, std::uint64_t touches_per_thread,
+                       std::uint64_t i, std::size_t num_shards) {
+  const std::size_t shard = (t + i) % num_shards;
+  if (i % 7 == 0) {
+    return {shard, 1000 + t * touches_per_thread + i, 1 + i % 3};  // cold
+  }
+  if (i % 2 == 0) return {shard, 0, 1};  // pinned hot
+  return {shard, 1 + i % 23, 1 + i % 3};  // warm cycle
+}
+
 // The aggregate accounting contract: under any interleaving, every
 // touched page is exactly one hit or one miss, so hits + misses equals
 // the (deterministic) total touched pages — per shard and overall.
@@ -96,12 +120,8 @@ TEST(BufferPoolTest, AggregateAccountingExactUnderConcurrency) {
     threads.emplace_back([&, t] {
       start.arrive_and_wait();
       for (std::uint64_t i = 0; i < kTouchesPerThread; ++i) {
-        // Every thread touches every shard with a small hot key set plus
-        // a per-thread cold tail, forcing both hits and evictions.
-        const std::size_t shard = (t + i) % kShards;
-        const std::uint64_t key = (i % 7 == 0) ? 1000 + t * kTouchesPerThread + i
-                                               : i % 23;
-        (void)pool.Touch(shard, key, 1 + i % 3);
+        const PlannedTouch touch = PlanTouch(t, kTouchesPerThread, i, kShards);
+        (void)pool.Touch(touch.shard, touch.key, touch.pages);
       }
     });
   }
@@ -110,7 +130,7 @@ TEST(BufferPoolTest, AggregateAccountingExactUnderConcurrency) {
   std::uint64_t expected = 0;
   for (unsigned t = 0; t < num_threads; ++t) {
     for (std::uint64_t i = 0; i < kTouchesPerThread; ++i) {
-      expected += 1 + i % 3;
+      expected += PlanTouch(t, kTouchesPerThread, i, kShards).pages;
     }
   }
   EXPECT_EQ(pool.TotalTouchedPages(), expected);

@@ -8,6 +8,9 @@
 #   3. ThreadSanitizer build running the concurrency-sensitive tests:
 #      any data race in the cost-capture / thread-pool / QueryBatch path
 #      fails the run.
+#   4. Smoke run of every microbench (seconds-scale workloads): their
+#      built-in identity and invariant checks run on every CI pass, not
+#      just when someone regenerates the BENCH_*.json files.
 #
 # Usage: tools/ci.sh            (from anywhere; builds into build-ci/,
 #                                build-asan/ and build-tsan/ next to the
@@ -19,26 +22,36 @@ cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-$(nproc)}"
 
-echo "== [1/3] Release build + full suite =="
+echo "== [1/4] Release build + full suite =="
 cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-ci -j "$JOBS"
 ctest --test-dir build-ci --output-on-failure -j "$JOBS"
 
-echo "== [2/3] ASAN+UBSAN build + full suite =="
+echo "== [2/4] ASAN+UBSAN build + full suite =="
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -O1 -g" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
 cmake --build build-asan -j "$JOBS"
-ASAN_OPTIONS="detect_leaks=1:abort_on_error=1" \
+# The index tests churn millions of tiny Rect allocations; ASAN's
+# default per-malloc stack capture (30 frames) and 256 MB quarantine
+# turn the largest of them from seconds into the better part of an hour
+# on a small CI box. Shallow alloc stacks + a small quarantine keep
+# every check (and leak detection) enabled at ~4x the speed; when a
+# report does fire, re-run the one test with ASAN_OPTIONS unset to get
+# full allocation stacks back.
+ASAN_OPTIONS="detect_leaks=1:abort_on_error=1:malloc_context_size=2:quarantine_size_mb=16" \
 UBSAN_OPTIONS="print_stacktrace=1" \
     ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
-echo "== [3/3] TSAN build + concurrency tests =="
+echo "== [3/4] TSAN build + concurrency tests =="
 # io_buffer_pool_test hammers the sharded pool from raw threads;
-# parallel_concurrency_test covers concurrent buffered batches; and
+# parallel_concurrency_test covers concurrent buffered batches;
+# parallel_batch_coalesced_test runs the coalesced round scheduler (and
+# with it the LeafBlockCache epoch path) on an 8-worker pool; and
 # golden_stats_test pins the buffered deterministic-replay accounting.
 TSAN_TESTS=(util_thread_pool_test io_buffer_pool_test
             parallel_concurrency_test parallel_threads_test
+            parallel_batch_coalesced_test
             parallel_degraded_query_test golden_stats_test)
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -O1 -g" \
@@ -47,6 +60,20 @@ cmake --build build-tsan -j "$JOBS" --target "${TSAN_TESTS[@]}"
 for t in "${TSAN_TESTS[@]}"; do
     echo "-- tsan: ${t}"
     "./build-tsan/tests/${t}"
+done
+
+echo "== [4/4] microbench smoke lane =="
+# Seconds-scale workloads; each bench exits nonzero if its bit-identity
+# or page-conservation checks fail.
+MICROBENCHES=(microbench_query_parallel microbench_buffer_pool
+              microbench_fault_injection microbench_batch_knn)
+cmake --build build-ci -j "$JOBS" --target "${MICROBENCHES[@]}"
+# Run from build-ci so the smoke-sized JSON files do not overwrite the
+# committed full-run BENCH_*.json at the repo root (tools/bench.sh
+# regenerates those).
+for b in "${MICROBENCHES[@]}"; do
+    echo "-- smoke: ${b}"
+    (cd build-ci && "./bench/${b}" --smoke)
 done
 
 echo "ci: all green"
