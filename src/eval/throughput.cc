@@ -46,6 +46,9 @@ ThroughputResult SimulateThroughput(const ParallelSearchEngine& engine,
     out.unavailable_pages += stats.unavailable_pages;
     out.coalesced_reads += stats.coalesced_reads;
     out.block_kernel_invocations += stats.block_kernel_invocations;
+    out.quantized_pruned += stats.quantized_pruned;
+    out.reranked += stats.reranked;
+    out.leaf_bytes_scanned += stats.leaf_bytes_scanned;
     // Host share of this query's time (directory work on the shared
     // architecture; zero for federated ones). Derived from the healthy
     // figure so fault penalties never leak into the host share.

@@ -62,6 +62,15 @@ struct ThroughputResult {
   /// Many-to-many kernel participations (summed per-query counts).
   std::uint64_t block_kernel_invocations = 0;
 
+  // Quantized-sweep aggregates (summed per-query counts). All zero
+  // unless the engine runs with quantized_leaf_blocks.
+  /// Leaf candidates the SQ8 lower bound eliminated before exact work.
+  std::uint64_t quantized_pruned = 0;
+  /// Leaf candidates re-ranked through the exact float kernels.
+  std::uint64_t reranked = 0;
+  /// Bytes leaf sweeps streamed (bookkeeping; not part of makespan).
+  std::uint64_t leaf_bytes_scanned = 0;
+
   /// Real (measured) wall-clock execution of the batch on this machine,
   /// alongside the simulated makespan above.
   double wall_ms = 0.0;

@@ -55,6 +55,37 @@ double LmaxScalar(PointView a, PointView b) {
   return best;
 }
 
+std::uint32_t Sq8SadScalar(const std::uint8_t* a, const std::uint8_t* b,
+                           std::size_t n) {
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sum += static_cast<std::uint32_t>(a[i] > b[i] ? a[i] - b[i] : b[i] - a[i]);
+  }
+  return sum;
+}
+
+std::uint32_t Sq8SsdScalar(const std::uint8_t* a, const std::uint8_t* b,
+                           std::size_t n) {
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int32_t d =
+        static_cast<std::int32_t>(a[i]) - static_cast<std::int32_t>(b[i]);
+    sum += static_cast<std::uint32_t>(d * d);
+  }
+  return sum;
+}
+
+std::uint32_t Sq8MadScalar(const std::uint8_t* a, const std::uint8_t* b,
+                           std::size_t n) {
+  std::uint32_t best = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t d =
+        static_cast<std::uint32_t>(a[i] > b[i] ? a[i] - b[i] : b[i] - a[i]);
+    best = std::max(best, d);
+  }
+  return best;
+}
+
 }  // namespace detail
 
 namespace {
@@ -125,6 +156,69 @@ double LmaxUnrolled(const float* a, const float* b, std::size_t n) {
     best = std::max(best, std::abs(static_cast<double>(a[i]) -
                                    static_cast<double>(b[i])));
   }
+  return best;
+}
+
+// ---------------------------------------------------------------------
+// SQ8 code reductions (uint8 rows -> uint32), the quantized sweep's
+// pair primitives: SAD for L1, SSD for L2, MAD for Lmax. All integer,
+// so every variant — unrolled, AVX2, many, block — returns identical
+// values by construction.
+// ---------------------------------------------------------------------
+
+std::uint32_t Sq8SadUnrolled(const std::uint8_t* a, const std::uint8_t* b,
+                             std::size_t n) {
+  std::uint32_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  std::size_t i = 0;
+  const auto ad = [](std::uint8_t x, std::uint8_t y) {
+    return static_cast<std::uint32_t>(x > y ? x - y : y - x);
+  };
+  for (; i + 4 <= n; i += 4) {
+    s0 += ad(a[i], b[i]);
+    s1 += ad(a[i + 1], b[i + 1]);
+    s2 += ad(a[i + 2], b[i + 2]);
+    s3 += ad(a[i + 3], b[i + 3]);
+  }
+  std::uint32_t sum = (s0 + s1) + (s2 + s3);
+  for (; i < n; ++i) sum += ad(a[i], b[i]);
+  return sum;
+}
+
+std::uint32_t Sq8SsdUnrolled(const std::uint8_t* a, const std::uint8_t* b,
+                             std::size_t n) {
+  std::uint32_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  std::size_t i = 0;
+  const auto sq = [](std::uint8_t x, std::uint8_t y) {
+    const std::int32_t d =
+        static_cast<std::int32_t>(x) - static_cast<std::int32_t>(y);
+    return static_cast<std::uint32_t>(d * d);
+  };
+  for (; i + 4 <= n; i += 4) {
+    s0 += sq(a[i], b[i]);
+    s1 += sq(a[i + 1], b[i + 1]);
+    s2 += sq(a[i + 2], b[i + 2]);
+    s3 += sq(a[i + 3], b[i + 3]);
+  }
+  std::uint32_t sum = (s0 + s1) + (s2 + s3);
+  for (; i < n; ++i) sum += sq(a[i], b[i]);
+  return sum;
+}
+
+std::uint32_t Sq8MadUnrolled(const std::uint8_t* a, const std::uint8_t* b,
+                             std::size_t n) {
+  std::uint32_t m0 = 0, m1 = 0, m2 = 0, m3 = 0;
+  std::size_t i = 0;
+  const auto ad = [](std::uint8_t x, std::uint8_t y) {
+    return static_cast<std::uint32_t>(x > y ? x - y : y - x);
+  };
+  for (; i + 4 <= n; i += 4) {
+    m0 = std::max(m0, ad(a[i], b[i]));
+    m1 = std::max(m1, ad(a[i + 1], b[i + 1]));
+    m2 = std::max(m2, ad(a[i + 2], b[i + 2]));
+    m3 = std::max(m3, ad(a[i + 3], b[i + 3]));
+  }
+  std::uint32_t best = std::max(std::max(m0, m1), std::max(m2, m3));
+  for (; i < n; ++i) best = std::max(best, ad(a[i], b[i]));
   return best;
 }
 
@@ -244,6 +338,340 @@ __attribute__((target("avx2,fma"))) double LmaxAvx2(const float* a,
                                    static_cast<double>(b[i])));
   }
   return best;
+}
+
+// ---------------------------------------------------------------------
+// AVX2 SQ8 code reductions. Rows are chunked as 16-byte vectors plus one
+// 8-byte half-vector (_mm_loadl_epi64 zeroes the upper half, which
+// contributes 0 to all three reductions) plus a scalar tail — never
+// reading past the row, so code buffers need no padding. The common
+// dims 8/16/24/32 are fully vectorized. Integer arithmetic is exact:
+// these return the scalar reductions bit for bit.
+// ---------------------------------------------------------------------
+
+__attribute__((target("avx2"))) inline std::uint32_t HorizontalSumU32(
+    __m256i v) {
+  __m128i lo = _mm256_castsi256_si128(v);
+  const __m128i hi = _mm256_extracti128_si256(v, 1);
+  lo = _mm_add_epi32(lo, hi);
+  lo = _mm_add_epi32(lo, _mm_srli_si128(lo, 8));
+  lo = _mm_add_epi32(lo, _mm_srli_si128(lo, 4));
+  return static_cast<std::uint32_t>(_mm_cvtsi128_si32(lo));
+}
+
+__attribute__((target("avx2"))) std::uint32_t Sq8SadAvx2(const std::uint8_t* a,
+                                                         const std::uint8_t* b,
+                                                         std::size_t n) {
+  __m128i acc = _mm_setzero_si128();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    acc = _mm_add_epi64(acc, _mm_sad_epu8(va, vb));
+  }
+  if (i + 8 <= n) {
+    const __m128i va =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(b + i));
+    acc = _mm_add_epi64(acc, _mm_sad_epu8(va, vb));
+    i += 8;
+  }
+  std::uint64_t sum = static_cast<std::uint64_t>(_mm_extract_epi64(acc, 0)) +
+                      static_cast<std::uint64_t>(_mm_extract_epi64(acc, 1));
+  for (; i < n; ++i) {
+    sum += static_cast<std::uint64_t>(a[i] > b[i] ? a[i] - b[i] : b[i] - a[i]);
+  }
+  return static_cast<std::uint32_t>(sum);
+}
+
+__attribute__((target("avx2"))) std::uint32_t Sq8SsdAvx2(const std::uint8_t* a,
+                                                         const std::uint8_t* b,
+                                                         std::size_t n) {
+  // Widen to 16-bit before differencing: |delta| reaches 255, which does
+  // not fit the signed-int8 operand maddubs would need, so the kernel is
+  // cvtepu8 + sub + madd (d*d pairs summed into epi32 lanes). Per-lane
+  // totals stay below 2^31 for any dim <= 65535.
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256i va = _mm256_cvtepu8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i)));
+    const __m256i vb = _mm256_cvtepu8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i)));
+    const __m256i d = _mm256_sub_epi16(va, vb);
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(d, d));
+  }
+  if (i + 8 <= n) {
+    const __m256i va = _mm256_cvtepu8_epi16(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(a + i)));
+    const __m256i vb = _mm256_cvtepu8_epi16(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(b + i)));
+    const __m256i d = _mm256_sub_epi16(va, vb);
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(d, d));
+    i += 8;
+  }
+  std::uint32_t sum = HorizontalSumU32(acc);
+  for (; i < n; ++i) {
+    const std::int32_t d =
+        static_cast<std::int32_t>(a[i]) - static_cast<std::int32_t>(b[i]);
+    sum += static_cast<std::uint32_t>(d * d);
+  }
+  return sum;
+}
+
+__attribute__((target("avx2"))) std::uint32_t Sq8MadAvx2(const std::uint8_t* a,
+                                                         const std::uint8_t* b,
+                                                         std::size_t n) {
+  __m128i acc = _mm_setzero_si128();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    // Unsigned |a - b| via saturating subtraction both ways.
+    acc = _mm_max_epu8(
+        acc, _mm_or_si128(_mm_subs_epu8(va, vb), _mm_subs_epu8(vb, va)));
+  }
+  if (i + 8 <= n) {
+    const __m128i va =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(b + i));
+    acc = _mm_max_epu8(
+        acc, _mm_or_si128(_mm_subs_epu8(va, vb), _mm_subs_epu8(vb, va)));
+    i += 8;
+  }
+  acc = _mm_max_epu8(acc, _mm_srli_si128(acc, 8));
+  acc = _mm_max_epu8(acc, _mm_srli_si128(acc, 4));
+  acc = _mm_max_epu8(acc, _mm_srli_si128(acc, 2));
+  acc = _mm_max_epu8(acc, _mm_srli_si128(acc, 1));
+  std::uint32_t best =
+      static_cast<std::uint32_t>(_mm_cvtsi128_si32(acc)) & 0xffu;
+  for (; i < n; ++i) {
+    best = std::max(best, static_cast<std::uint32_t>(
+                              a[i] > b[i] ? a[i] - b[i] : b[i] - a[i]));
+  }
+  return best;
+}
+
+/// One-to-many SQ8 reductions: the query row is widened into registers
+/// once, candidates stream past it, and (on the d = 8 / 16 / 32 fast
+/// paths) four candidates' accumulators are reduced together through one
+/// hadd tree — the per-pair indirect call and per-pair horizontal sum of
+/// a naive loop are what made the integer sweep lose to the float block
+/// kernels. Reductions are exact integer sums, so any evaluation order
+/// is bit-identical to the scalar reference. Row loads are exact-width
+/// (16B at d=16, 8B at d=8, 2x16B at d=32): no overread past the last
+/// row of the codes array. Other dims fall back to the pair kernel,
+/// called directly (inlinable) instead of through the dispatch table.
+
+__attribute__((target("avx2"))) void Sq8SadManyAvx2(
+    const std::uint8_t* query, const std::uint8_t* codes, std::size_t count,
+    std::size_t dim, std::uint32_t* out) {
+  if (dim == 16) {
+    const __m128i q =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(query));
+    for (std::size_t i = 0; i < count; ++i) {
+      const __m128i s = _mm_sad_epu8(
+          q, _mm_loadu_si128(
+                 reinterpret_cast<const __m128i*>(codes + i * 16)));
+      out[i] = static_cast<std::uint32_t>(
+          _mm_cvtsi128_si32(_mm_add_epi64(s, _mm_srli_si128(s, 8))));
+    }
+    return;
+  }
+  if (dim == 32) {
+    const __m128i q0 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(query));
+    const __m128i q1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(query + 16));
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::uint8_t* p = codes + i * 32;
+      const __m128i s = _mm_add_epi64(
+          _mm_sad_epu8(
+              q0, _mm_loadu_si128(reinterpret_cast<const __m128i*>(p))),
+          _mm_sad_epu8(
+              q1, _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 16))));
+      out[i] = static_cast<std::uint32_t>(
+          _mm_cvtsi128_si32(_mm_add_epi64(s, _mm_srli_si128(s, 8))));
+    }
+    return;
+  }
+  if (dim == 8) {
+    const __m128i q =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(query));
+    for (std::size_t i = 0; i < count; ++i) {
+      const __m128i s = _mm_sad_epu8(
+          q,
+          _mm_loadl_epi64(reinterpret_cast<const __m128i*>(codes + i * 8)));
+      out[i] = static_cast<std::uint32_t>(_mm_cvtsi128_si32(s));
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = Sq8SadAvx2(query, codes + i * dim, dim);
+  }
+}
+
+__attribute__((target("avx2"))) void Sq8SsdManyAvx2(
+    const std::uint8_t* query, const std::uint8_t* codes, std::size_t count,
+    std::size_t dim, std::uint32_t* out) {
+  if (dim == 16) {
+    const __m256i q = _mm256_cvtepu8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(query)));
+    std::size_t i = 0;
+    for (; i + 4 <= count; i += 4) {
+      const std::uint8_t* p = codes + i * 16;
+      const __m256i d0 = _mm256_sub_epi16(
+          q, _mm256_cvtepu8_epi16(_mm_loadu_si128(
+                 reinterpret_cast<const __m128i*>(p))));
+      const __m256i d1 = _mm256_sub_epi16(
+          q, _mm256_cvtepu8_epi16(_mm_loadu_si128(
+                 reinterpret_cast<const __m128i*>(p + 16))));
+      const __m256i d2 = _mm256_sub_epi16(
+          q, _mm256_cvtepu8_epi16(_mm_loadu_si128(
+                 reinterpret_cast<const __m128i*>(p + 32))));
+      const __m256i d3 = _mm256_sub_epi16(
+          q, _mm256_cvtepu8_epi16(_mm_loadu_si128(
+                 reinterpret_cast<const __m128i*>(p + 48))));
+      // hadd tree: [sum(d0), sum(d1), sum(d2), sum(d3)] per 128-bit
+      // half, then fold the halves — four horizontal sums for the price
+      // of one.
+      const __m256i h = _mm256_hadd_epi32(
+          _mm256_hadd_epi32(_mm256_madd_epi16(d0, d0),
+                            _mm256_madd_epi16(d1, d1)),
+          _mm256_hadd_epi32(_mm256_madd_epi16(d2, d2),
+                            _mm256_madd_epi16(d3, d3)));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                       _mm_add_epi32(_mm256_castsi256_si128(h),
+                                     _mm256_extracti128_si256(h, 1)));
+    }
+    for (; i < count; ++i) {
+      out[i] = Sq8SsdAvx2(query, codes + i * 16, 16);
+    }
+    return;
+  }
+  if (dim == 32) {
+    const __m256i q0 = _mm256_cvtepu8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(query)));
+    const __m256i q1 = _mm256_cvtepu8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(query + 16)));
+    std::size_t i = 0;
+    for (; i + 4 <= count; i += 4) {
+      __m256i acc[4];
+      for (std::size_t c = 0; c < 4; ++c) {
+        const std::uint8_t* p = codes + (i + c) * 32;
+        const __m256i d0 = _mm256_sub_epi16(
+            q0, _mm256_cvtepu8_epi16(_mm_loadu_si128(
+                    reinterpret_cast<const __m128i*>(p))));
+        const __m256i d1 = _mm256_sub_epi16(
+            q1, _mm256_cvtepu8_epi16(_mm_loadu_si128(
+                    reinterpret_cast<const __m128i*>(p + 16))));
+        acc[c] = _mm256_add_epi32(_mm256_madd_epi16(d0, d0),
+                                  _mm256_madd_epi16(d1, d1));
+      }
+      const __m256i h =
+          _mm256_hadd_epi32(_mm256_hadd_epi32(acc[0], acc[1]),
+                            _mm256_hadd_epi32(acc[2], acc[3]));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                       _mm_add_epi32(_mm256_castsi256_si128(h),
+                                     _mm256_extracti128_si256(h, 1)));
+    }
+    for (; i < count; ++i) {
+      out[i] = Sq8SsdAvx2(query, codes + i * 32, 32);
+    }
+    return;
+  }
+  if (dim == 8) {
+    const __m128i q = _mm_cvtepu8_epi16(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(query)));
+    std::size_t i = 0;
+    for (; i + 4 <= count; i += 4) {
+      const std::uint8_t* p = codes + i * 8;
+      const __m128i d0 = _mm_sub_epi16(
+          q, _mm_cvtepu8_epi16(
+                 _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p))));
+      const __m128i d1 = _mm_sub_epi16(
+          q, _mm_cvtepu8_epi16(
+                 _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p + 8))));
+      const __m128i d2 = _mm_sub_epi16(
+          q, _mm_cvtepu8_epi16(
+                 _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p + 16))));
+      const __m128i d3 = _mm_sub_epi16(
+          q, _mm_cvtepu8_epi16(
+                 _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p + 24))));
+      const __m128i h =
+          _mm_hadd_epi32(_mm_hadd_epi32(_mm_madd_epi16(d0, d0),
+                                        _mm_madd_epi16(d1, d1)),
+                         _mm_hadd_epi32(_mm_madd_epi16(d2, d2),
+                                        _mm_madd_epi16(d3, d3)));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), h);
+    }
+    for (; i < count; ++i) {
+      out[i] = Sq8SsdAvx2(query, codes + i * 8, 8);
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = Sq8SsdAvx2(query, codes + i * dim, dim);
+  }
+}
+
+__attribute__((target("avx2"))) void Sq8MadManyAvx2(
+    const std::uint8_t* query, const std::uint8_t* codes, std::size_t count,
+    std::size_t dim, std::uint32_t* out) {
+  const auto reduce_max = [](__m128i v) {
+    v = _mm_max_epu8(v, _mm_srli_si128(v, 8));
+    v = _mm_max_epu8(v, _mm_srli_si128(v, 4));
+    v = _mm_max_epu8(v, _mm_srli_si128(v, 2));
+    v = _mm_max_epu8(v, _mm_srli_si128(v, 1));
+    return static_cast<std::uint32_t>(_mm_cvtsi128_si32(v)) & 0xffu;
+  };
+  if (dim == 16) {
+    const __m128i q =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(query));
+    for (std::size_t i = 0; i < count; ++i) {
+      const __m128i p = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(codes + i * 16));
+      out[i] = reduce_max(
+          _mm_or_si128(_mm_subs_epu8(q, p), _mm_subs_epu8(p, q)));
+    }
+    return;
+  }
+  if (dim == 32) {
+    const __m128i q0 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(query));
+    const __m128i q1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(query + 16));
+    for (std::size_t i = 0; i < count; ++i) {
+      const __m128i p0 = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(codes + i * 32));
+      const __m128i p1 = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(codes + i * 32 + 16));
+      out[i] = reduce_max(_mm_max_epu8(
+          _mm_or_si128(_mm_subs_epu8(q0, p0), _mm_subs_epu8(p0, q0)),
+          _mm_or_si128(_mm_subs_epu8(q1, p1), _mm_subs_epu8(p1, q1))));
+    }
+    return;
+  }
+  if (dim == 8) {
+    const __m128i q =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(query));
+    for (std::size_t i = 0; i < count; ++i) {
+      const __m128i p =
+          _mm_loadl_epi64(reinterpret_cast<const __m128i*>(codes + i * 8));
+      out[i] = reduce_max(
+          _mm_or_si128(_mm_subs_epu8(q, p), _mm_subs_epu8(p, q)));
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = Sq8MadAvx2(query, codes + i * dim, dim);
+  }
 }
 
 #endif  // PARSIM_METRIC_X86
@@ -457,6 +885,34 @@ __attribute__((target("avx2,fma"))) void LmaxBlockAvx2(
 
 #endif  // PARSIM_METRIC_X86
 
+/// One query's codes against a contiguous block of code rows.
+using Sq8ManyKernel = void (*)(const std::uint8_t*, const std::uint8_t*,
+                               std::size_t, std::size_t, std::uint32_t*);
+
+void Sq8SadManyUnrolled(const std::uint8_t* query, const std::uint8_t* codes,
+                        std::size_t count, std::size_t dim,
+                        std::uint32_t* out) {
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = Sq8SadUnrolled(query, codes + i * dim, dim);
+  }
+}
+
+void Sq8SsdManyUnrolled(const std::uint8_t* query, const std::uint8_t* codes,
+                        std::size_t count, std::size_t dim,
+                        std::uint32_t* out) {
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = Sq8SsdUnrolled(query, codes + i * dim, dim);
+  }
+}
+
+void Sq8MadManyUnrolled(const std::uint8_t* query, const std::uint8_t* codes,
+                        std::size_t count, std::size_t dim,
+                        std::uint32_t* out) {
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = Sq8MadUnrolled(query, codes + i * dim, dim);
+  }
+}
+
 struct KernelTable {
   PairKernel squared_l2;
   PairKernel l1;
@@ -464,19 +920,28 @@ struct KernelTable {
   BlockKernel squared_l2_block;
   BlockKernel l1_block;
   BlockKernel lmax_block;
+  /// SQ8 reductions dispatch as one-to-many kernels (the pair kernels
+  /// are their building blocks, called directly for odd dims).
+  Sq8ManyKernel sq8_sad_many;
+  Sq8ManyKernel sq8_ssd_many;
+  Sq8ManyKernel sq8_mad_many;
   bool simd;
 };
 
 KernelTable PickKernels() {
 #ifdef PARSIM_METRIC_X86
+  // The SQ8 kernels only need avx2, but they dispatch together with the
+  // float kernels: one cpuid decision, one table.
   if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
-    return {SquaredL2Avx2,      L1Avx2,      LmaxAvx2,
-            SquaredL2BlockAvx2, L1BlockAvx2, LmaxBlockAvx2,
+    return {SquaredL2Avx2,      L1Avx2,         LmaxAvx2,
+            SquaredL2BlockAvx2, L1BlockAvx2,    LmaxBlockAvx2,
+            Sq8SadManyAvx2,     Sq8SsdManyAvx2, Sq8MadManyAvx2,
             /*simd=*/true};
   }
 #endif
-  return {SquaredL2Unrolled,      L1Unrolled,      LmaxUnrolled,
-          SquaredL2BlockUnrolled, L1BlockUnrolled, LmaxBlockUnrolled,
+  return {SquaredL2Unrolled,      L1Unrolled,         LmaxUnrolled,
+          SquaredL2BlockUnrolled, L1BlockUnrolled,    LmaxBlockUnrolled,
+          Sq8SadManyUnrolled,     Sq8SsdManyUnrolled, Sq8MadManyUnrolled,
           /*simd=*/false};
 }
 
@@ -525,6 +990,18 @@ double Metric::Distance(PointView a, PointView b) const {
 double Metric::Comparable(PointView a, PointView b) const {
   if (kind_ == MetricKind::kL2) return SquaredL2(a, b);
   return Distance(a, b);
+}
+
+ComparableFn Metric::comparable_fn() const {
+  switch (kind_) {
+    case MetricKind::kL1:
+      return Kernels().l1;
+    case MetricKind::kL2:
+      return Kernels().squared_l2;
+    case MetricKind::kLmax:
+      return Kernels().lmax;
+  }
+  PARSIM_UNREACHABLE();
 }
 
 double Metric::ToComparable(double distance) const {
@@ -588,6 +1065,42 @@ void Metric::ComparableBlock(const Scalar* queries, std::size_t num_queries,
       PARSIM_UNREACHABLE();
   }
   kernel(queries, num_queries, points, count, dim, out);
+}
+
+namespace {
+
+Sq8ManyKernel Sq8ManyKernelFor(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kL1:
+      return Kernels().sq8_sad_many;
+    case MetricKind::kL2:
+      return Kernels().sq8_ssd_many;
+    case MetricKind::kLmax:
+      return Kernels().sq8_mad_many;
+  }
+  PARSIM_UNREACHABLE();
+}
+
+}  // namespace
+
+void Metric::Sq8Many(const std::uint8_t* query, const std::uint8_t* codes,
+                     std::size_t count, std::size_t dim,
+                     std::uint32_t* out) const {
+  Sq8ManyKernelFor(kind_)(query, codes, count, dim, out);
+}
+
+void Metric::Sq8Block(const std::uint8_t* queries, std::size_t num_queries,
+                      const std::uint8_t* codes, std::size_t count,
+                      std::size_t dim, std::uint32_t* out) const {
+  // Query-major over the one-to-many kernel: each query's codes are
+  // hoisted into registers once, and the block's code rows (dim bytes,
+  // 4x smaller than the float SoA rows) stay hot in L1 across queries —
+  // a whole 64-query group's rows fit the cache the float path
+  // overflows.
+  const Sq8ManyKernel kernel = Sq8ManyKernelFor(kind_);
+  for (std::size_t q = 0; q < num_queries; ++q) {
+    kernel(queries + q * dim, codes, count, dim, out + q * count);
+  }
 }
 
 }  // namespace parsim

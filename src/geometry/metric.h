@@ -15,6 +15,7 @@
 #define PARSIM_SRC_GEOMETRY_METRIC_H_
 
 #include <cstddef>
+#include <cstdint>
 
 #include "src/geometry/point.h"
 
@@ -54,7 +55,23 @@ double SquaredL2Scalar(PointView a, PointView b);
 double L1Scalar(PointView a, PointView b);
 double LmaxScalar(PointView a, PointView b);
 
+/// Reference reductions over two uint8 code rows (the SQ8 quantized
+/// sweep's per-metric primitives): sum of absolute differences, sum of
+/// squared differences, max absolute difference. Integer arithmetic is
+/// exact, so the dispatched AVX2 variants must return these values bit
+/// for bit; tests compare against these loops.
+std::uint32_t Sq8SadScalar(const std::uint8_t* a, const std::uint8_t* b,
+                           std::size_t n);
+std::uint32_t Sq8SsdScalar(const std::uint8_t* a, const std::uint8_t* b,
+                           std::size_t n);
+std::uint32_t Sq8MadScalar(const std::uint8_t* a, const std::uint8_t* b,
+                           std::size_t n);
+
 }  // namespace detail
+
+/// The dispatched pair kernel underlying Comparable(): two row-major
+/// float rows of the same length -> comparable-space value.
+using ComparableFn = double (*)(const Scalar*, const Scalar*, std::size_t);
 
 /// A metric as a small value object, so indexes and search algorithms can
 /// be parameterized without virtual dispatch on the innermost loop.
@@ -63,6 +80,12 @@ class Metric {
   explicit Metric(MetricKind kind = MetricKind::kL2) : kind_(kind) {}
 
   MetricKind kind() const { return kind_; }
+
+  /// The raw dispatched kernel behind Comparable(), for hot loops that
+  /// evaluate scattered single pairs (e.g. re-ranking quantized-sweep
+  /// survivors): hoisting the pointer skips the per-call dispatch switch
+  /// while producing bit-identical values to Comparable().
+  ComparableFn comparable_fn() const;
 
   /// The actual distance.
   double Distance(PointView a, PointView b) const;
@@ -101,6 +124,29 @@ class Metric {
   void ComparableBlock(const Scalar* queries, std::size_t num_queries,
                        const Scalar* points, std::size_t count,
                        std::size_t dim, double* out) const;
+
+  /// One-query-to-many-rows integer reduction over SQ8 codes: out[i] is
+  /// this metric's lattice reduction of (query, codes + i * dim) — sum
+  /// of absolute code differences for L1, sum of squared code
+  /// differences for L2, max absolute code difference for Lmax.
+  /// Sq8Bound::LowerBound (src/geometry/sq8.h) maps a reduction to a
+  /// comparable-space lower bound on the exact distance. The reductions
+  /// are exact integer arithmetic, so the AVX2 and scalar paths return
+  /// identical values (dim must stay <= 65535 so the L2 sum fits a
+  /// uint32; Sq8Mirror::BuildFrom enforces this).
+  void Sq8Many(const std::uint8_t* query, const std::uint8_t* codes,
+               std::size_t count, std::size_t dim, std::uint32_t* out) const;
+
+  /// Many-queries-to-many-rows variant of Sq8Many, the batched quantized
+  /// sweep's workhorse: out[q * count + i] is the reduction of
+  /// (queries + q * dim, codes + i * dim). Runs query-major over the
+  /// one-to-many kernel: each query's codes are hoisted into registers
+  /// once while the block's code rows (4x smaller than the float SoA)
+  /// stay cache-hot across queries; integer exactness makes the
+  /// evaluation order irrelevant to the values.
+  void Sq8Block(const std::uint8_t* queries, std::size_t num_queries,
+                const std::uint8_t* codes, std::size_t count, std::size_t dim,
+                std::uint32_t* out) const;
 
  private:
   MetricKind kind_;

@@ -6,6 +6,7 @@
 #include <queue>
 
 #include "src/index/leaf_block.h"
+#include "src/index/leaf_sweep.h"
 #include "src/util/check.h"
 
 namespace parsim {
@@ -87,25 +88,6 @@ class TopK {
 
 }  // namespace
 
-namespace {
-
-/// Comparable distances from `query` to every point of a leaf block, via
-/// the one-to-many kernel streaming over the block's SoA coordinate rows
-/// (no per-query gather: the tree's LeafBlockCache materialized the rows
-/// once per structural epoch). Values are bit-identical to per-entry
-/// Comparable() calls (same dispatched kernel). The returned pointer is
-/// valid until the next call on this thread.
-const double* ScanLeafBlock(const LeafBlock& block, PointView query,
-                            const Metric& metric) {
-  thread_local std::vector<double> dists;
-  dists.resize(block.count);
-  metric.ComparableMany(query, block.coords.data(), block.count, block.dim,
-                        dists.data());
-  return dists.data();
-}
-
-}  // namespace
-
 KnnResult HsKnn(const TreeBase& tree, PointView query, std::size_t k,
                 const Metric& metric) {
   PARSIM_CHECK(query.size() == tree.dim());
@@ -158,12 +140,22 @@ KnnResult HsKnn(const TreeBase& tree, PointView query, std::size_t k,
     }
     const Node& node = tree.AccessNode(item.ref);
     if (node.IsLeaf()) {
-      tree.ChargeNodeDistances(node, node.entries.size());
+      // The sweep's threshold is the running k-th best point key: a
+      // candidate strictly above it would be dropped by push_point's
+      // frontier bound anyway, so pruning on it preserves the pop
+      // sequence bit for bit (see src/index/leaf_sweep.h).
       const LeafBlock& block = tree.LeafBlockOf(node);
-      const double* dists = ScanLeafBlock(block, query, metric);
-      for (std::size_t i = 0; i < block.count; ++i) {
-        push_point(dists[i], block.ids[i]);
-      }
+      tree.ChargeLeafSweep(
+          node, SweepLeafDistances(
+                    block, query, metric,
+                    [&] {
+                      return bound.size() < k
+                                 ? std::numeric_limits<double>::infinity()
+                                 : bound.front();
+                    },
+                    [&](std::size_t i, double key) {
+                      push_point(key, block.ids[i]);
+                    }));
     } else {
       for (const NodeEntry& e : node.entries) {
         queue.push(
@@ -180,12 +172,16 @@ void RkvVisit(const TreeBase& tree, NodeId node_id, PointView query,
               std::size_t k, const Metric& metric, TopK* best) {
   const Node& node = tree.AccessNode(node_id);
   if (node.IsLeaf()) {
-    tree.ChargeNodeDistances(node, node.entries.size());
+    // TopK::Offer rejects keys >= Threshold() when full, so pruning on
+    // the (re-read, tightening) threshold preserves the heap's update
+    // sequence exactly.
     const LeafBlock& block = tree.LeafBlockOf(node);
-    const double* dists = ScanLeafBlock(block, query, metric);
-    for (std::size_t i = 0; i < block.count; ++i) {
-      best->Offer(dists[i], block.ids[i]);
-    }
+    tree.ChargeLeafSweep(
+        node, SweepLeafDistances(
+                  block, query, metric, [&] { return best->Threshold(); },
+                  [&](std::size_t i, double key) {
+                    best->Offer(key, block.ids[i]);
+                  }));
     return;
   }
   struct Branch {
@@ -244,15 +240,19 @@ KnnResult BallQuery(const TreeBase& tree, PointView query, double radius,
     stack.pop_back();
     const Node& node = tree.AccessNode(id);
     if (node.IsLeaf()) {
-      tree.ChargeNodeDistances(node, node.entries.size());
+      // Constant threshold (the ball radius in the comparable scale):
+      // a candidate with lower bound above it fails `<= threshold` for
+      // sure, so the emitted set is unchanged.
       const LeafBlock& block = tree.LeafBlockOf(node);
-      const double* dists = ScanLeafBlock(block, query, metric);
-      for (std::size_t i = 0; i < block.count; ++i) {
-        if (dists[i] <= threshold) {
-          out.push_back(Neighbor{block.ids[i],
-                                 metric.FromComparable(dists[i])});
-        }
-      }
+      tree.ChargeLeafSweep(
+          node, SweepLeafDistances(
+                    block, query, metric, [&] { return threshold; },
+                    [&](std::size_t i, double key) {
+                      if (key <= threshold) {
+                        out.push_back(Neighbor{block.ids[i],
+                                               metric.FromComparable(key)});
+                      }
+                    }));
     } else {
       for (const NodeEntry& e : node.entries) {
         if (MinDistComparable(e.rect, query, metric) <= threshold) {

@@ -4,7 +4,8 @@
 
 namespace parsim {
 
-void LeafBlock::BuildFrom(const Node& leaf, std::size_t dimension) {
+void LeafBlock::BuildFrom(const Node& leaf, std::size_t dimension,
+                          bool quantize) {
   PARSIM_DCHECK(leaf.IsLeaf());
   count = leaf.entries.size();
   dim = dimension;
@@ -12,6 +13,12 @@ void LeafBlock::BuildFrom(const Node& leaf, std::size_t dimension) {
   ids.resize(count);
   leaf.GatherLeafCoords(dim, coords.data());
   for (std::size_t i = 0; i < count; ++i) ids[i] = leaf.entries[i].child;
+  has_sq8 = quantize;
+  if (quantize) {
+    sq8.BuildFrom(coords.data(), count, dim);
+  } else {
+    sq8 = Sq8Mirror{};
+  }
 }
 
 void LeafBlockCache::Invalidate(std::size_t num_nodes) {
@@ -34,7 +41,7 @@ const LeafBlock& LeafBlockCache::Get(const Node& leaf,
   }
   std::lock_guard<std::mutex> lock(slot.build_mutex);
   if (slot.built_epoch.load(std::memory_order_relaxed) != epoch_) {
-    slot.block.BuildFrom(leaf, dim);
+    slot.block.BuildFrom(leaf, dim, quantize_);
     slot.built_epoch.store(epoch_, std::memory_order_release);
   }
   return slot.block;

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "src/geometry/point.h"
+#include "src/geometry/sq8.h"
 #include "src/index/node.h"
 
 namespace parsim {
@@ -40,12 +41,21 @@ struct LeafBlock {
   /// count point ids, parallel to coords.
   std::vector<PointId> ids;
 
+  /// Opt-in SQ8 mirror of `coords` (src/geometry/sq8.h): per-block
+  /// lattice plus uint8 codes, built together with the block when the
+  /// owning cache has quantization enabled, so mirror and floats are
+  /// always of the same structural epoch. Empty when has_sq8 is false.
+  Sq8Mirror sq8;
+  bool has_sq8 = false;
+
   PointView row(std::size_t i) const {
     return {coords.data() + i * dim, dim};
   }
 
-  /// Rebuilds this block from `leaf` (entries in order).
-  void BuildFrom(const Node& leaf, std::size_t dimension);
+  /// Rebuilds this block from `leaf` (entries in order); with `quantize`
+  /// also (re)builds the SQ8 mirror from the gathered coordinates.
+  void BuildFrom(const Node& leaf, std::size_t dimension,
+                 bool quantize = false);
 };
 
 /// Per-tree cache of leaf blocks, safe for concurrent read-only queries.
@@ -61,6 +71,12 @@ class LeafBlockCache {
   /// Marks every cached block stale and makes room for `num_nodes`
   /// slots. Call after any structural change, from the mutation side.
   void Invalidate(std::size_t num_nodes);
+
+  /// Whether rebuilt blocks carry SQ8 mirrors. Flip from the mutation
+  /// side only (TreeBase::set_quantized_leaf_blocks invalidates
+  /// alongside, so no block built under the old setting survives).
+  void set_quantize(bool on) { quantize_ = on; }
+  bool quantize() const { return quantize_; }
 
   /// The current block of `leaf`, building it if stale or absent.
   const LeafBlock& Get(const Node& leaf, std::size_t dim) const;
@@ -82,6 +98,8 @@ class LeafBlockCache {
   /// Starts above the slots' initial built_epoch of 0 so fresh slots
   /// count as stale.
   std::uint64_t epoch_ = 1;
+  /// Mutation-side setting read by Get's (re)builds.
+  bool quantize_ = false;
 };
 
 }  // namespace parsim

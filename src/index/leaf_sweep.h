@@ -1,0 +1,294 @@
+// The one place every leaf-page sweep goes through.
+//
+// Before this helper, the quantized/exact decision would have been
+// duplicated across five call-sites (HsKnn, RkvKnn, BallQuery,
+// RangeQuery/partial-match, and the coalesced batch expander — the R*
+// reinsert's center-distance sort operates on a scratch entry buffer,
+// not a LeafBlock, so it is not a leaf sweep in this sense). SweepLeaf*
+// centralizes it: on a plain block the sweep is the familiar
+// ComparableMany / ComparableBlock / Contains pass; on a quantized block
+// (LeafBlock::has_sq8) it first runs the integer SQ8 reduction over the
+// uint8 mirror, prunes every candidate whose comparable-space lower
+// bound (Sq8Bound::LowerBound, applied through its reduction-space
+// inversion PruneCutoff so the hot loop is one compare per candidate)
+// exceeds the caller's current threshold, and re-ranks only survivors
+// through the exact float kernels. Because
+// the bound never exceeds the exact comparable distance, a pruned
+// candidate is exactly one the caller's threshold test would have
+// rejected — emitted keys, result sets, and page accesses are
+// bit-identical to the exact sweep.
+//
+// Each sweep returns (or fills) LeafSweepStats; callers forward them to
+// TreeBase::ChargeLeafSweep so exact re-ranks meter simulated CPU
+// (distance_computations) and the prune/re-rank/bytes counters reach the
+// per-query stats. The integer bound computations charge no simulated
+// CPU: they are the cost the quantized path removes, and the counters
+// make the removal auditable instead of invisible.
+
+#ifndef PARSIM_SRC_INDEX_LEAF_SWEEP_H_
+#define PARSIM_SRC_INDEX_LEAF_SWEEP_H_
+
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "src/geometry/metric.h"
+#include "src/geometry/rect.h"
+#include "src/geometry/sq8.h"
+#include "src/index/leaf_block.h"
+
+namespace parsim {
+
+/// What one leaf sweep did, for cost charging and stats plumbing.
+struct LeafSweepStats {
+  /// Exact float kernel evaluations: all candidates on the exact path,
+  /// only re-ranked survivors on the quantized path (containment sweeps
+  /// charge none, matching RangeQuery's pre-quantization accounting).
+  std::uint64_t exact_distances = 0;
+  /// Candidates eliminated by the SQ8 lower bound before exact work.
+  std::uint64_t quantized_pruned = 0;
+  /// Bound survivors re-ranked through the exact float kernel.
+  std::uint64_t reranked = 0;
+  /// Bytes the sweep streamed: count * dim * sizeof(Scalar) on the exact
+  /// path; count * dim code bytes plus the re-ranked float rows on the
+  /// quantized path (zero when the query's base term pruned the whole
+  /// block before the mirror was read). Bookkeeping only — simulated
+  /// time still derives from page counts and distance computations.
+  std::uint64_t leaf_bytes_scanned = 0;
+};
+
+namespace detail {
+
+/// Per-thread buffers of the sweep templates below, so steady-state
+/// sweeps allocate nothing (the pattern ScanLeafBlock used before).
+struct LeafSweepScratch {
+  std::vector<double> dists;
+  std::vector<std::uint32_t> reductions;
+  Sq8Query query;
+  std::vector<std::uint8_t> qcodes;    // batched sweeps: members x dim
+  std::vector<Sq8Bound> bounds;        // batched sweeps: one per member
+  std::vector<std::uint32_t> survivors;  // bound survivors of one sweep
+  std::vector<std::uint32_t> active;   // members surviving the base prune
+};
+
+LeafSweepScratch& SweepScratch();
+
+/// Reduction-space prune cutoff as an exact integer: for any uint32
+/// reduction r, double(r) > cutoff <=> r > IntCutoff(cutoff) (truncation
+/// is floor for the non-negative values PruneCutoff returns; cutoffs at
+/// or past 2^32 - 1, including +infinity, saturate to UINT32_MAX which
+/// prunes nothing).
+std::uint32_t IntCutoff(double cutoff);
+
+/// Appends to `out` (capacity >= count) every index i with
+/// reductions[i] <= cutoff, ascending, and returns how many. The prune
+/// hot loop: AVX2 compares 8 reductions per instruction and compresses
+/// the clear mask bits where available; the survivor list is identical
+/// to the scalar scan's.
+std::size_t CollectSurvivors(const std::uint32_t* reductions,
+                             std::size_t count, std::uint32_t cutoff,
+                             std::uint32_t* out);
+
+}  // namespace detail
+
+/// Sweeps one leaf block for a distance-threshold query (k-NN, ball).
+/// `threshold()` is the caller's CURRENT comparable-space cutoff — a
+/// candidate strictly above it can no longer matter (k-th best bound, or
+/// the ball radius); it is re-read after every emit — the only point it
+/// can tighten — so each candidate is tested against the threshold in
+/// force when the sweep reaches it, exactly as a per-candidate re-read
+/// would. `emit(i, comparable)` receives every surviving candidate
+/// with its exact comparable distance, in block order — bit-identical,
+/// on both paths, to what the exact kernels compute.
+template <typename ThresholdFn, typename EmitFn>
+LeafSweepStats SweepLeafDistances(const LeafBlock& block, PointView query,
+                                  const Metric& metric,
+                                  ThresholdFn&& threshold, EmitFn&& emit) {
+  LeafSweepStats sweep;
+  detail::LeafSweepScratch& scratch = detail::SweepScratch();
+  if (!block.has_sq8) {
+    scratch.dists.resize(block.count);
+    metric.ComparableMany(query, block.coords.data(), block.count, block.dim,
+                          scratch.dists.data());
+    for (std::size_t i = 0; i < block.count; ++i) {
+      emit(i, scratch.dists[i]);
+    }
+    sweep.exact_distances = block.count;
+    sweep.leaf_bytes_scanned = block.count * block.dim * sizeof(Scalar);
+    return sweep;
+  }
+  scratch.query.Prepare(block.sq8, query, metric.kind());
+  // When the query's candidate-independent `base` term already exceeds
+  // the threshold (a query far outside the block's lattice range —
+  // PruneCutoff's negative sentinel), every candidate prunes without the
+  // integer kernel ever running: the sweep costs one query preparation.
+  double last_threshold = threshold();
+  double dcut = scratch.query.bound.PruneCutoff(last_threshold);
+  if (dcut < 0.0) {
+    sweep.quantized_pruned = block.count;
+    return sweep;
+  }
+  scratch.reductions.resize(block.count);
+  metric.Sq8Many(scratch.query.codes.data(), block.sq8.codes.data(),
+                 block.count, block.dim, scratch.reductions.data());
+  // One SIMD pass compresses the survivor indices under the cutoff in
+  // force at block entry; the emit loop then re-checks each survivor
+  // against the current cutoff, which only tightens when an emit lands.
+  // Per candidate this decides exactly what the naive interleaved loop
+  // decides: a candidate pruned at entry is pruned under any later
+  // (tighter) cutoff too, and one that entry-survives but reaches the
+  // emit loop after a tightening is caught by the re-check — so counters
+  // and emitted keys are identical, at one compare per candidate plus
+  // one per survivor.
+  const ComparableFn exact = metric.comparable_fn();
+  std::uint32_t cutoff = detail::IntCutoff(dcut);
+  scratch.survivors.resize(block.count);
+  const std::size_t nsurv = detail::CollectSurvivors(
+      scratch.reductions.data(), block.count, cutoff,
+      scratch.survivors.data());
+  sweep.quantized_pruned += block.count - nsurv;
+  for (std::size_t s = 0; s < nsurv; ++s) {
+    const std::size_t i = scratch.survivors[s];
+    const double t = threshold();
+    if (t != last_threshold) {
+      last_threshold = t;
+      dcut = scratch.query.bound.PruneCutoff(t);
+      if (dcut < 0.0) {
+        sweep.quantized_pruned += nsurv - s;
+        break;
+      }
+      cutoff = detail::IntCutoff(dcut);
+    }
+    if (scratch.reductions[i] > cutoff) {
+      ++sweep.quantized_pruned;
+      continue;
+    }
+    ++sweep.reranked;
+    emit(i, exact(query.data(), block.row(i).data(), block.dim));
+  }
+  sweep.exact_distances = sweep.reranked;
+  sweep.leaf_bytes_scanned =
+      block.count * block.dim + sweep.reranked * block.dim * sizeof(Scalar);
+  return sweep;
+}
+
+/// Sweeps one leaf block for a containment query (range / partial
+/// match), appending matching ids to `out`. On a quantized block a
+/// conservative per-dimension code-interval prefilter runs over the
+/// uint8 mirror first; survivors go through the exact float Contains, so
+/// the id set matches the exact sweep exactly.
+LeafSweepStats SweepLeafRange(const LeafBlock& block, const Rect& query,
+                              std::vector<PointId>* out);
+
+/// Batched variant of SweepLeafDistances: `members` queries (row-major,
+/// members x block.dim scalars) against one block, one many-to-many
+/// kernel call. `threshold(m)` and `emit(m, i, comparable)` are the
+/// per-member analogues; for each member, candidates arrive in block
+/// order (members in ascending order), so the per-member emit sequence
+/// matches the single-query sweep exactly. `stats` must have `members`
+/// entries; entry m accumulates member m's share.
+template <typename ThresholdFn, typename EmitFn>
+void SweepLeafBlockMany(const LeafBlock& block, const Scalar* queries,
+                        std::size_t members, const Metric& metric,
+                        ThresholdFn&& threshold, EmitFn&& emit,
+                        LeafSweepStats* stats) {
+  detail::LeafSweepScratch& scratch = detail::SweepScratch();
+  const std::size_t dim = block.dim;
+  if (!block.has_sq8) {
+    scratch.dists.resize(members * block.count);
+    metric.ComparableBlock(queries, members, block.coords.data(), block.count,
+                           dim, scratch.dists.data());
+    for (std::size_t m = 0; m < members; ++m) {
+      const double* row = scratch.dists.data() + m * block.count;
+      for (std::size_t i = 0; i < block.count; ++i) {
+        emit(m, i, row[i]);
+      }
+      stats[m].exact_distances += block.count;
+      stats[m].leaf_bytes_scanned += block.count * dim * sizeof(Scalar);
+    }
+    return;
+  }
+  scratch.qcodes.resize(members * dim);
+  scratch.bounds.resize(members);
+  PrepareSq8QueryMany(block.sq8, queries, members, metric.kind(),
+                      scratch.qcodes.data(), scratch.bounds.data());
+  // Member-level base prune: a member whose candidate-independent `base`
+  // term already exceeds its threshold (PruneCutoff's negative sentinel)
+  // prunes the whole block before the integer kernel runs. Survivors are
+  // compacted in place (ascending, so each code row moves down or stays
+  // put) and one many-to-many kernel call covers just them — on hot-spot
+  // batches most member/block pairs end here, at the cost of one query
+  // preparation and one compare.
+  scratch.active.clear();
+  for (std::size_t m = 0; m < members; ++m) {
+    if (scratch.bounds[m].PruneCutoff(threshold(m)) < 0.0) {
+      stats[m].quantized_pruned += block.count;
+    } else {
+      scratch.active.push_back(static_cast<std::uint32_t>(m));
+    }
+  }
+  const std::size_t nactive = scratch.active.size();
+  if (nactive == 0) {
+    return;
+  }
+  for (std::size_t a = 0; a < nactive; ++a) {
+    const std::size_t m = scratch.active[a];
+    if (m != a) {
+      std::memcpy(scratch.qcodes.data() + a * dim,
+                  scratch.qcodes.data() + m * dim, dim);
+    }
+  }
+  scratch.reductions.resize(nactive * block.count);
+  metric.Sq8Block(scratch.qcodes.data(), nactive, block.sq8.codes.data(),
+                  block.count, dim, scratch.reductions.data());
+  const ComparableFn exact = metric.comparable_fn();
+  scratch.survivors.resize(block.count);
+  for (std::size_t a = 0; a < nactive; ++a) {
+    const std::size_t m = scratch.active[a];
+    const std::uint32_t* row = scratch.reductions.data() + a * block.count;
+    const Scalar* qrow = queries + m * dim;
+    std::uint64_t pruned = 0;
+    std::uint64_t reranked = 0;
+    // Same compress-then-recheck structure as SweepLeafDistances, and
+    // the same per-candidate decisions as the naive interleaved loop.
+    double last_threshold = threshold(m);
+    double dcut = scratch.bounds[m].PruneCutoff(last_threshold);
+    if (dcut < 0.0) {
+      pruned += block.count;
+    } else {
+      std::uint32_t cutoff = detail::IntCutoff(dcut);
+      const std::size_t nsurv = detail::CollectSurvivors(
+          row, block.count, cutoff, scratch.survivors.data());
+      pruned += block.count - nsurv;
+      for (std::size_t s = 0; s < nsurv; ++s) {
+        const std::size_t i = scratch.survivors[s];
+        const double t = threshold(m);
+        if (t != last_threshold) {
+          last_threshold = t;
+          dcut = scratch.bounds[m].PruneCutoff(t);
+          if (dcut < 0.0) {
+            pruned += nsurv - s;
+            break;
+          }
+          cutoff = detail::IntCutoff(dcut);
+        }
+        if (row[i] > cutoff) {
+          ++pruned;
+          continue;
+        }
+        ++reranked;
+        emit(m, i, exact(qrow, block.row(i).data(), dim));
+      }
+    }
+    stats[m].exact_distances += reranked;
+    stats[m].quantized_pruned += pruned;
+    stats[m].reranked += reranked;
+    stats[m].leaf_bytes_scanned +=
+        block.count * dim + reranked * dim * sizeof(Scalar);
+  }
+}
+
+}  // namespace parsim
+
+#endif  // PARSIM_SRC_INDEX_LEAF_SWEEP_H_

@@ -89,6 +89,14 @@ void TreeBase::ChargeNodeDistances(const Node& node, std::uint64_t n) const {
   ResolveRoute(node).disk->ChargeDistanceComputations(n);
 }
 
+void TreeBase::ChargeLeafSweep(const Node& node,
+                               const LeafSweepStats& sweep) const {
+  SimulatedDisk* disk = ResolveRoute(node).disk;
+  disk->ChargeDistanceComputations(sweep.exact_distances);
+  disk->RecordLeafSweep(sweep.quantized_pruned, sweep.reranked,
+                        sweep.leaf_bytes_scanned);
+}
+
 const Node& TreeBase::PeekNode(NodeId id) const {
   PARSIM_CHECK(id < nodes_.size());
   return *nodes_[id];
@@ -752,9 +760,7 @@ std::vector<PointId> TreeBase::RangeQuery(const Rect& query) const {
       // rect is the degenerate rect of its point, so Intersects(e.rect)
       // is exactly Contains(point), and the block preserves entry order.
       const LeafBlock& block = LeafBlockOf(node);
-      for (std::size_t i = 0; i < block.count; ++i) {
-        if (query.Contains(block.row(i))) out.push_back(block.ids[i]);
-      }
+      ChargeLeafSweep(node, SweepLeafRange(block, query, &out));
       continue;
     }
     for (const NodeEntry& e : node.entries) {

@@ -18,6 +18,7 @@
 #include "src/geometry/point.h"
 #include "src/geometry/rect.h"
 #include "src/index/leaf_block.h"
+#include "src/index/leaf_sweep.h"
 #include "src/index/node.h"
 #include "src/io/disk.h"
 #include "src/util/status.h"
@@ -141,6 +142,22 @@ class TreeBase {
   /// Charges `n` distance computations to the disk that serves `node`
   /// (the CPU doing the work sits next to that disk).
   void ChargeNodeDistances(const Node& node, std::uint64_t n) const;
+
+  /// Charges one leaf sweep's outcome to the disk that serves `node`:
+  /// exact re-ranks meter simulated CPU like ChargeNodeDistances, and
+  /// the prune/re-rank/byte counters land in the same stats sink.
+  void ChargeLeafSweep(const Node& node, const LeafSweepStats& sweep) const;
+
+  /// Whether leaf blocks carry SQ8 mirrors for error-bounded pruned
+  /// sweeps (src/index/leaf_sweep.h). Mutation-side toggle — it
+  /// invalidates the block cache, so it must not race with queries
+  /// (same contract as Insert). Results stay bit-identical either way;
+  /// only sweep cost and the quantized counters change.
+  void set_quantized_leaf_blocks(bool on) {
+    leaf_blocks_.set_quantize(on);
+    InvalidateLeafBlocks();
+  }
+  bool quantized_leaf_blocks() const { return leaf_blocks_.quantize(); }
 
   /// Reads a node without charging (tests / diagnostics only).
   const Node& PeekNode(NodeId id) const;

@@ -135,6 +135,17 @@ class SimulatedDisk {
     Sink().distance_computations += n;
   }
 
+  /// Records one leaf sweep's quantization counters (no simulated time:
+  /// these audit the work the SQ8 bound removed or left; exact re-ranks
+  /// are charged separately via ChargeDistanceComputations).
+  void RecordLeafSweep(std::uint64_t pruned, std::uint64_t reranked_points,
+                       std::uint64_t bytes) {
+    DiskStats& sink = Sink();
+    sink.quantized_pruned += pruned;
+    sink.reranked += reranked_points;
+    sink.leaf_bytes_scanned += bytes;
+  }
+
   const DiskStats& stats() const { return stats_; }
 
   /// Simulated elapsed time for everything charged since the last reset,

@@ -148,6 +148,21 @@ struct DiskStats {
   /// Many-to-many kernel calls (Metric::ComparableBlock) issued on this
   /// query's behalf: one per (leaf group, member) pair per batch round.
   std::uint64_t block_kernel_invocations = 0;
+  /// Leaf candidates eliminated by the SQ8 lower bound before any exact
+  /// float distance was computed (quantized leaf blocks only; see
+  /// src/index/leaf_sweep.h). distance_computations then counts only the
+  /// re-ranked survivors, so pruned + reranked recovers the exact path's
+  /// distance count for k-NN/ball sweeps.
+  std::uint64_t quantized_pruned = 0;
+  /// Leaf candidates that survived the SQ8 bound and went through the
+  /// exact float kernel (equals distance_computations' leaf share on the
+  /// quantized path).
+  std::uint64_t reranked = 0;
+  /// Bytes leaf sweeps streamed on this query's behalf: full float rows
+  /// on the exact path, code bytes plus re-ranked float rows on the
+  /// quantized path. Bookkeeping only — never enters ElapsedMs; the cost
+  /// model stays pages + distance_computations.
+  std::uint64_t leaf_bytes_scanned = 0;
 
   std::uint64_t TotalPagesRead() const {
     return data_pages_read + directory_pages_read;
@@ -164,6 +179,9 @@ struct DiskStats {
     unavailable_pages += other.unavailable_pages;
     coalesced_pages += other.coalesced_pages;
     block_kernel_invocations += other.block_kernel_invocations;
+    quantized_pruned += other.quantized_pruned;
+    reranked += other.reranked;
+    leaf_bytes_scanned += other.leaf_bytes_scanned;
     return *this;
   }
 };

@@ -1,9 +1,11 @@
 #include "src/parallel/batch_knn.h"
 
 #include <algorithm>
+#include <limits>
 #include <queue>
 
 #include "src/index/leaf_block.h"
+#include "src/index/leaf_sweep.h"
 #include "src/util/check.h"
 
 namespace parsim {
@@ -168,29 +170,43 @@ std::vector<KnnResult> CoalescedHsBatch(
       if (node.IsLeaf()) {
         const LeafBlock& block = tree.LeafBlockOf(node);
         // One many-to-many kernel call scores every member query against
-        // every point of the page. Scratch is thread-local: the rounds
+        // every point of the page (uint8 q x n reduction first on a
+        // quantized block, with per-member bound pruning — see
+        // src/index/leaf_sweep.h). Scratch is thread-local: the rounds
         // allocate nothing in steady state.
         thread_local std::vector<Scalar> qbuf;
-        thread_local std::vector<double> dists;
+        thread_local std::vector<LeafSweepStats> sweeps;
         qbuf.resize(members * dim);
         for (std::size_t m = 0; m < members; ++m) {
           const PointView qv = queries[requests[g.begin + m].second];
           std::copy(qv.begin(), qv.end(), qbuf.data() + m * dim);
         }
-        dists.resize(members * block.count);
-        metric.ComparableBlock(qbuf.data(), members, block.coords.data(),
-                               block.count, dim, dists.data());
+        sweeps.assign(members, LeafSweepStats{});
+        SweepLeafBlockMany(
+            block, qbuf.data(), members, metric,
+            [&](std::size_t m) {
+              // Member m's running k-th best point key — HsKnn's bound.
+              // Emits only tighten m's own bound, so reading it per
+              // candidate matches the single-query sweep exactly.
+              const QueryState& state = states[requests[g.begin + m].second];
+              return state.bound.size() < k
+                         ? std::numeric_limits<double>::infinity()
+                         : state.bound.front();
+            },
+            [&](std::size_t m, std::size_t i, double key) {
+              states[requests[g.begin + m].second].PushPoint(key, block.ids[i],
+                                                             k);
+            },
+            sweeps.data());
         for (std::size_t m = 0; m < members; ++m) {
           const std::size_t qi = requests[g.begin + m].second;
           DiskStats& s = (*accs)[qi].slot(slot);
-          s.distance_computations += block.count;
+          s.distance_computations += sweeps[m].exact_distances;
+          s.quantized_pruned += sweeps[m].quantized_pruned;
+          s.reranked += sweeps[m].reranked;
+          s.leaf_bytes_scanned += sweeps[m].leaf_bytes_scanned;
           s.block_kernel_invocations += 1;
-          QueryState& state = states[qi];
-          const double* row = dists.data() + m * block.count;
-          for (std::size_t i = 0; i < block.count; ++i) {
-            state.PushPoint(row[i], block.ids[i], k);
-          }
-          Advance(&state, k, metric);
+          Advance(&states[qi], k, metric);
         }
       } else {
         for (std::size_t m = 0; m < members; ++m) {

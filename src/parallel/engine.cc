@@ -70,6 +70,11 @@ ParallelSearchEngine::ParallelSearchEngine(
       }
       break;
   }
+  if (options_.quantized_leaf_blocks) {
+    // Tree architectures only: kFederatedScan sweeps packed pages, not
+    // leaf blocks, so the loop is empty there and the flag is a no-op.
+    for (auto& t : trees_) t->set_quantized_leaf_blocks(true);
+  }
 }
 
 ParallelSearchEngine::~ParallelSearchEngine() = default;
@@ -313,6 +318,9 @@ QueryStats ParallelSearchEngine::StatsFromAccumulator(
   stats.buffer_hit_pages = host.buffer_hit_pages;
   stats.coalesced_reads = host.coalesced_pages;
   stats.block_kernel_invocations = host.block_kernel_invocations;
+  stats.quantized_pruned = host.quantized_pruned;
+  stats.reranked = host.reranked;
+  stats.leaf_bytes_scanned = host.leaf_bytes_scanned;
   stats.pages_per_disk.reserve(n);
   double max_ms = 0.0;
   double sum_ms = 0.0;
@@ -338,6 +346,9 @@ QueryStats ParallelSearchEngine::StatsFromAccumulator(
     stats.unavailable_pages += s.unavailable_pages;
     stats.coalesced_reads += s.coalesced_pages;
     stats.block_kernel_invocations += s.block_kernel_invocations;
+    stats.quantized_pruned += s.quantized_pruned;
+    stats.reranked += s.reranked;
+    stats.leaf_bytes_scanned += s.leaf_bytes_scanned;
     stats.pages_per_disk.push_back(pages);
   }
   stats.parallel_ms = host_ms + max_ms;

@@ -128,6 +128,16 @@ struct EngineOptions {
   /// disk_parameters.failover_timeout_ms each) against a failed primary
   /// before the read fails over to the replica.
   std::uint32_t max_read_retries = 1;
+  /// Give every leaf block an SQ8 mirror (uint8 scalar quantization; see
+  /// src/geometry/sq8.h) and sweep it first: candidates whose provable
+  /// comparable-space lower bound cannot beat the current k-th best (or
+  /// the ball radius / range window) are pruned, survivors re-ranked
+  /// through the exact float kernels. Results and distances are
+  /// bit-identical to the unquantized path; distance_computations drops
+  /// to the re-ranked share, and the quantized_pruned / reranked /
+  /// leaf_bytes_scanned counters audit the saving. Tree architectures
+  /// only (kFederatedScan has no leaf blocks and ignores the flag).
+  bool quantized_leaf_blocks = false;
   DiskParameters disk_parameters{};
   Metric metric{};
 };
@@ -178,6 +188,19 @@ struct QueryStats {
   /// Many-to-many kernel calls (Metric::ComparableBlock) this query
   /// participated in.
   std::uint64_t block_kernel_invocations = 0;
+
+  // Quantized-sweep accounting. All zero unless the engine was built
+  // with quantized_leaf_blocks.
+  /// Leaf candidates the SQ8 lower bound eliminated before exact work.
+  std::uint64_t quantized_pruned = 0;
+  /// Leaf candidates re-ranked through the exact float kernel. For
+  /// k-NN/ball sweeps, quantized_pruned + reranked equals the exact
+  /// path's leaf distance_computations.
+  std::uint64_t reranked = 0;
+  /// Bytes leaf sweeps streamed (code bytes plus re-ranked float rows on
+  /// the quantized path; full float rows otherwise). Bookkeeping only —
+  /// never part of the simulated-time model.
+  std::uint64_t leaf_bytes_scanned = 0;
 };
 
 /// A parallel k-NN search engine over declustered data.

@@ -32,9 +32,11 @@
 #include "src/geometry/metric.h"
 #include "src/geometry/point.h"
 #include "src/geometry/rect.h"
+#include "src/geometry/sq8.h"
 #include "src/hilbert/hilbert.h"
 #include "src/index/knn.h"
 #include "src/index/leaf_block.h"
+#include "src/index/leaf_sweep.h"
 #include "src/index/rstar_tree.h"
 #include "src/index/serialize.h"
 #include "src/index/xtree.h"

@@ -51,6 +51,9 @@ void AppendQueryStats(std::ostringstream* out, const QueryStats& stats) {
        << " unavailable_pages=" << stats.unavailable_pages
        << " coalesced_reads=" << stats.coalesced_reads
        << " block_kernel_invocations=" << stats.block_kernel_invocations
+       << " quantized_pruned=" << stats.quantized_pruned
+       << " reranked=" << stats.reranked
+       << " leaf_bytes_scanned=" << stats.leaf_bytes_scanned
        << " pages_per_disk=";
   for (std::size_t d = 0; d < stats.pages_per_disk.size(); ++d) {
     *out << (d == 0 ? "" : ",") << stats.pages_per_disk[d];
@@ -162,6 +165,28 @@ std::string RenderActualStats() {
     out << "query " << qi << ": hits=" << co_stats[qi].buffer_hit_pages
         << " ";
     AppendQueryStats(&out, co_stats[qi]);
+  }
+
+  // Quantized leaf blocks: results must be bit-identical to the exact
+  // engine (checked here, outside the golden text), while the pinned
+  // stats pick up the prune/re-rank/bytes counters and the reduced
+  // distance CPU share in parallel_ms.
+  EngineOptions quant = options;
+  quant.quantized_leaf_blocks = true;
+  ParallelSearchEngine quant_engine(
+      dim, std::make_unique<NearOptimalDeclusterer>(dim, disks), quant);
+  EXPECT_TRUE(quant_engine.Build(data).ok());
+  out << "[quantized healthy]\n";
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    QueryStats stats;
+    const KnnResult got = quant_engine.Query(queries[qi], k, &stats);
+    const KnnResult want = engine.Query(queries[qi], k);
+    EXPECT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size() && i < want.size(); ++i) {
+      EXPECT_EQ(got[i].distance, want[i].distance) << "rank " << i;
+    }
+    out << "query " << qi << ": ";
+    AppendQueryStats(&out, stats);
   }
   return out.str();
 }

@@ -47,12 +47,16 @@ echo "== [3/4] TSAN build + concurrency tests =="
 # io_buffer_pool_test hammers the sharded pool from raw threads;
 # parallel_concurrency_test covers concurrent buffered batches;
 # parallel_batch_coalesced_test runs the coalesced round scheduler (and
-# with it the LeafBlockCache epoch path) on an 8-worker pool; and
-# golden_stats_test pins the buffered deterministic-replay accounting.
+# with it the LeafBlockCache epoch path) on an 8-worker pool;
+# golden_stats_test pins the buffered deterministic-replay accounting;
+# and index_quantized_block_test exercises the SQ8 sweep path (whose
+# per-thread scratch and cached kernel dispatch must stay race-free)
+# alongside the concurrent engines.
 TSAN_TESTS=(util_thread_pool_test io_buffer_pool_test
             parallel_concurrency_test parallel_threads_test
             parallel_batch_coalesced_test
-            parallel_degraded_query_test golden_stats_test)
+            parallel_degraded_query_test golden_stats_test
+            index_quantized_block_test)
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -O1 -g" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
@@ -66,7 +70,8 @@ echo "== [4/4] microbench smoke lane =="
 # Seconds-scale workloads; each bench exits nonzero if its bit-identity
 # or page-conservation checks fail.
 MICROBENCHES=(microbench_query_parallel microbench_buffer_pool
-              microbench_fault_injection microbench_batch_knn)
+              microbench_fault_injection microbench_batch_knn
+              microbench_quantized_knn)
 cmake --build build-ci -j "$JOBS" --target "${MICROBENCHES[@]}"
 # Run from build-ci so the smoke-sized JSON files do not overwrite the
 # committed full-run BENCH_*.json at the repo root (tools/bench.sh
