@@ -1,0 +1,395 @@
+// Microbenchmark of the progressive precision cascade. Plain main()
+// binary (no google-benchmark).
+//
+// Workload: anisotropic data (per-dimension spread decays
+// geometrically, the regime real feature vectors live in — energy
+// concentrated in a few dimensions — and the one where a
+// variance-ordered prefix has signal to find) with hot-spot queries, so
+// search radii are tight and the leaf sweeps dominated by pruning.
+//
+// Three engines per dimensionality, all through the production
+// QueryBatch path (coalesced rounds, one thread, leaf blocks prewarmed
+// via WarmLeafBlocks so nobody pays first-touch construction):
+//
+//   exact    — no quantization: every leaf candidate through the float
+//              kernels.
+//   sq8      — SQ8 mirrors, full-dimension reduction only
+//              (cascade_prefix_stage = false): the previous PR's path.
+//   cascade  — SQ8 mirrors plus the variance-ordered prefix-d' first
+//              pass; survivors through the full-d kernel, then exact
+//              re-rank.
+//
+// Results, distances, and per-query page counts must be bit-identical
+// across all three (asserted; exit 1 on violation). Reported per d in
+// {8, 16, 32}: per-stage survivor counts (candidates -> after base
+// prune -> after prefix stage -> after full-d stage -> re-ranked),
+// end-to-end wall-clock best-of-reps and speedups, and a per-phase
+// wall-time breakdown (descent / frontier / io accounting / sweep
+// stages) taken from SEPARATE profile_phases engines so the timed runs
+// never touch the clock.
+//
+// Output: a table on stdout and BENCH_cascade.json; exit 1 if any
+// identity fails (or, outside --smoke, the acceptance floor: cascade
+// >= 1.3x over exact end-to-end at d=16). Scale with PARSIM_BENCH_N /
+// PARSIM_BENCH_QUERIES, or pass --smoke for a seconds-fast CI variant.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/core/near_optimal.h"
+#include "src/parallel/engine.h"
+#include "src/util/phase_timer.h"
+#include "src/util/random.h"
+#include "src/util/stopwatch.h"
+#include "src/workload/generators.h"
+
+namespace parsim {
+namespace {
+
+std::size_t EnvSize(const char* name, std::size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  const std::size_t parsed =
+      static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
+  if (parsed == 0) {
+    std::fprintf(stderr, "ignoring %s=\"%s\" (want a positive integer)\n",
+                 name, value);
+    return fallback;
+  }
+  return parsed;
+}
+
+template <typename Fn>
+double BestOfMs(int reps, const Fn& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch watch;
+    fn();
+    best = std::min(best, watch.ElapsedMillis());
+  }
+  return best;
+}
+
+/// Anisotropic point cloud: dimension j's spread decays as 0.95^j —
+/// gentle enough that no dimension is negligible (the prefix stage must
+/// earn its keep against real residual mass in the tail), steep enough
+/// that a variance-ordered prefix still concentrates signal up front.
+PointSet MakeAnisotropic(std::size_t n, std::size_t dim, unsigned seed) {
+  const PointSet base = GenerateUniform(n, dim, seed);
+  PointSet out(dim);
+  std::vector<Scalar> row(dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    const PointView p = base[i];
+    double spread = 1.0;
+    for (std::size_t d = 0; d < dim; ++d) {
+      row[d] = static_cast<Scalar>(static_cast<double>(p[d]) * spread);
+      spread *= 0.95;
+    }
+    out.Add(PointView{row.data(), row.size()});
+  }
+  return out;
+}
+
+/// Hot-spot query workload (same regime as the batched and quantized
+/// benches): queries jitter around a few data points.
+PointSet MakeHotSpotQueries(const PointSet& data, std::size_t n,
+                            std::size_t hotspots, double jitter,
+                            std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::size_t> centers(hotspots);
+  for (std::size_t c = 0; c < hotspots; ++c) {
+    centers[c] = static_cast<std::size_t>(rng.NextBounded(data.size()));
+  }
+  PointSet queries(data.dim());
+  std::vector<Scalar> q(data.dim());
+  for (std::size_t i = 0; i < n; ++i) {
+    const PointView center = data[centers[i % hotspots]];
+    for (std::size_t d = 0; d < data.dim(); ++d) {
+      const double v =
+          static_cast<double>(center[d]) + rng.NextGaussian(0.0, jitter);
+      q[d] = static_cast<Scalar>(std::clamp(v, 0.0, 1.0));
+    }
+    queries.Add(PointView(q.data(), q.size()));
+  }
+  return queries;
+}
+
+enum class Mode { kExact, kSq8, kCascade };
+
+std::unique_ptr<ParallelSearchEngine> MakeEngine(const PointSet& data,
+                                                 std::size_t disks, Mode mode,
+                                                 bool profile) {
+  EngineOptions options;
+  options.architecture = Architecture::kSharedTree;
+  options.bulk_load = true;
+  options.coalesced_batch = true;
+  options.quantized_leaf_blocks = mode != Mode::kExact;
+  options.cascade_prefix_stage = mode == Mode::kCascade;
+  options.profile_phases = profile;
+  // The bench index is bulk-loaded once and never mutated, so pack leaf
+  // pages full instead of leaving the R*-style 30% insert headroom:
+  // fewer pages means less per-row descent/frontier/page-accounting
+  // overhead diluting the leaf-sweep contrast the bench measures.
+  options.bulk_load_fill = 1.0;
+  auto engine = std::make_unique<ParallelSearchEngine>(
+      data.dim(), std::make_unique<NearOptimalDeclusterer>(data.dim(), disks),
+      options);
+  if (!engine->Build(data).ok()) {
+    std::fprintf(stderr, "engine build failed (d=%zu)\n", data.dim());
+    std::exit(1);
+  }
+  engine->WarmLeafBlocks();
+  return engine;
+}
+
+bool ResultsIdentical(const std::vector<KnnResult>& a,
+                      const std::vector<KnnResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].size() != b[i].size()) return false;
+    for (std::size_t j = 0; j < a[i].size(); ++j) {
+      if (a[i][j].id != b[i][j].id || a[i][j].distance != b[i][j].distance) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool PagesIdentical(const std::vector<QueryStats>& a,
+                    const std::vector<QueryStats>& b) {
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].total_pages != b[i].total_pages ||
+        a[i].directory_pages != b[i].directory_pages ||
+        a[i].pages_per_disk != b[i].pages_per_disk) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct ModeRun {
+  double wall_ms = 0.0;
+  std::uint64_t base_pruned = 0;
+  std::uint64_t prefix_pruned = 0;
+  std::uint64_t sq8_pruned = 0;
+  std::uint64_t reranked = 0;
+  std::uint64_t cutoff_skipped = 0;
+  std::uint64_t frontier_pushes = 0;
+  PhaseBreakdown phases;  // from the profiled twin, untimed pass
+};
+
+struct DimResult {
+  std::size_t dim = 0;
+  std::uint64_t candidates = 0;  // leaf candidates per batch (quantized)
+  ModeRun exact, sq8, cascade;
+  bool identical = false;  // results + distances + pages, all three modes
+  double cascade_vs_exact = 0.0;
+  double cascade_vs_sq8 = 0.0;
+};
+
+DimResult RunDim(std::size_t dim, std::size_t n, std::size_t num_queries,
+                 std::size_t k, std::size_t disks, int reps) {
+  const PointSet data = MakeAnisotropic(n, dim, 7501 + dim);
+  const PointSet queries =
+      MakeHotSpotQueries(data, num_queries, /*hotspots=*/4, /*jitter=*/0.005,
+                         7503 + dim);
+
+  DimResult out;
+  out.dim = dim;
+  const Mode modes[] = {Mode::kExact, Mode::kSq8, Mode::kCascade};
+  ModeRun* runs[] = {&out.exact, &out.sq8, &out.cascade};
+
+  std::vector<std::vector<KnnResult>> results(3);
+  std::vector<std::vector<QueryStats>> stats(3);
+  for (int mi = 0; mi < 3; ++mi) {
+    // Timed engine: profiler off, so the hot loops never read the clock.
+    const auto engine = MakeEngine(data, disks, modes[mi], /*profile=*/false);
+    results[mi] = engine->QueryBatch(queries, k, &stats[mi], /*threads=*/1);
+    ModeRun& run = *runs[mi];
+    for (const QueryStats& s : stats[mi]) {
+      run.base_pruned += s.base_pruned;
+      run.prefix_pruned += s.prefix_pruned;
+      run.sq8_pruned += s.sq8_pruned;
+      run.reranked += s.reranked;
+      run.cutoff_skipped += s.cutoff_skipped_nodes;
+      run.frontier_pushes += s.frontier_pushes;
+    }
+    run.wall_ms = BestOfMs(
+        reps, [&] { (void)engine->QueryBatch(queries, k, nullptr, 1); });
+
+    // Profiled twin: one untimed pass for the phase breakdown, so the
+    // attribution reflects the same workload without taxing the timing.
+    const auto profiled = MakeEngine(data, disks, modes[mi], /*profile=*/true);
+    (void)profiled->QueryBatch(queries, k, nullptr, 1, nullptr, &run.phases);
+  }
+
+  out.candidates = out.cascade.base_pruned + out.cascade.prefix_pruned +
+                   out.cascade.sq8_pruned + out.cascade.reranked;
+  out.identical = ResultsIdentical(results[0], results[1]) &&
+                  ResultsIdentical(results[0], results[2]) &&
+                  PagesIdentical(stats[0], stats[1]) &&
+                  PagesIdentical(stats[0], stats[2]);
+  // Stage sequencing must not change prune totals or re-rank counts.
+  const std::uint64_t sq8_total = out.sq8.base_pruned + out.sq8.prefix_pruned +
+                                  out.sq8.sq8_pruned + out.sq8.reranked;
+  out.identical = out.identical && sq8_total == out.candidates &&
+                  out.sq8.reranked == out.cascade.reranked;
+  out.cascade_vs_exact = out.cascade.wall_ms > 0.0
+                             ? out.exact.wall_ms / out.cascade.wall_ms
+                             : 0.0;
+  out.cascade_vs_sq8 = out.cascade.wall_ms > 0.0
+                           ? out.sq8.wall_ms / out.cascade.wall_ms
+                           : 0.0;
+  return out;
+}
+
+void PrintPhases(const char* label, const PhaseBreakdown& phases) {
+  std::printf("      %-8s", label);
+  for (std::size_t p = 0; p < kNumPhases; ++p) {
+    std::printf(" %s=%.3f", PhaseName(static_cast<Phase>(p)), phases.ms[p]);
+  }
+  std::printf("  total=%.3f ms\n", phases.total_ms());
+}
+
+void JsonPhases(FILE* json, const PhaseBreakdown& phases) {
+  std::fprintf(json, "{");
+  for (std::size_t p = 0; p < kNumPhases; ++p) {
+    std::fprintf(json, "\"%s\": %.4f%s", PhaseName(static_cast<Phase>(p)),
+                 phases.ms[p], p + 1 < kNumPhases ? ", " : "");
+  }
+  std::fprintf(json, "}");
+}
+
+}  // namespace
+
+int Run(bool smoke) {
+  const std::size_t n = EnvSize("PARSIM_BENCH_N", smoke ? 6000 : 40000);
+  const std::size_t num_queries =
+      EnvSize("PARSIM_BENCH_QUERIES", smoke ? 16 : 64);
+  const std::size_t k = 10;
+  const std::size_t disks = 8;
+  const int reps = smoke ? 2 : 10;
+  const std::size_t dims[] = {8, 16, 32};
+
+  std::printf("== microbench_cascade ==\n");
+  std::printf(
+      "workload: anisotropic n=%zu queries=%zu (hot-spot) k=%zu disks=%zu "
+      "coalesced threads=1%s\n",
+      n, num_queries, k, disks, smoke ? " [smoke]" : "");
+  std::printf("hardware threads: %u\n", std::thread::hardware_concurrency());
+
+  bool all_ok = true;
+  std::vector<DimResult> rows;
+  for (const std::size_t dim : dims) {
+    const DimResult r = RunDim(dim, n, num_queries, k, disks, reps);
+    all_ok = all_ok && r.identical;
+    rows.push_back(r);
+
+    const std::uint64_t after_base = r.candidates - r.cascade.base_pruned;
+    const std::uint64_t after_prefix = after_base - r.cascade.prefix_pruned;
+    std::printf(
+        "\n  d=%2zu: %llu candidates -> base %llu -> prefix %llu -> full "
+        "%llu re-ranked  (cutoff-skipped nodes: %llu)\n",
+        r.dim, static_cast<unsigned long long>(r.candidates),
+        static_cast<unsigned long long>(after_base),
+        static_cast<unsigned long long>(after_prefix),
+        static_cast<unsigned long long>(r.cascade.reranked),
+        static_cast<unsigned long long>(r.cascade.cutoff_skipped));
+    std::printf(
+        "      wall: exact %8.3f ms | sq8 %8.3f ms | cascade %8.3f ms  "
+        "(cascade %.2fx vs exact, %.2fx vs sq8)  identical=%s\n",
+        r.exact.wall_ms, r.sq8.wall_ms, r.cascade.wall_ms, r.cascade_vs_exact,
+        r.cascade_vs_sq8, r.identical ? "yes" : "NO (BUG)");
+    PrintPhases("exact", r.exact.phases);
+    PrintPhases("sq8", r.sq8.phases);
+    PrintPhases("cascade", r.cascade.phases);
+  }
+
+  // --- Acceptance ---------------------------------------------------------
+  double headline = 0.0;
+  for (const DimResult& r : rows) {
+    if (r.dim == 16) headline = r.cascade_vs_exact;
+  }
+  const bool headline_ok = smoke || headline >= 1.3;
+  all_ok = all_ok && headline_ok;
+  std::printf(
+      "\nheadline (end to end, d=16): cascade %.2fx vs exact (>= 1.3 "
+      "required: %s)\n",
+      headline, headline_ok ? "yes" : "NO");
+
+  // --- JSON ---------------------------------------------------------------
+  FILE* json = std::fopen("BENCH_cascade.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_cascade.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n");
+  std::fprintf(json,
+               "  \"workload\": {\"points\": %zu, \"dim\": [8, 16, 32], "
+               "\"queries\": %zu, \"k\": %zu, \"disks\": %zu, "
+               "\"distribution\": \"anisotropic-0.95-decay\", \"smoke\": %s},\n",
+               n, num_queries, k, disks, smoke ? "true" : "false");
+  std::fprintf(json, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(json, "  \"dims\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const DimResult& r = rows[i];
+    std::fprintf(
+        json,
+        "    {\"dim\": %zu, \"candidates\": %llu,\n"
+        "     \"stage_kills\": {\"base\": %llu, \"prefix\": %llu, "
+        "\"full\": %llu}, \"reranked\": %llu,\n"
+        "     \"cutoff_skipped_nodes\": %llu, \"frontier_pushes\": %llu,\n",
+        r.dim, static_cast<unsigned long long>(r.candidates),
+        static_cast<unsigned long long>(r.cascade.base_pruned),
+        static_cast<unsigned long long>(r.cascade.prefix_pruned),
+        static_cast<unsigned long long>(r.cascade.sq8_pruned),
+        static_cast<unsigned long long>(r.cascade.reranked),
+        static_cast<unsigned long long>(r.cascade.cutoff_skipped),
+        static_cast<unsigned long long>(r.cascade.frontier_pushes));
+    std::fprintf(json,
+                 "     \"wall_ms\": {\"exact\": %.4f, \"sq8\": %.4f, "
+                 "\"cascade\": %.4f},\n",
+                 r.exact.wall_ms, r.sq8.wall_ms, r.cascade.wall_ms);
+    std::fprintf(json,
+                 "     \"speedup\": {\"cascade_vs_exact\": %.3f, "
+                 "\"cascade_vs_sq8\": %.3f},\n",
+                 r.cascade_vs_exact, r.cascade_vs_sq8);
+    std::fprintf(json, "     \"phases_ms\": {\"exact\": ");
+    JsonPhases(json, r.exact.phases);
+    std::fprintf(json, ", \"sq8\": ");
+    JsonPhases(json, r.sq8.phases);
+    std::fprintf(json, ", \"cascade\": ");
+    JsonPhases(json, r.cascade.phases);
+    std::fprintf(json, "},\n     \"identical\": %s}%s\n",
+                 r.identical ? "true" : "false",
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(json, "  ],\n");
+  std::fprintf(json,
+               "  \"headline\": {\"dim\": 16, \"cascade_vs_exact\": %.3f, "
+               "\"floor\": 1.3, \"all_checks_passed\": %s}\n",
+               headline, all_ok ? "true" : "false");
+  std::fprintf(json, "}\n");
+  std::fclose(json);
+  std::printf("wrote BENCH_cascade.json\n");
+
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace parsim
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  return parsim::Run(smoke);
+}

@@ -64,12 +64,29 @@ struct ThroughputResult {
 
   // Quantized-sweep aggregates (summed per-query counts). All zero
   // unless the engine runs with quantized_leaf_blocks.
-  /// Leaf candidates the SQ8 lower bound eliminated before exact work.
+  /// Leaf candidates the SQ8 lower bound eliminated before exact work
+  /// (always base_pruned + prefix_pruned + sq8_pruned).
   std::uint64_t quantized_pruned = 0;
+  /// ... of which: killed wholesale by the per-block query bound.
+  std::uint64_t base_pruned = 0;
+  /// ... of which: killed by the prefix-dimension cascade stage.
+  std::uint64_t prefix_pruned = 0;
+  /// ... of which: killed by the full-dimension SQ8 reduction.
+  std::uint64_t sq8_pruned = 0;
   /// Leaf candidates re-ranked through the exact float kernels.
   std::uint64_t reranked = 0;
   /// Bytes leaf sweeps streamed (bookkeeping; not part of makespan).
   std::uint64_t leaf_bytes_scanned = 0;
+
+  // Frontier aggregates (summed per-query counts; HS searches only).
+  std::uint64_t frontier_pushes = 0;
+  std::uint64_t frontier_pops = 0;
+  std::uint64_t cutoff_skipped_nodes = 0;
+
+  /// Wall-clock phase breakdown of the batch execution (summed over all
+  /// workers; all zero unless the engine runs with profile_phases).
+  /// Real time — never compare against makespan_ms.
+  PhaseBreakdown phases;
 
   /// Real (measured) wall-clock execution of the batch on this machine,
   /// alongside the simulated makespan above.

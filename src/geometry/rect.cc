@@ -135,12 +135,17 @@ double Rect::SquaredMinDist(PointView p) const {
   PARSIM_DCHECK(p.size() == dim());
   double sum = 0.0;
   for (std::size_t i = 0; i < lo_.size(); ++i) {
-    double diff = 0.0;
-    if (p[i] < lo_[i]) {
-      diff = static_cast<double>(lo_[i]) - static_cast<double>(p[i]);
-    } else if (p[i] > hi_[i]) {
-      diff = static_cast<double>(p[i]) - static_cast<double>(hi_[i]);
-    }
+    // Branch-free select of the per-dimension gap: exactly one of
+    // {lo - p, p - hi, 0} is positive (or all are <= 0, inside the
+    // slab), so the max IS the value the branchy form picks — same
+    // double, same accumulation order, only without the two
+    // data-dependent branches per dimension that mispredict on
+    // interior-node descent.
+    const double below =
+        static_cast<double>(lo_[i]) - static_cast<double>(p[i]);
+    const double above =
+        static_cast<double>(p[i]) - static_cast<double>(hi_[i]);
+    const double diff = std::max(std::max(below, above), 0.0);
     sum += diff * diff;
   }
   return sum;

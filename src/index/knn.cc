@@ -8,6 +8,7 @@
 #include "src/index/leaf_block.h"
 #include "src/index/leaf_sweep.h"
 #include "src/util/check.h"
+#include "src/util/phase_timer.h"
 
 namespace parsim {
 
@@ -18,28 +19,90 @@ double MinDistComparable(const Rect& rect, PointView query,
     case MetricKind::kL2:
       return rect.SquaredMinDist(query);
     case MetricKind::kL1: {
+      // Branch-free per-dimension gap (see Rect::SquaredMinDist): the
+      // max of {lo - q, q - hi, 0} is the exact value the branchy form
+      // selects, accumulated in the same order. The branchy original
+      // added 0.0 for interior dimensions only implicitly (no add);
+      // adding an explicit +0.0 leaves a finite double sum unchanged.
       double sum = 0.0;
       for (std::size_t i = 0; i < query.size(); ++i) {
-        if (query[i] < rect.lo(i)) {
-          sum += static_cast<double>(rect.lo(i)) - query[i];
-        } else if (query[i] > rect.hi(i)) {
-          sum += static_cast<double>(query[i]) - rect.hi(i);
-        }
+        const double below = static_cast<double>(rect.lo(i)) -
+                             static_cast<double>(query[i]);
+        const double above = static_cast<double>(query[i]) -
+                             static_cast<double>(rect.hi(i));
+        sum += std::max(std::max(below, above), 0.0);
       }
       return sum;
     }
     case MetricKind::kLmax: {
       double best = 0.0;
       for (std::size_t i = 0; i < query.size(); ++i) {
-        double diff = 0.0;
-        if (query[i] < rect.lo(i)) {
-          diff = static_cast<double>(rect.lo(i)) - query[i];
-        } else if (query[i] > rect.hi(i)) {
-          diff = static_cast<double>(query[i]) - rect.hi(i);
-        }
-        best = std::max(best, diff);
+        const double below = static_cast<double>(rect.lo(i)) -
+                             static_cast<double>(query[i]);
+        const double above = static_cast<double>(query[i]) -
+                             static_cast<double>(rect.hi(i));
+        best = std::max(best, std::max(std::max(below, above), 0.0));
       }
       return best;
+    }
+  }
+  PARSIM_UNREACHABLE();
+}
+
+bool MinDistExceeds(const Rect& rect, PointView query, const Metric& metric,
+                    double cutoff, double* out) {
+  PARSIM_DCHECK(rect.dim() == query.size());
+  // Each branch replays the corresponding full-MINDIST loop operation
+  // for operation (L2: Rect::SquaredMinDist; L1/Lmax: MinDistComparable
+  // above), adding only a compare against `cutoff`. The running value is
+  // a nondecreasing accumulation of nonnegative per-dimension terms, so
+  // partial > cutoff implies final > cutoff; and when the loop finishes,
+  // the value is bit-identical to the unbounded computation.
+  switch (metric.kind()) {
+    case MetricKind::kL2: {
+      // Branch-free per-dimension gaps (see Rect::SquaredMinDist) with
+      // the early exit kept: the running value is nondecreasing, so
+      // exiting on a partial value decides exactly what the final value
+      // would, and a completed loop leaves `sum` bit-identical to the
+      // unbounded computation.
+      double sum = 0.0;
+      for (std::size_t i = 0; i < query.size(); ++i) {
+        const double below = static_cast<double>(rect.lo(i)) -
+                             static_cast<double>(query[i]);
+        const double above = static_cast<double>(query[i]) -
+                             static_cast<double>(rect.hi(i));
+        const double diff = std::max(std::max(below, above), 0.0);
+        sum += diff * diff;
+        if (sum > cutoff) return true;
+      }
+      *out = sum;
+      return false;
+    }
+    case MetricKind::kL1: {
+      double sum = 0.0;
+      for (std::size_t i = 0; i < query.size(); ++i) {
+        const double below = static_cast<double>(rect.lo(i)) -
+                             static_cast<double>(query[i]);
+        const double above = static_cast<double>(query[i]) -
+                             static_cast<double>(rect.hi(i));
+        sum += std::max(std::max(below, above), 0.0);
+        if (sum > cutoff) return true;
+      }
+      *out = sum;
+      return false;
+    }
+    case MetricKind::kLmax: {
+      double best = 0.0;
+      for (std::size_t i = 0; i < query.size(); ++i) {
+        const double below = static_cast<double>(rect.lo(i)) -
+                             static_cast<double>(query[i]);
+        const double above = static_cast<double>(query[i]) -
+                             static_cast<double>(rect.hi(i));
+        best = std::max(best, std::max(std::max(below, above), 0.0));
+        if (best > cutoff) return true;
+      }
+      *out = best;
+      return false;
     }
   }
   PARSIM_UNREACHABLE();
@@ -88,6 +151,41 @@ class TopK {
 
 }  // namespace
 
+namespace {
+
+/// A frontier entry: a node (is_point == false) keyed by MINDIST or a
+/// data point keyed by its actual distance, both in the Comparable
+/// scale. The MINDIST is computed once, at push time, and carried in
+/// `key` — never recomputed on pop.
+struct HsItem {
+  double key;
+  bool is_point;
+  std::uint32_t ref;  // NodeId or PointId
+};
+
+struct HsGreaterKey {
+  bool operator()(const HsItem& a, const HsItem& b) const {
+    return a.key > b.key;
+  }
+};
+
+/// Per-thread frontier storage, reused across queries: steady-state
+/// searches push/pop into already-sized vectors instead of reallocating
+/// a fresh priority_queue per query. The explicit push_heap/pop_heap
+/// calls are exactly what std::priority_queue runs internally, so the
+/// pop sequence is unchanged.
+struct HsScratch {
+  std::vector<HsItem> heap;
+  std::vector<double> bound;
+};
+
+HsScratch& HsFrontierScratch() {
+  thread_local HsScratch scratch;
+  return scratch;
+}
+
+}  // namespace
+
 KnnResult HsKnn(const TreeBase& tree, PointView query, std::size_t k,
                 const Metric& metric) {
   PARSIM_CHECK(query.size() == tree.dim());
@@ -95,18 +193,8 @@ KnnResult HsKnn(const TreeBase& tree, PointView query, std::size_t k,
   KnnResult result;
   if (tree.root_id() == kInvalidNodeId) return result;
 
-  // The queue holds nodes (is_point == false) keyed by MINDIST and data
-  // points keyed by their actual distance, both in the Comparable scale.
-  struct Item {
-    double key;
-    bool is_point;
-    std::uint32_t ref;  // NodeId or PointId
-  };
-  const auto greater_key = [](const Item& a, const Item& b) {
-    return a.key > b.key;
-  };
-  std::priority_queue<Item, std::vector<Item>, decltype(greater_key)> queue(
-      greater_key);
+  HsScratch& scratch = HsFrontierScratch();
+  std::vector<HsItem>& heap = scratch.heap;
   // Max-heap of the k smallest point keys pushed so far. A point whose
   // key exceeds its top can never be popped: at least k point items with
   // smaller keys are already queued ahead of it, and the k-th of those
@@ -115,8 +203,13 @@ KnnResult HsKnn(const TreeBase& tree, PointView query, std::size_t k,
   // while keeping the frontier orders of magnitude smaller (the batched
   // scheduler in src/parallel/batch_knn.cc interleaves many frontiers, so
   // their total footprint decides cache residency).
-  std::vector<double> bound;
+  std::vector<double>& bound = scratch.bound;
+  heap.clear();
+  bound.clear();
   bound.reserve(k);
+  std::uint64_t pushes = 0;
+  std::uint64_t pops = 0;
+  std::uint64_t skipped = 0;
   const auto push_point = [&](double key, std::uint32_t id) {
     if (bound.size() < k) {
       bound.push_back(key);
@@ -128,41 +221,74 @@ KnnResult HsKnn(const TreeBase& tree, PointView query, std::size_t k,
       bound.back() = key;
       std::push_heap(bound.begin(), bound.end());
     }
-    queue.push(Item{key, true, id});
+    heap.push_back(HsItem{key, true, id});
+    std::push_heap(heap.begin(), heap.end(), HsGreaterKey{});
+    ++pushes;
   };
-  queue.push(Item{0.0, false, tree.root_id()});
-  while (!queue.empty() && result.size() < k) {
-    const Item item = queue.top();
-    queue.pop();
-    if (item.is_point) {
-      result.push_back(Neighbor{item.ref, metric.FromComparable(item.key)});
-      continue;
+  heap.push_back(HsItem{0.0, false, tree.root_id()});
+  ++pushes;
+  while (!heap.empty() && result.size() < k) {
+    HsItem item;
+    {
+      ScopedPhase phase(Phase::kFrontier);
+      std::pop_heap(heap.begin(), heap.end(), HsGreaterKey{});
+      item = heap.back();
+      heap.pop_back();
+      ++pops;
+      if (item.is_point) {
+        result.push_back(Neighbor{item.ref, metric.FromComparable(item.key)});
+        continue;
+      }
     }
-    const Node& node = tree.AccessNode(item.ref);
-    if (node.IsLeaf()) {
+    const Node* node;
+    {
+      ScopedPhase phase(Phase::kIo);
+      node = &tree.AccessNode(item.ref);
+    }
+    if (node->IsLeaf()) {
       // The sweep's threshold is the running k-th best point key: a
       // candidate strictly above it would be dropped by push_point's
       // frontier bound anyway, so pruning on it preserves the pop
       // sequence bit for bit (see src/index/leaf_sweep.h).
-      const LeafBlock& block = tree.LeafBlockOf(node);
+      const LeafBlock& block = tree.LeafBlockOf(*node);
       tree.ChargeLeafSweep(
-          node, SweepLeafDistances(
-                    block, query, metric,
-                    [&] {
-                      return bound.size() < k
-                                 ? std::numeric_limits<double>::infinity()
-                                 : bound.front();
-                    },
-                    [&](std::size_t i, double key) {
-                      push_point(key, block.ids[i]);
-                    }));
+          *node, SweepLeafDistances(
+                     block, query, metric,
+                     [&] {
+                       return bound.size() < k
+                                  ? std::numeric_limits<double>::infinity()
+                                  : bound.front();
+                     },
+                     [&](std::size_t i, double key) {
+                       push_point(key, block.ids[i]);
+                     }));
     } else {
-      for (const NodeEntry& e : node.entries) {
-        queue.push(
-            Item{MinDistComparable(e.rect, query, metric), false, e.child});
+      // Descent fast path: with the result bound full, a child whose
+      // MINDIST strictly exceeds the k-th best point key can never pop
+      // before the search terminates — the >= k queued point items with
+      // keys <= bound.front() all pop first, and the k-th pop ends the
+      // loop. Skipping its insertion (and bailing out of the MINDIST
+      // accumulation the moment it crosses the bound) changes no pops.
+      // Ties MUST still be pushed: a node with key == bound.front()
+      // could pop before an equal-keyed point under the heap's internal
+      // order, and dropping it could change the visit sequence.
+      ScopedPhase phase(Phase::kDescent);
+      const double cut = bound.size() < k
+                             ? std::numeric_limits<double>::infinity()
+                             : bound.front();
+      for (const NodeEntry& e : node->entries) {
+        double key;
+        if (MinDistExceeds(e.rect, query, metric, cut, &key)) {
+          ++skipped;
+          continue;
+        }
+        heap.push_back(HsItem{key, false, e.child});
+        std::push_heap(heap.begin(), heap.end(), HsGreaterKey{});
+        ++pushes;
       }
     }
   }
+  tree.disk()->RecordFrontier(pushes, pops, skipped);
   return result;
 }
 

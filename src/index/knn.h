@@ -63,6 +63,17 @@ KnnResult BruteForceBallQuery(const PointSet& points, PointView query,
 double MinDistComparable(const Rect& rect, PointView query,
                          const Metric& metric);
 
+/// Early-exit MINDIST against a known cutoff (the descent fast path,
+/// shared by HsKnn and the batched scheduler): returns true iff
+/// MinDistComparable(rect, query, metric) > cutoff, bailing out of the
+/// per-dimension loop as soon as the partial accumulation — a
+/// nondecreasing sum/max of nonnegative terms — already exceeds it.
+/// When it returns false, *out is the full MINDIST, bit-identical to
+/// MinDistComparable (the loops replay its exact operation sequence;
+/// the extra compare changes no arithmetic).
+bool MinDistExceeds(const Rect& rect, PointView query, const Metric& metric,
+                    double cutoff, double* out);
+
 }  // namespace parsim
 
 #endif  // PARSIM_SRC_INDEX_KNN_H_

@@ -53,9 +53,11 @@ struct LeafBlock {
   }
 
   /// Rebuilds this block from `leaf` (entries in order); with `quantize`
-  /// also (re)builds the SQ8 mirror from the gathered coordinates.
+  /// also (re)builds the SQ8 mirror from the gathered coordinates, and
+  /// with `prefix` additionally its default variance-ordered prefix
+  /// stage (the progressive precision cascade's first tier).
   void BuildFrom(const Node& leaf, std::size_t dimension,
-                 bool quantize = false);
+                 bool quantize = false, bool prefix = false);
 };
 
 /// Per-tree cache of leaf blocks, safe for concurrent read-only queries.
@@ -78,6 +80,11 @@ class LeafBlockCache {
   void set_quantize(bool on) { quantize_ = on; }
   bool quantize() const { return quantize_; }
 
+  /// Whether SQ8 mirrors also carry the prefix-dimension cascade stage.
+  /// Same mutation-side contract as set_quantize.
+  void set_prefix(bool on) { prefix_ = on; }
+  bool prefix() const { return prefix_; }
+
   /// The current block of `leaf`, building it if stale or absent.
   const LeafBlock& Get(const Node& leaf, std::size_t dim) const;
 
@@ -98,8 +105,9 @@ class LeafBlockCache {
   /// Starts above the slots' initial built_epoch of 0 so fresh slots
   /// count as stale.
   std::uint64_t epoch_ = 1;
-  /// Mutation-side setting read by Get's (re)builds.
+  /// Mutation-side settings read by Get's (re)builds.
   bool quantize_ = false;
+  bool prefix_ = false;
 };
 
 }  // namespace parsim

@@ -8,6 +8,7 @@
 #include "src/geometry/metric.h"
 #include "src/hilbert/hilbert.h"
 #include "src/util/check.h"
+#include "src/util/thread_pool.h"
 
 namespace parsim {
 
@@ -93,8 +94,26 @@ void TreeBase::ChargeLeafSweep(const Node& node,
                                const LeafSweepStats& sweep) const {
   SimulatedDisk* disk = ResolveRoute(node).disk;
   disk->ChargeDistanceComputations(sweep.exact_distances);
-  disk->RecordLeafSweep(sweep.quantized_pruned, sweep.reranked,
+  disk->RecordLeafSweep(sweep.quantized_pruned, sweep.base_pruned,
+                        sweep.prefix_pruned, sweep.sq8_pruned, sweep.reranked,
                         sweep.leaf_bytes_scanned);
+}
+
+void TreeBase::WarmLeafBlocks(ThreadPool* pool) const {
+  if (root_ == kInvalidNodeId) return;
+  const auto warm = [this](std::size_t i) {
+    const Node& node = *nodes_[i];
+    // Dissolved leaves (condensed away by deletes) keep their slot but
+    // hold no entries; building their empty block would be harmless,
+    // skipping it is cheaper.
+    if (!node.IsLeaf() || node.entries.empty()) return;
+    (void)leaf_blocks_.Get(node, dim_);
+  };
+  if (pool != nullptr && nodes_.size() > 1) {
+    pool->ParallelFor(0, nodes_.size(), warm);
+  } else {
+    for (std::size_t i = 0; i < nodes_.size(); ++i) warm(i);
+  }
 }
 
 const Node& TreeBase::PeekNode(NodeId id) const {

@@ -138,12 +138,26 @@ class SimulatedDisk {
   /// Records one leaf sweep's quantization counters (no simulated time:
   /// these audit the work the SQ8 bound removed or left; exact re-ranks
   /// are charged separately via ChargeDistanceComputations).
-  void RecordLeafSweep(std::uint64_t pruned, std::uint64_t reranked_points,
-                       std::uint64_t bytes) {
+  void RecordLeafSweep(std::uint64_t pruned, std::uint64_t base,
+                       std::uint64_t prefix, std::uint64_t sq8,
+                       std::uint64_t reranked_points, std::uint64_t bytes) {
     DiskStats& sink = Sink();
     sink.quantized_pruned += pruned;
+    sink.base_pruned += base;
+    sink.prefix_pruned += prefix;
+    sink.sq8_pruned += sq8;
     sink.reranked += reranked_points;
     sink.leaf_bytes_scanned += bytes;
+  }
+
+  /// Records one query's HS frontier traffic (no simulated time; audits
+  /// the descent/frontier fast path).
+  void RecordFrontier(std::uint64_t pushes, std::uint64_t pops,
+                      std::uint64_t skipped_nodes) {
+    DiskStats& sink = Sink();
+    sink.frontier_pushes += pushes;
+    sink.frontier_pops += pops;
+    sink.cutoff_skipped_nodes += skipped_nodes;
   }
 
   const DiskStats& stats() const { return stats_; }

@@ -154,6 +154,14 @@ struct DiskStats {
   /// re-ranked survivors, so pruned + reranked recovers the exact path's
   /// distance count for k-NN/ball sweeps.
   std::uint64_t quantized_pruned = 0;
+  /// Per-stage split of quantized_pruned (base_pruned + prefix_pruned +
+  /// sq8_pruned == quantized_pruned): candidates killed by the
+  /// candidate-independent base term alone (whole-block or rest-of-block
+  /// drops, no kernel work), by the prefix-dimension cascade stage, and
+  /// by the full-dimension SQ8 kernel test respectively.
+  std::uint64_t base_pruned = 0;
+  std::uint64_t prefix_pruned = 0;
+  std::uint64_t sq8_pruned = 0;
   /// Leaf candidates that survived the SQ8 bound and went through the
   /// exact float kernel (equals distance_computations' leaf share on the
   /// quantized path).
@@ -163,6 +171,15 @@ struct DiskStats {
   /// quantized path. Bookkeeping only — never enters ElapsedMs; the cost
   /// model stays pages + distance_computations.
   std::uint64_t leaf_bytes_scanned = 0;
+  /// HS frontier traffic booked on this query's behalf: priority-queue
+  /// pushes (points and nodes) and pops. Bookkeeping only — never enters
+  /// ElapsedMs.
+  std::uint64_t frontier_pushes = 0;
+  std::uint64_t frontier_pops = 0;
+  /// Interior children whose MINDIST provably exceeded the running
+  /// k-th-best cutoff and were dropped before frontier insertion (the
+  /// descent fast path; result-neutral, see src/index/knn.cc).
+  std::uint64_t cutoff_skipped_nodes = 0;
 
   std::uint64_t TotalPagesRead() const {
     return data_pages_read + directory_pages_read;
@@ -180,8 +197,14 @@ struct DiskStats {
     coalesced_pages += other.coalesced_pages;
     block_kernel_invocations += other.block_kernel_invocations;
     quantized_pruned += other.quantized_pruned;
+    base_pruned += other.base_pruned;
+    prefix_pruned += other.prefix_pruned;
+    sq8_pruned += other.sq8_pruned;
     reranked += other.reranked;
     leaf_bytes_scanned += other.leaf_bytes_scanned;
+    frontier_pushes += other.frontier_pushes;
+    frontier_pops += other.frontier_pops;
+    cutoff_skipped_nodes += other.cutoff_skipped_nodes;
     return *this;
   }
 };

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <limits>
-#include <queue>
 
 #include "src/index/leaf_block.h"
 #include "src/index/leaf_sweep.h"
@@ -28,7 +27,11 @@ struct QueryState {
       return a.key > b.key;
     }
   };
-  std::priority_queue<Item, std::vector<Item>, GreaterKey> queue;
+  /// Binary min-heap via push_heap/pop_heap with GreaterKey — the exact
+  /// algorithm std::priority_queue runs internally, in reusable storage
+  /// that is reserved once per batch and never reallocated in steady
+  /// state. Identical pop sequence.
+  std::vector<Item> queue;
   /// Max-heap of the k smallest point keys pushed so far — HsKnn's
   /// pruning bound. Points beyond it can never pop before the k-th
   /// result does, so skipping them is invisible to the pop sequence but
@@ -39,6 +42,25 @@ struct QueryState {
   /// The node the frontier needs next; kInvalidNodeId while none.
   NodeId request = kInvalidNodeId;
   bool done = false;
+  /// This query's frontier traffic, booked into its host stats slot when
+  /// the batch finishes (matches HsKnn's RecordFrontier accounting).
+  std::uint64_t frontier_pushes = 0;
+  std::uint64_t frontier_pops = 0;
+  std::uint64_t cutoff_skipped_nodes = 0;
+
+  void Push(const Item& item) {
+    queue.push_back(item);
+    std::push_heap(queue.begin(), queue.end(), GreaterKey{});
+    ++frontier_pushes;
+  }
+
+  Item Pop() {
+    std::pop_heap(queue.begin(), queue.end(), GreaterKey{});
+    const Item item = queue.back();
+    queue.pop_back();
+    ++frontier_pops;
+    return item;
+  }
 
   void PushPoint(double key, std::uint32_t id, std::size_t k) {
     if (bound.size() < k) {
@@ -51,7 +73,14 @@ struct QueryState {
       bound.back() = key;
       std::push_heap(bound.begin(), bound.end());
     }
-    queue.push(Item{key, true, id});
+    Push(Item{key, true, id});
+  }
+
+  /// HsKnn's running comparable-space cutoff: the k-th best point key,
+  /// +inf while fewer than k points were pushed.
+  double Cutoff(std::size_t k) const {
+    return bound.size() < k ? std::numeric_limits<double>::infinity()
+                            : bound.front();
   }
 };
 
@@ -59,10 +88,10 @@ struct QueryState {
 /// points pop into the result, the first node item pauses the query with
 /// `request` set (the round scheduler fetches and expands it).
 void Advance(QueryState* q, std::size_t k, const Metric& metric) {
+  ScopedPhase phase(Phase::kFrontier);
   q->request = kInvalidNodeId;
   while (q->result.size() < k && !q->queue.empty()) {
-    const QueryState::Item item = q->queue.top();
-    q->queue.pop();
+    const QueryState::Item item = q->Pop();
     if (item.is_point) {
       q->result.push_back(Neighbor{item.ref, metric.FromComparable(item.key)});
       continue;
@@ -78,7 +107,7 @@ void Advance(QueryState* q, std::size_t k, const Metric& metric) {
 std::vector<KnnResult> CoalescedHsBatch(
     const TreeBase& tree, const PointSet& queries, std::size_t k,
     const Metric& metric, std::vector<QueryCostAccumulator>* accs,
-    ThreadPool* pool) {
+    ThreadPool* pool, PhaseAccumulator* phases) {
   PARSIM_CHECK(k >= 1);
   PARSIM_CHECK(accs != nullptr && accs->size() == queries.size());
   const std::size_t n = queries.size();
@@ -87,11 +116,16 @@ std::vector<KnnResult> CoalescedHsBatch(
   if (n == 0) return results;
   PARSIM_CHECK(dim == tree.dim());
 
+  // Installs the (possibly null) phase accumulator on the scheduling
+  // thread; pool workers install it again inside `expand` below, since
+  // the capture is thread-local and workers do not inherit it.
+  ScopedPhaseCapture phase_capture(phases);
+
   std::vector<QueryState> states(n);
   if (tree.root_id() != kInvalidNodeId) {
     for (std::size_t i = 0; i < n; ++i) {
-      states[i].queue.push(
-          QueryState::Item{0.0, false, tree.root_id()});
+      states[i].bound.reserve(k);
+      states[i].Push(QueryState::Item{0.0, false, tree.root_id()});
       Advance(&states[i], k, metric);
     }
   } else {
@@ -142,19 +176,22 @@ std::vector<KnnResult> CoalescedHsBatch(
     // failed primary (failed_read_attempts) are paid once per group by
     // the leader — coalescing collapses the per-query retry storm by
     // design.
-    for (Group& g : groups) {
-      const std::size_t leader = requests[g.begin].second;
-      {
-        ScopedCostCapture capture(&(*accs)[leader]);
-        g.accessed = &tree.AccessNode(g.node);
-      }
-      g.route = tree.ResolveRoute(*g.accessed);
-      const std::size_t slot = g.route.disk->id();
-      for (std::size_t m = g.begin + 1; m < g.end; ++m) {
-        DiskStats& s = (*accs)[requests[m].second].slot(slot);
-        s.coalesced_pages += g.accessed->pages;
-        if (g.route.failover) s.replica_pages_read += g.accessed->pages;
-        if (g.route.unavailable) s.unavailable_pages += g.accessed->pages;
+    {
+      ScopedPhase io_phase(Phase::kIo);
+      for (Group& g : groups) {
+        const std::size_t leader = requests[g.begin].second;
+        {
+          ScopedCostCapture capture(&(*accs)[leader]);
+          g.accessed = &tree.AccessNode(g.node);
+        }
+        g.route = tree.ResolveRoute(*g.accessed);
+        const std::size_t slot = g.route.disk->id();
+        for (std::size_t m = g.begin + 1; m < g.end; ++m) {
+          DiskStats& s = (*accs)[requests[m].second].slot(slot);
+          s.coalesced_pages += g.accessed->pages;
+          if (g.route.failover) s.replica_pages_read += g.accessed->pages;
+          if (g.route.unavailable) s.unavailable_pages += g.accessed->pages;
+        }
       }
     }
 
@@ -163,6 +200,10 @@ std::vector<KnnResult> CoalescedHsBatch(
     // groups touch disjoint states/accumulators; leaf blocks come from
     // the tree's concurrent-read-safe cache.
     const auto expand = [&](std::size_t gi) {
+      // Pool workers do not inherit the scheduler thread's thread-local
+      // phase capture; re-install it so their sweep/descent/frontier time
+      // lands in the same batch-level accumulator.
+      ScopedPhaseCapture pc(phases);
       const Group& g = groups[gi];
       const Node& node = *g.accessed;
       const std::size_t members = g.end - g.begin;
@@ -203,6 +244,9 @@ std::vector<KnnResult> CoalescedHsBatch(
           DiskStats& s = (*accs)[qi].slot(slot);
           s.distance_computations += sweeps[m].exact_distances;
           s.quantized_pruned += sweeps[m].quantized_pruned;
+          s.base_pruned += sweeps[m].base_pruned;
+          s.prefix_pruned += sweeps[m].prefix_pruned;
+          s.sq8_pruned += sweeps[m].sq8_pruned;
           s.reranked += sweeps[m].reranked;
           s.leaf_bytes_scanned += sweeps[m].leaf_bytes_scanned;
           s.block_kernel_invocations += 1;
@@ -213,9 +257,21 @@ std::vector<KnnResult> CoalescedHsBatch(
           const std::size_t qi = requests[g.begin + m].second;
           const PointView qv = queries[qi];
           QueryState& state = states[qi];
-          for (const NodeEntry& e : node.entries) {
-            state.queue.push(QueryState::Item{
-                MinDistComparable(e.rect, qv, metric), false, e.child});
+          {
+            ScopedPhase phase(Phase::kDescent);
+            // Fast path: children whose MINDIST strictly exceeds the
+            // member's running k-th-best cutoff can never pop before the
+            // k-th result and are dropped before heap insertion. Ties
+            // MUST still push to preserve the pop sequence (see HsKnn).
+            const double cut = state.Cutoff(k);
+            for (const NodeEntry& e : node.entries) {
+              double key;
+              if (MinDistExceeds(e.rect, qv, metric, cut, &key)) {
+                ++state.cutoff_skipped_nodes;
+                continue;
+              }
+              state.Push(QueryState::Item{key, false, e.child});
+            }
           }
           Advance(&state, k, metric);
         }
@@ -228,7 +284,15 @@ std::vector<KnnResult> CoalescedHsBatch(
     }
   }
 
-  for (std::size_t i = 0; i < n; ++i) results[i] = std::move(states[i].result);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Frontier traffic books into the query's host slot — the same sink
+    // HsKnn's RecordFrontier uses for single-query execution.
+    DiskStats& hs = (*accs)[i].slot((*accs)[i].num_slots() - 1);
+    hs.frontier_pushes += states[i].frontier_pushes;
+    hs.frontier_pops += states[i].frontier_pops;
+    hs.cutoff_skipped_nodes += states[i].cutoff_skipped_nodes;
+    results[i] = std::move(states[i].result);
+  }
   return results;
 }
 

@@ -36,6 +36,7 @@
 #include "src/index/knn.h"
 #include "src/index/tree_base.h"
 #include "src/io/cost_capture.h"
+#include "src/util/phase_timer.h"
 #include "src/util/thread_pool.h"
 
 namespace parsim {
@@ -45,11 +46,15 @@ namespace parsim {
 /// num_disks + 1 (the engine's layout); per-query charges land there.
 /// `pool` parallelizes the expansion phase (nullptr or a single group
 /// per round = serial). Results are bit-identical to per-query HsKnn.
+/// When `phases` is non-null, wall-clock time is attributed to it per
+/// phase (src/util/phase_timer.h), summed over all worker threads —
+/// batch-level only, since coalesced rounds interleave all queries.
 std::vector<KnnResult> CoalescedHsBatch(const TreeBase& tree,
                                         const PointSet& queries,
                                         std::size_t k, const Metric& metric,
                                         std::vector<QueryCostAccumulator>* accs,
-                                        ThreadPool* pool);
+                                        ThreadPool* pool,
+                                        PhaseAccumulator* phases = nullptr);
 
 }  // namespace parsim
 

@@ -73,7 +73,10 @@ ParallelSearchEngine::ParallelSearchEngine(
   if (options_.quantized_leaf_blocks) {
     // Tree architectures only: kFederatedScan sweeps packed pages, not
     // leaf blocks, so the loop is empty there and the flag is a no-op.
-    for (auto& t : trees_) t->set_quantized_leaf_blocks(true);
+    for (auto& t : trees_) {
+      t->set_quantized_leaf_blocks(true);
+      t->set_sq8_prefix_stage(options_.cascade_prefix_stage);
+    }
   }
 }
 
@@ -82,9 +85,13 @@ ParallelSearchEngine::~ParallelSearchEngine() = default;
 std::unique_ptr<TreeBase> ParallelSearchEngine::MakeTree(
     SimulatedDisk* disk) const {
   if (options_.tree_kind == TreeKind::kRStarTree) {
-    return std::make_unique<RStarTree>(dim_, disk);
+    TreeOptions tree_options;
+    tree_options.bulk_load_fill = options_.bulk_load_fill;
+    return std::make_unique<RStarTree>(dim_, disk, tree_options);
   }
-  return std::make_unique<XTree>(dim_, disk);
+  XTreeOptions xtree_options;
+  xtree_options.bulk_load_fill = options_.bulk_load_fill;
+  return std::make_unique<XTree>(dim_, disk, xtree_options);
 }
 
 std::uint32_t ParallelSearchEngine::num_disks() const {
@@ -110,15 +117,46 @@ DiskId ParallelSearchEngine::DiskOfLeaf(const Node& leaf) const {
   return declusterer_->DiskOfPoint(center, leaf.id);
 }
 
+void ParallelSearchEngine::InvalidateLeafRoutes() {
+  if (options_.architecture != Architecture::kSharedTree || trees_.empty()) {
+    return;
+  }
+  const std::size_t n = trees_[0]->num_nodes();
+  // make_unique value-initializes, so every slot starts invalid (0).
+  leaf_routes_ = std::make_unique<std::atomic<std::uint64_t>[]>(n);
+  leaf_routes_size_ = n;
+}
+
 TreeBase::DiskRoute ParallelSearchEngine::RouteLeaf(const Node& leaf) const {
   PARSIM_DCHECK(leaf.IsLeaf());
-  const Point center = leaf.ComputeMbr(dim_).Center();
-  const DiskId primary_id = declusterer_->DiskOfPoint(center, leaf.id);
+  // The declustering color and replica bucket are pure functions of the
+  // leaf's MBR center; the memoized word skips the per-access MBR fold.
+  // Fault checks below stay live — only geometry is cached.
+  constexpr std::uint64_t kValid = std::uint64_t{1} << 63;
+  std::atomic<std::uint64_t>* slot =
+      leaf.id < leaf_routes_size_ ? &leaf_routes_[leaf.id] : nullptr;
+  const std::uint64_t packed =
+      slot != nullptr ? slot->load(std::memory_order_relaxed) : 0;
+  DiskId primary_id;
+  BucketId bucket;
+  if (packed & kValid) {
+    primary_id = static_cast<DiskId>(packed & 0xffff);
+    bucket = static_cast<BucketId>((packed >> 16) & 0xffffffff);
+  } else {
+    const Point center = leaf.ComputeMbr(dim_).Center();
+    primary_id = declusterer_->DiskOfPoint(center, leaf.id);
+    bucket = replicas_ != nullptr ? replicas_->bucketizer().BucketOf(center)
+                                  : BucketId{0};
+    if (slot != nullptr && primary_id < (DiskId{1} << 16)) {
+      slot->store(kValid | (static_cast<std::uint64_t>(bucket) << 16) |
+                      primary_id,
+                  std::memory_order_relaxed);
+    }
+  }
   SimulatedDisk& primary = disks_.disk(primary_id);
   if (!primary.is_failed()) return TreeBase::DiskRoute{&primary};
   if (replicas_ != nullptr) {
-    const DiskId replica_id = replicas_->ReplicaFor(
-        replicas_->bucketizer().BucketOf(center), primary_id);
+    const DiskId replica_id = replicas_->ReplicaFor(bucket, primary_id);
     SimulatedDisk& replica = disks_.disk(replica_id);
     if (!replica.is_failed()) {
       TreeBase::DiskRoute route{&replica};
@@ -201,6 +239,7 @@ Status ParallelSearchEngine::Build(const PointSet& points) {
   build_stats_ += host_.stats();
   disks_.ResetStats();
   host_.ResetStats();
+  InvalidateLeafRoutes();
   return Status::Ok();
 }
 
@@ -211,6 +250,7 @@ Status ParallelSearchEngine::Insert(PointView p, PointId id) {
   if (options_.architecture == Architecture::kSharedTree) {
     Status s = trees_[0]->Insert(p, id);
     if (!s.ok()) return s;
+    InvalidateLeafRoutes();
   } else if (options_.architecture == Architecture::kFederatedScan) {
     const DiskId disk = declusterer_->DiskOfPoint(p, id);
     PARSIM_CHECK(disk < scan_partitions_.size());
@@ -233,6 +273,9 @@ Status ParallelSearchEngine::Remove(PointView p, PointId id) {
   Status s = Status::Ok();
   if (options_.architecture == Architecture::kSharedTree) {
     s = trees_[0]->Delete(p, id);
+    // Even a NotFound delete may have reorganized nodes on its way down
+    // (condensation re-inserts); drop the memoized routes either way.
+    InvalidateLeafRoutes();
   } else if (options_.architecture == Architecture::kFederatedScan) {
     const DiskId disk = declusterer_->DiskOfPoint(p, id);
     PARSIM_CHECK(disk < scan_partitions_.size());
@@ -319,8 +362,14 @@ QueryStats ParallelSearchEngine::StatsFromAccumulator(
   stats.coalesced_reads = host.coalesced_pages;
   stats.block_kernel_invocations = host.block_kernel_invocations;
   stats.quantized_pruned = host.quantized_pruned;
+  stats.base_pruned = host.base_pruned;
+  stats.prefix_pruned = host.prefix_pruned;
+  stats.sq8_pruned = host.sq8_pruned;
   stats.reranked = host.reranked;
   stats.leaf_bytes_scanned = host.leaf_bytes_scanned;
+  stats.frontier_pushes = host.frontier_pushes;
+  stats.frontier_pops = host.frontier_pops;
+  stats.cutoff_skipped_nodes = host.cutoff_skipped_nodes;
   stats.pages_per_disk.reserve(n);
   double max_ms = 0.0;
   double sum_ms = 0.0;
@@ -347,8 +396,14 @@ QueryStats ParallelSearchEngine::StatsFromAccumulator(
     stats.coalesced_reads += s.coalesced_pages;
     stats.block_kernel_invocations += s.block_kernel_invocations;
     stats.quantized_pruned += s.quantized_pruned;
+    stats.base_pruned += s.base_pruned;
+    stats.prefix_pruned += s.prefix_pruned;
+    stats.sq8_pruned += s.sq8_pruned;
     stats.reranked += s.reranked;
     stats.leaf_bytes_scanned += s.leaf_bytes_scanned;
+    stats.frontier_pushes += s.frontier_pushes;
+    stats.frontier_pops += s.frontier_pops;
+    stats.cutoff_skipped_nodes += s.cutoff_skipped_nodes;
     stats.pages_per_disk.push_back(pages);
   }
   stats.parallel_ms = host_ms + max_ms;
@@ -490,9 +545,13 @@ KnnResult ParallelSearchEngine::Query(PointView query, std::size_t k,
   PARSIM_CHECK(query.size() == dim_);
   PARSIM_CHECK(k >= 1);
   QueryCostAccumulator acc(disks_.size() + 1);
+  PhaseAccumulator phase_acc;
+  PhaseAccumulator* phase_sink =
+      options_.profile_phases ? &phase_acc : nullptr;
   KnnResult merged;
   {
     ScopedCostCapture capture(&acc);
+    ScopedPhaseCapture phase_capture(phase_sink);
     if (options_.architecture == Architecture::kSharedTree) {
       merged = RunKnn(*trees_[0], query, k);
     } else if (options_.architecture == Architecture::kFederatedScan) {
@@ -511,6 +570,7 @@ KnnResult ParallelSearchEngine::Query(PointView query, std::size_t k,
         EnsurePool(workers)->ParallelFor(
             0, trees_.size(), [&](std::size_t i) {
               ScopedCostCapture worker_capture(&acc);
+              ScopedPhaseCapture worker_phases(phase_sink);
               if (trees_[i]->empty()) return;
               if (SkipFailedDisk(static_cast<DiskId>(i), 1)) return;
               local[i] = RunKnn(*trees_[i], query, k);
@@ -533,7 +593,12 @@ KnnResult ParallelSearchEngine::Query(PointView query, std::size_t k,
       if (merged.size() > k) merged.resize(k);
     }
   }
-  if (stats != nullptr) *stats = StatsFromAccumulator(acc);
+  if (stats != nullptr) {
+    *stats = StatsFromAccumulator(acc);
+    if (phase_sink != nullptr) {
+      stats->phases = PhaseBreakdown::From(phase_acc);
+    }
+  }
   MergeAccumulator(acc);
   return merged;
 }
@@ -552,13 +617,21 @@ Status ParallelSearchEngine::TryQuery(PointView query, std::size_t k,
   return Status::Ok();
 }
 
+void ParallelSearchEngine::WarmLeafBlocks(unsigned threads) const {
+  std::shared_ptr<ThreadPool> pool;
+  if (threads > 1) pool = EnsurePool(threads);
+  for (const auto& t : trees_) t->WarmLeafBlocks(pool.get());
+}
+
 std::vector<KnnResult> ParallelSearchEngine::QueryBatch(
     const PointSet& queries, std::size_t k, std::vector<QueryStats>* stats,
-    unsigned threads, unsigned* effective_threads) const {
+    unsigned threads, unsigned* effective_threads,
+    PhaseBreakdown* phases) const {
   PARSIM_CHECK(queries.empty() || queries.dim() == dim_);
   std::vector<KnnResult> results(queries.size());
   if (stats != nullptr) stats->assign(queries.size(), QueryStats{});
   if (effective_threads != nullptr) *effective_threads = 1;
+  if (phases != nullptr) *phases = PhaseBreakdown{};
   if (queries.empty()) return results;
 
   unsigned effective = threads != 0 ? threads : options_.parallel_workers;
@@ -592,23 +665,42 @@ std::vector<KnnResult> ParallelSearchEngine::QueryBatch(
     }
     std::shared_ptr<ThreadPool> pool;
     if (effective > 1) pool = EnsurePool(effective);
-    results = CoalescedHsBatch(*trees_[0], queries, k, options_.metric,
-                               &accs, pool.get());
+    // Coalesced rounds interleave every query, so the phase breakdown is
+    // batch-level only; per-query stats[i].phases stays zero here.
+    PhaseAccumulator phase_acc;
+    results = CoalescedHsBatch(
+        *trees_[0], queries, k, options_.metric, &accs, pool.get(),
+        options_.profile_phases ? &phase_acc : nullptr);
     for (std::size_t i = 0; i < queries.size(); ++i) {
       if (stats != nullptr) (*stats)[i] = StatsFromAccumulator(accs[i]);
       MergeAccumulator(accs[i]);
     }
+    if (phases != nullptr && options_.profile_phases) {
+      *phases = PhaseBreakdown::From(phase_acc);
+    }
     return results;
   }
 
+  // The per-query path takes the batch breakdown as the sum of the
+  // per-query ones; that needs per-query stats even when the caller did
+  // not ask for them.
+  std::vector<QueryStats> local_stats;
+  std::vector<QueryStats>* stats_out = stats;
+  if (stats_out == nullptr && phases != nullptr) {
+    local_stats.assign(queries.size(), QueryStats{});
+    stats_out = &local_stats;
+  }
   const auto run_one = [&](std::size_t i) {
     results[i] =
-        Query(queries[i], k, stats != nullptr ? &(*stats)[i] : nullptr);
+        Query(queries[i], k, stats_out != nullptr ? &(*stats_out)[i] : nullptr);
   };
   if (effective <= 1) {
     for (std::size_t i = 0; i < queries.size(); ++i) run_one(i);
   } else {
     EnsurePool(effective)->ParallelFor(0, queries.size(), run_one);
+  }
+  if (phases != nullptr && stats_out != nullptr) {
+    for (const QueryStats& s : *stats_out) *phases += s.phases;
   }
   return results;
 }

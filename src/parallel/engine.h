@@ -30,6 +30,8 @@
 #ifndef PARSIM_SRC_PARALLEL_ENGINE_H_
 #define PARSIM_SRC_PARALLEL_ENGINE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -41,6 +43,7 @@
 #include "src/index/tree_base.h"
 #include "src/io/cost_capture.h"
 #include "src/io/disk_array.h"
+#include "src/util/phase_timer.h"
 #include "src/util/status.h"
 #include "src/util/thread_pool.h"
 
@@ -138,6 +141,28 @@ struct EngineOptions {
   /// leaf_bytes_scanned counters audit the saving. Tree architectures
   /// only (kFederatedScan has no leaf blocks and ignores the flag).
   bool quantized_leaf_blocks = false;
+  /// Give every SQ8 mirror a variance-ordered prefix-dimension stage and
+  /// run the progressive precision cascade in leaf sweeps: a d'-dim
+  /// integer kernel kills most candidates before the full-d SQ8 kernel
+  /// sees the survivors, which then feed the exact re-rank as before.
+  /// Results, distances and page counts stay bit-identical; only
+  /// leaf_bytes_scanned and the stage-attribution counters
+  /// (prefix_pruned / sq8_pruned) change. No effect unless
+  /// quantized_leaf_blocks is also set.
+  bool cascade_prefix_stage = true;
+  /// Attribute wall-clock time to query phases (descent, frontier ops,
+  /// simulated-I/O accounting, leaf-sweep stages; see
+  /// src/util/phase_timer.h) and report it in QueryStats::phases /
+  /// ThroughputResult::phases. Off by default: the timer is cheap (two
+  /// steady_clock reads per scope) but not free, so timed benchmark runs
+  /// keep it off and take the breakdown from a separate profiled pass.
+  bool profile_phases = false;
+  /// Leaf fill fraction handed to BulkLoad (TreeOptions::bulk_load_fill).
+  /// The R*-style 0.7 leaves headroom for later inserts; a read-only
+  /// bulk-loaded index packs pages full at 1.0, which cuts both the page
+  /// count and the per-row share of descent/frontier work. Only used
+  /// when bulk_load is set.
+  double bulk_load_fill = 0.7;
   DiskParameters disk_parameters{};
   Metric metric{};
 };
@@ -192,7 +217,18 @@ struct QueryStats {
   // Quantized-sweep accounting. All zero unless the engine was built
   // with quantized_leaf_blocks.
   /// Leaf candidates the SQ8 lower bound eliminated before exact work.
+  /// Always base_pruned + prefix_pruned + sq8_pruned — the same total
+  /// whether or not the prefix stage is enabled.
   std::uint64_t quantized_pruned = 0;
+  /// ... of which: killed wholesale by the per-block query bound (the
+  /// block's best case already missed the threshold; no per-candidate
+  /// kernel work at all).
+  std::uint64_t base_pruned = 0;
+  /// ... of which: killed by the prefix-dimension first pass (cascade
+  /// stage 1). Zero unless cascade_prefix_stage built a prefix.
+  std::uint64_t prefix_pruned = 0;
+  /// ... of which: killed by the full-dimension SQ8 reduction.
+  std::uint64_t sq8_pruned = 0;
   /// Leaf candidates re-ranked through the exact float kernel. For
   /// k-NN/ball sweeps, quantized_pruned + reranked equals the exact
   /// path's leaf distance_computations.
@@ -201,6 +237,21 @@ struct QueryStats {
   /// the quantized path; full float rows otherwise). Bookkeeping only —
   /// never part of the simulated-time model.
   std::uint64_t leaf_bytes_scanned = 0;
+
+  // Frontier accounting (HS best-first search; zero under kRkv and the
+  // scan architecture). Bookkeeping only.
+  /// Items pushed onto the best-first priority queue (nodes + points).
+  std::uint64_t frontier_pushes = 0;
+  /// Items popped from it.
+  std::uint64_t frontier_pops = 0;
+  /// Interior children dropped before heap insertion because their
+  /// MINDIST strictly exceeded the running k-th-best cutoff.
+  std::uint64_t cutoff_skipped_nodes = 0;
+
+  /// Wall-clock time by phase (all zero unless the engine was built with
+  /// profile_phases). Real time, not simulated time — never compare it
+  /// against parallel_ms.
+  PhaseBreakdown phases;
 };
 
 /// A parallel k-NN search engine over declustered data.
@@ -264,10 +315,20 @@ class ParallelSearchEngine {
   /// reproducible. `effective_threads` (optional) receives the worker
   /// count the batch actually executed on (1 = serial), e.g. 1 for a
   /// buffered engine in deterministic mode whatever `threads` says.
+  /// `phases` (optional; requires options().profile_phases) receives the
+  /// batch-level wall-clock phase breakdown summed over all workers.
   std::vector<KnnResult> QueryBatch(const PointSet& queries, std::size_t k,
                                     std::vector<QueryStats>* stats = nullptr,
                                     unsigned threads = 0,
-                                    unsigned* effective_threads = nullptr) const;
+                                    unsigned* effective_threads = nullptr,
+                                    PhaseBreakdown* phases = nullptr) const;
+
+  /// Prebuilds every leaf's SoA block (and SQ8 mirror + prefix stage,
+  /// when enabled) on all trees, over `threads` pool workers when > 1.
+  /// Charges nothing. Benchmarks and the throughput harness call this so
+  /// timed runs measure steady state rather than first-touch block
+  /// construction; safe to omit otherwise.
+  void WarmLeafBlocks(unsigned threads = 0) const;
 
   /// All point ids inside `query` (inclusive). The query type the
   /// baseline declusterers were designed for (Section 1: "range queries
@@ -337,6 +398,13 @@ class ParallelSearchEngine {
   /// primary flagged unavailable when no healthy copy exists.
   TreeBase::DiskRoute RouteLeaf(const Node& leaf) const;
 
+  /// Drops every memoized leaf route and resizes the cache to the shared
+  /// tree's current node count. Call after any structural change (Build,
+  /// Insert, Remove) — leaf MBRs may have moved, and with them the
+  /// declustering color. Mutation-side only: must not race with queries
+  /// (the tree family's standing contract).
+  void InvalidateLeafRoutes();
+
   /// Federated fault handling (no replicas there): if disk `d` is
   /// failed, records `pages` unavailable on it and returns true (the
   /// caller skips the partition).
@@ -357,6 +425,17 @@ class ParallelSearchEngine {
   std::unique_ptr<Declusterer> declusterer_;
   EngineOptions options_;
   std::unique_ptr<ReplicaPlacement> replicas_;
+  /// Memoized shared-tree leaf routing, one packed word per node id:
+  /// bit 63 = valid, bits 16..47 = replica bucket, bits 0..15 = primary
+  /// disk. The route of a leaf is a pure function of its MBR (center ->
+  /// declustering color), but recomputing the MBR on every node access
+  /// costs a fold over the page's entries — it showed up as ~40% of
+  /// end-to-end batch time before memoization. Queries fill slots
+  /// racing-but-idempotent (every thread computes the same word, relaxed
+  /// atomics keep TSAN happy); fault state stays OUT of the word, so
+  /// SetFaultPlan needs no invalidation.
+  mutable std::unique_ptr<std::atomic<std::uint64_t>[]> leaf_routes_;
+  std::size_t leaf_routes_size_ = 0;
   // buffer_pool_ must outlive disks_ and host_ (attached shards), which
   // must outlive the trees (raw pointers inside).
   std::unique_ptr<BufferPool> buffer_pool_;

@@ -46,6 +46,7 @@
 #include "src/io/disk_model.h"
 #include "src/parallel/batch_knn.h"
 #include "src/parallel/engine.h"
+#include "src/util/phase_timer.h"
 #include "src/util/random.h"
 #include "src/util/status.h"
 #include "src/util/stopwatch.h"

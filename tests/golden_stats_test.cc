@@ -52,8 +52,14 @@ void AppendQueryStats(std::ostringstream* out, const QueryStats& stats) {
        << " coalesced_reads=" << stats.coalesced_reads
        << " block_kernel_invocations=" << stats.block_kernel_invocations
        << " quantized_pruned=" << stats.quantized_pruned
+       << " base_pruned=" << stats.base_pruned
+       << " prefix_pruned=" << stats.prefix_pruned
+       << " sq8_pruned=" << stats.sq8_pruned
        << " reranked=" << stats.reranked
        << " leaf_bytes_scanned=" << stats.leaf_bytes_scanned
+       << " frontier_pushes=" << stats.frontier_pushes
+       << " frontier_pops=" << stats.frontier_pops
+       << " cutoff_skipped_nodes=" << stats.cutoff_skipped_nodes
        << " pages_per_disk=";
   for (std::size_t d = 0; d < stats.pages_per_disk.size(); ++d) {
     *out << (d == 0 ? "" : ",") << stats.pages_per_disk[d];

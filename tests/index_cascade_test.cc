@@ -1,0 +1,594 @@
+// The progressive precision cascade vs the SQ8-only and exact paths it
+// must be indistinguishable from.
+//
+// The cascade rests on one inequality — a prefix-dimension reduction is
+// a subset of the full reduction's nonnegative per-dimension terms, so
+// the SAME query-side Sq8Bound applied to the prefix reduction is still
+// a comparable-space lower bound — and one consequence: stage
+// sequencing is invisible in results, distances, prune totals, and page
+// counts. These properties pin both, for ANY distinct-dimension prefix
+// ordering (the variance policy is a performance choice, not a
+// soundness requirement), across all three metrics, adversarial data
+// placements, and every execution shape (single-query, batched
+// coalesced, threaded). The frontier fast path and the phase profiler
+// ride the same harness.
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <numeric>
+#include <random>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/near_optimal.h"
+#include "src/geometry/metric.h"
+#include "src/geometry/sq8.h"
+#include "src/index/knn.h"
+#include "src/index/leaf_sweep.h"
+#include "src/index/xtree.h"
+#include "src/parallel/engine.h"
+#include "src/util/phase_timer.h"
+#include "src/workload/generators.h"
+
+namespace parsim {
+namespace {
+
+constexpr MetricKind kAllKinds[] = {MetricKind::kL1, MetricKind::kL2,
+                                    MetricKind::kLmax};
+
+void ExpectBitIdentical(const KnnResult& got, const KnnResult& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].distance, want[i].distance) << "rank " << i;
+  }
+  std::vector<PointId> got_ids, want_ids;
+  for (const auto& n : got) got_ids.push_back(n.id);
+  for (const auto& n : want) want_ids.push_back(n.id);
+  std::sort(got_ids.begin(), got_ids.end());
+  std::sort(want_ids.begin(), want_ids.end());
+  EXPECT_EQ(got_ids, want_ids);
+}
+
+/// Affine-transforms a generated point set: x -> x * spread + offset.
+PointSet Transform(const PointSet& in, double spread, double offset) {
+  PointSet out(in.dim());
+  std::vector<Scalar> row(in.dim());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const PointView p = in[i];
+    for (std::size_t d = 0; d < in.dim(); ++d) {
+      row[d] = static_cast<Scalar>(static_cast<double>(p[d]) * spread + offset);
+    }
+    out.Add(PointView{row.data(), row.size()});
+  }
+  return out;
+}
+
+/// Anisotropic data — dimension j's spread decays geometrically — so the
+/// variance-ordered prefix has something real to find.
+PointSet MakeAnisotropic(std::size_t n, std::size_t dim, unsigned seed) {
+  const PointSet base = GenerateUniform(n, dim, seed);
+  PointSet out(dim);
+  std::vector<Scalar> row(dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    const PointView p = base[i];
+    double spread = 1.0;
+    for (std::size_t d = 0; d < dim; ++d) {
+      row[d] = static_cast<Scalar>(static_cast<double>(p[d]) * spread);
+      spread *= 0.8;
+    }
+    out.Add(PointView{row.data(), row.size()});
+  }
+  return out;
+}
+
+/// The prefix-stage reduction computed the slow, obvious way: the
+/// metric's per-dimension integer term summed (or maxed) over exactly
+/// the prefix dimensions.
+std::uint32_t PrefixReductionReference(MetricKind kind,
+                                       const std::uint8_t* qcodes,
+                                       const std::uint8_t* row,
+                                       const std::uint16_t* order,
+                                       std::size_t d_prime) {
+  std::uint32_t acc = 0;
+  for (std::size_t p = 0; p < d_prime; ++p) {
+    const std::size_t j = order[p];
+    const std::uint32_t diff = qcodes[j] > row[j]
+                                   ? std::uint32_t{qcodes[j]} - row[j]
+                                   : std::uint32_t{row[j]} - qcodes[j];
+    switch (kind) {
+      case MetricKind::kL1:
+        acc += diff;
+        break;
+      case MetricKind::kL2:
+        acc += diff * diff;
+        break;
+      case MetricKind::kLmax:
+        acc = std::max(acc, diff);
+        break;
+    }
+  }
+  return acc;
+}
+
+std::uint32_t FullReductionReference(MetricKind kind,
+                                     const std::uint8_t* qcodes,
+                                     const std::uint8_t* row,
+                                     std::size_t dim) {
+  std::vector<std::uint16_t> all(dim);
+  std::iota(all.begin(), all.end(), std::uint16_t{0});
+  return PrefixReductionReference(kind, qcodes, row, all.data(), dim);
+}
+
+class CascadePropertyTest : public ::testing::TestWithParam<std::size_t> {};
+
+// The core soundness property, for ANY distinct-dimension ordering: the
+// prefix reduction never exceeds the full reduction (subset of
+// nonnegative terms), and the query's Sq8Bound applied to it is still a
+// lower bound on the exact comparable distance. Orderings are
+// adversarial on purpose — lowest-variance-first, identity, random —
+// because the theorem must not depend on the variance policy.
+TEST_P(CascadePropertyTest, PrefixBoundSoundForAdversarialOrderings) {
+  const std::size_t dim = GetParam();
+  const PointSet base = MakeAnisotropic(120, dim, 4101 + dim);
+  struct Placement {
+    const char* name;
+    PointSet points;
+  };
+  const Placement placements[] = {
+      {"unit", Transform(base, 1.0, 0.0)},
+      {"offset", Transform(base, 1000.0, -500.0)},
+      {"tiny", Transform(base, 1e-5, 0.7)},
+  };
+
+  // Candidate orderings over distinct dimensions.
+  std::vector<std::vector<std::uint16_t>> orderings;
+  std::vector<std::uint16_t> identity(dim);
+  std::iota(identity.begin(), identity.end(), std::uint16_t{0});
+  orderings.push_back(identity);
+  std::vector<std::uint16_t> reversed(identity.rbegin(), identity.rend());
+  orderings.push_back(reversed);  // lowest-variance-first under decay
+  std::mt19937 rng(77 + static_cast<unsigned>(dim));
+  for (int r = 0; r < 2; ++r) {
+    std::vector<std::uint16_t> shuffled = identity;
+    std::shuffle(shuffled.begin(), shuffled.end(), rng);
+    orderings.push_back(shuffled);
+  }
+
+  for (const Placement& placement : placements) {
+    SCOPED_TRACE(placement.name);
+    const PointSet& data = placement.points;
+    PointSet queries(dim);
+    for (std::size_t i = 0; i < 4; ++i) queries.Add(data[i * 5]);
+    const PointSet fresh = GenerateUniformQueries(4, dim, 4203 + dim);
+    for (std::size_t i = 0; i < fresh.size(); ++i) queries.Add(fresh[i]);
+
+    for (const std::vector<std::uint16_t>& order : orderings) {
+      for (const std::size_t d_prime : {std::size_t{1}, dim / 2, dim}) {
+        if (d_prime == 0) continue;
+        Sq8Mirror mirror;
+        mirror.BuildFrom(data.data(), data.size(), dim);
+        mirror.BuildPrefix(order.data(), d_prime);
+        ASSERT_EQ(mirror.prefix_dim, d_prime);
+
+        std::vector<std::uint8_t> qcodes(dim);
+        for (const MetricKind kind : kAllKinds) {
+          const Metric metric(kind);
+          for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+            const Sq8Bound bound =
+                PrepareSq8Query(mirror, queries[qi], kind, qcodes.data());
+            for (std::size_t i = 0; i < mirror.count; ++i) {
+              const std::uint32_t prefix_red = PrefixReductionReference(
+                  kind, qcodes.data(), mirror.row(i), order.data(), d_prime);
+              const std::uint32_t full_red = FullReductionReference(
+                  kind, qcodes.data(), mirror.row(i), dim);
+              ASSERT_LE(prefix_red, full_red);
+              const double exact = metric.Comparable(queries[qi], data[i]);
+              ASSERT_LE(bound.LowerBound(prefix_red), exact)
+                  << "metric " << static_cast<int>(kind) << " query " << qi
+                  << " point " << i << " d'=" << d_prime;
+              // The gathered prefix rows agree with gathering on the fly.
+              std::uint32_t gathered = 0;
+              for (std::size_t p = 0; p < d_prime; ++p) {
+                const std::uint8_t qa = qcodes[order[p]];
+                const std::uint8_t pb = mirror.prefix_row(i)[p];
+                const std::uint32_t diff =
+                    qa > pb ? std::uint32_t{qa} - pb : std::uint32_t{pb} - qa;
+                switch (kind) {
+                  case MetricKind::kL1:
+                    gathered += diff;
+                    break;
+                  case MetricKind::kL2:
+                    gathered += diff * diff;
+                    break;
+                  case MetricKind::kLmax:
+                    gathered = std::max(gathered, diff);
+                    break;
+                }
+              }
+              ASSERT_EQ(gathered, prefix_red);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// The default policy: d' = 8 when dim >= 16, 4 when dim >= 8, none
+// below; dimensions distinct, in bounds, ordered by non-increasing
+// integer code variance.
+TEST_P(CascadePropertyTest, DefaultPrefixFollowsVariancePolicy) {
+  const std::size_t dim = GetParam();
+  const PointSet data = MakeAnisotropic(200, dim, 4301 + dim);
+  Sq8Mirror mirror;
+  mirror.BuildFrom(data.data(), data.size(), dim);
+  mirror.BuildDefaultPrefix();
+
+  const std::size_t want = dim >= 16 ? 8 : (dim >= 8 ? 4 : 0);
+  ASSERT_EQ(mirror.prefix_dim, want);
+  if (want == 0) {
+    EXPECT_TRUE(mirror.order.empty());
+    EXPECT_TRUE(mirror.prefix_codes.empty());
+    return;
+  }
+  ASSERT_EQ(mirror.order.size(), want);
+  std::vector<bool> seen(dim, false);
+  for (const std::uint16_t j : mirror.order) {
+    ASSERT_LT(j, dim);
+    ASSERT_FALSE(seen[j]);
+    seen[j] = true;
+  }
+  // Exact integer variance n * sum(c^2) - sum(c)^2, non-increasing along
+  // the chosen order.
+  std::vector<std::uint64_t> var(dim, 0);
+  {
+    std::vector<std::uint64_t> sum(dim, 0), sum_sq(dim, 0);
+    for (std::size_t i = 0; i < mirror.count; ++i) {
+      const std::uint8_t* row = mirror.row(i);
+      for (std::size_t j = 0; j < dim; ++j) {
+        sum[j] += row[j];
+        sum_sq[j] += static_cast<std::uint64_t>(row[j]) * row[j];
+      }
+    }
+    for (std::size_t j = 0; j < dim; ++j) {
+      var[j] = mirror.count * sum_sq[j] - sum[j] * sum[j];
+    }
+  }
+  for (std::size_t p = 1; p < want; ++p) {
+    EXPECT_GE(var[mirror.order[p - 1]], var[mirror.order[p]]);
+  }
+  // Under geometric decay the top-variance dimension is dimension 0.
+  EXPECT_EQ(mirror.order[0], 0);
+}
+
+// Stage sequencing is invisible: a cascade tree, an SQ8-only tree, and
+// an exact tree answer k-NN and ball queries bit-identically, for every
+// metric — including an adversarial prefix (lowest-variance dimensions,
+// the least selective stage possible) forced through the public
+// BuildPrefix hook on a standalone sweep.
+TEST_P(CascadePropertyTest, StageSequencingIsInvisibleInTreeAnswers) {
+  const std::size_t dim = GetParam();
+  const PointSet data = MakeAnisotropic(700, dim, 4401 + dim);
+  const PointSet queries = GenerateUniformQueries(5, dim, 4403 + dim);
+
+  for (const MetricKind kind : kAllKinds) {
+    SCOPED_TRACE("metric " + std::to_string(static_cast<int>(kind)));
+    const Metric metric(kind);
+    SimulatedDisk exact_disk(0), sq8_disk(0), cascade_disk(0);
+    XTree exact_tree(dim, &exact_disk);
+    XTree sq8_tree(dim, &sq8_disk);
+    XTree cascade_tree(dim, &cascade_disk);
+    sq8_tree.set_quantized_leaf_blocks(true);
+    cascade_tree.set_quantized_leaf_blocks(true);
+    cascade_tree.set_sq8_prefix_stage(true);
+    ASSERT_TRUE(exact_tree.BulkLoad(data).ok());
+    ASSERT_TRUE(sq8_tree.BulkLoad(data).ok());
+    ASSERT_TRUE(cascade_tree.BulkLoad(data).ok());
+
+    for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+      SCOPED_TRACE("query " + std::to_string(qi));
+      const KnnResult want = HsKnn(exact_tree, queries[qi], 8, metric);
+      ExpectBitIdentical(HsKnn(sq8_tree, queries[qi], 8, metric), want);
+      ExpectBitIdentical(HsKnn(cascade_tree, queries[qi], 8, metric), want);
+      const KnnResult ball_want =
+          BallQuery(exact_tree, queries[qi], 0.4, metric);
+      ExpectBitIdentical(BallQuery(cascade_tree, queries[qi], 0.4, metric),
+                         ball_want);
+    }
+  }
+
+  // Adversarial prefix on a standalone sweep: the d'/2 LOWEST-variance
+  // dimensions. Emits must still match the exact sweep key for key.
+  if (dim >= 4) {
+    const Metric metric(MetricKind::kL2);
+    LeafBlock block;
+    block.dim = dim;
+    block.count = data.size();
+    block.coords.assign(data.data(), data.data() + data.size() * dim);
+    block.ids.resize(data.size());
+    std::iota(block.ids.begin(), block.ids.end(), PointId{0});
+    block.has_sq8 = true;
+    block.sq8.BuildFrom(data.data(), data.size(), dim);
+    block.sq8.BuildDefaultPrefix();
+    std::vector<std::uint16_t> worst(dim);
+    std::iota(worst.begin(), worst.end(), std::uint16_t{0});
+    std::reverse(worst.begin(), worst.end());  // decaying variance
+    block.sq8.BuildPrefix(worst.data(), dim / 2);
+
+    for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+      const double radius = metric.ToComparable(0.35);
+      std::vector<std::pair<std::size_t, double>> got, want;
+      (void)SweepLeafDistances(
+          block, queries[qi], metric, [&] { return radius; },
+          [&](std::size_t i, double key) { got.emplace_back(i, key); });
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        const double key = metric.Comparable(queries[qi], data[i]);
+        if (key <= radius) want.emplace_back(i, key);
+      }
+      // The sweep may emit survivors above the radius (the caller's
+      // threshold test drops them); it must emit every candidate at or
+      // under it with the exact key.
+      for (const auto& [i, key] : want) {
+        const auto it = std::find_if(
+            got.begin(), got.end(),
+            [i = i](const auto& e) { return e.first == i; });
+        ASSERT_NE(it, got.end()) << "candidate " << i << " missing";
+        EXPECT_EQ(it->second, key);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, CascadePropertyTest,
+                         ::testing::Values(2, 3, 4, 6, 8, 11, 13, 16, 24, 32),
+                         [](const auto& info) {
+                           return "d" + std::to_string(info.param);
+                         });
+
+/// Three engines over the same workload: exact, SQ8-only, cascade.
+struct EngineTriple {
+  std::unique_ptr<ParallelSearchEngine> exact;
+  std::unique_ptr<ParallelSearchEngine> sq8;
+  std::unique_ptr<ParallelSearchEngine> cascade;
+};
+
+EngineTriple MakeTriple(std::size_t dim, std::uint32_t disks,
+                        const PointSet& data, EngineOptions base) {
+  EngineTriple t;
+  base.architecture = Architecture::kSharedTree;
+  base.bulk_load = true;
+  base.quantized_leaf_blocks = false;
+  t.exact = std::make_unique<ParallelSearchEngine>(
+      dim, std::make_unique<NearOptimalDeclusterer>(dim, disks), base);
+  base.quantized_leaf_blocks = true;
+  base.cascade_prefix_stage = false;
+  t.sq8 = std::make_unique<ParallelSearchEngine>(
+      dim, std::make_unique<NearOptimalDeclusterer>(dim, disks), base);
+  base.cascade_prefix_stage = true;
+  t.cascade = std::make_unique<ParallelSearchEngine>(
+      dim, std::make_unique<NearOptimalDeclusterer>(dim, disks), base);
+  EXPECT_TRUE(t.exact->Build(data).ok());
+  EXPECT_TRUE(t.sq8->Build(data).ok());
+  EXPECT_TRUE(t.cascade->Build(data).ok());
+  return t;
+}
+
+// Engine-level identity and counter conservation at a dimension where
+// the prefix stage is live: results, distances, and page counts match
+// the exact engine; prune totals and re-rank counts match the SQ8-only
+// engine; the stage split conserves (base + prefix + sq8 ==
+// quantized_pruned) and actually attributes kills to the prefix stage.
+TEST(CascadeEngineTest, StageCountersConserveAndPagesMatch) {
+  const std::size_t dim = 16, k = 10;
+  const std::uint32_t disks = 8;
+  const PointSet data = MakeAnisotropic(3000, dim, 4501);
+  const PointSet queries = GenerateUniformQueries(8, dim, 4503);
+  EngineTriple t = MakeTriple(dim, disks, data, EngineOptions{});
+
+  std::uint64_t total_prefix = 0;
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    SCOPED_TRACE("query " + std::to_string(qi));
+    QueryStats es, ss, cs;
+    const KnnResult want = t.exact->Query(queries[qi], k, &es);
+    ExpectBitIdentical(t.sq8->Query(queries[qi], k, &ss), want);
+    ExpectBitIdentical(t.cascade->Query(queries[qi], k, &cs), want);
+
+    // Same traversal on all three engines.
+    EXPECT_EQ(cs.total_pages, es.total_pages);
+    EXPECT_EQ(cs.directory_pages, es.directory_pages);
+    EXPECT_EQ(cs.pages_per_disk, es.pages_per_disk);
+    EXPECT_EQ(cs.pages_per_disk, ss.pages_per_disk);
+    // Stage sequencing changes WHERE candidates die, never how many.
+    EXPECT_EQ(cs.quantized_pruned, ss.quantized_pruned);
+    EXPECT_EQ(cs.reranked, ss.reranked);
+    // Conservation of the split, on both quantized engines.
+    EXPECT_EQ(ss.base_pruned + ss.prefix_pruned + ss.sq8_pruned,
+              ss.quantized_pruned);
+    EXPECT_EQ(cs.base_pruned + cs.prefix_pruned + cs.sq8_pruned,
+              cs.quantized_pruned);
+    // SQ8-only never attributes to the prefix stage.
+    EXPECT_EQ(ss.prefix_pruned, 0u);
+    total_prefix += cs.prefix_pruned;
+    // Frontier accounting: every pop was pushed, and both quantized
+    // engines walk the same frontier.
+    EXPECT_GT(cs.frontier_pushes, 0u);
+    EXPECT_GE(cs.frontier_pushes, cs.frontier_pops);
+    EXPECT_EQ(cs.frontier_pops, ss.frontier_pops);
+    EXPECT_EQ(cs.cutoff_skipped_nodes, ss.cutoff_skipped_nodes);
+  }
+  // The workload must actually exercise the prefix stage.
+  EXPECT_GT(total_prefix, 0u);
+}
+
+// The coalesced batched path composes with the cascade: a threaded
+// coalesced batch returns bit-identical results and identical per-query
+// stage splits to single-query execution on a cascade engine (this test
+// doubles as the TSAN lane's concurrency probe for the new stages).
+TEST(CascadeEngineTest, CoalescedBatchComposesWithCascade) {
+  const std::size_t dim = 16, k = 10;
+  const std::uint32_t disks = 8;
+  const PointSet data = MakeAnisotropic(3000, dim, 4601);
+  const PointSet queries = GenerateUniformQueries(24, dim, 4603);
+
+  EngineOptions options;
+  options.architecture = Architecture::kSharedTree;
+  options.bulk_load = true;
+  options.quantized_leaf_blocks = true;
+  options.cascade_prefix_stage = true;
+  ParallelSearchEngine single(
+      dim, std::make_unique<NearOptimalDeclusterer>(dim, disks), options);
+  ASSERT_TRUE(single.Build(data).ok());
+  options.coalesced_batch = true;
+  options.parallel_workers = 4;
+  ParallelSearchEngine batched(
+      dim, std::make_unique<NearOptimalDeclusterer>(dim, disks), options);
+  ASSERT_TRUE(batched.Build(data).ok());
+
+  std::vector<QueryStats> batch_stats;
+  const std::vector<KnnResult> batch =
+      batched.QueryBatch(queries, k, &batch_stats, /*threads=*/4);
+  ASSERT_EQ(batch.size(), queries.size());
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    SCOPED_TRACE("query " + std::to_string(qi));
+    QueryStats qs;
+    ExpectBitIdentical(batch[qi], single.Query(queries[qi], k, &qs));
+    const QueryStats& bs = batch_stats[qi];
+    EXPECT_EQ(bs.quantized_pruned, qs.quantized_pruned);
+    EXPECT_EQ(bs.base_pruned, qs.base_pruned);
+    EXPECT_EQ(bs.prefix_pruned, qs.prefix_pruned);
+    EXPECT_EQ(bs.sq8_pruned, qs.sq8_pruned);
+    EXPECT_EQ(bs.reranked, qs.reranked);
+    EXPECT_EQ(bs.frontier_pops, qs.frontier_pops);
+    EXPECT_EQ(bs.cutoff_skipped_nodes, qs.cutoff_skipped_nodes);
+    EXPECT_EQ(bs.total_pages + bs.directory_pages + bs.coalesced_reads,
+              qs.total_pages + qs.directory_pages);
+  }
+}
+
+// WarmLeafBlocks builds every block (and its mirror + prefix) without
+// charging a single page or distance computation, serial and pooled
+// alike, and changes no answer.
+TEST(CascadeEngineTest, WarmLeafBlocksChargesNothing) {
+  const std::size_t dim = 16, k = 5;
+  const std::uint32_t disks = 4;
+  const PointSet data = MakeAnisotropic(1500, dim, 4701);
+  const PointSet queries = GenerateUniformQueries(4, dim, 4703);
+
+  EngineOptions options;
+  options.architecture = Architecture::kSharedTree;
+  options.bulk_load = true;
+  options.quantized_leaf_blocks = true;
+  ParallelSearchEngine engine(
+      dim, std::make_unique<NearOptimalDeclusterer>(dim, disks), options);
+  ASSERT_TRUE(engine.Build(data).ok());
+
+  const auto snapshot = [&] {
+    DiskStats total = engine.disks().TotalStats();
+    return std::make_tuple(total.TotalPagesRead(), total.distance_computations,
+                           total.quantized_pruned);
+  };
+  const auto before = snapshot();
+  engine.WarmLeafBlocks(/*threads=*/4);
+  engine.WarmLeafBlocks();  // idempotent
+  EXPECT_EQ(snapshot(), before);
+
+  // The tree-level API really materialized the mirrors + prefixes.
+  const TreeBase& tree = engine.tree();
+  std::vector<NodeId> stack{tree.root_id()};
+  std::size_t leaves = 0;
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    const Node& node = tree.PeekNode(id);
+    if (!node.IsLeaf()) {
+      for (const NodeEntry& e : node.entries) stack.push_back(e.child);
+      continue;
+    }
+    ++leaves;
+    const LeafBlock& block = tree.LeafBlockOf(node);
+    EXPECT_TRUE(block.has_sq8);
+    EXPECT_EQ(block.sq8.prefix_dim, 8u);  // dim 16 => d' = 8
+  }
+  EXPECT_GT(leaves, 0u);
+  EXPECT_EQ(snapshot(), before) << "LeafBlockOf after warm must be cached";
+
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    ExpectBitIdentical(engine.Query(queries[qi], k),
+                       BruteForceKnn(data, queries[qi], k, options.metric));
+  }
+}
+
+// Phase-attributed profiling: off by default (all-zero breakdown, no
+// accounting drift), populated when enabled, and summed across the
+// batch paths.
+TEST(CascadeEngineTest, PhaseProfilerAttributesQueryTime) {
+  const std::size_t dim = 16, k = 10;
+  const std::uint32_t disks = 4;
+  const PointSet data = MakeAnisotropic(2500, dim, 4801);
+  const PointSet queries = GenerateUniformQueries(6, dim, 4803);
+
+  EngineOptions options;
+  options.architecture = Architecture::kSharedTree;
+  options.bulk_load = true;
+  options.quantized_leaf_blocks = true;
+  ParallelSearchEngine plain(
+      dim, std::make_unique<NearOptimalDeclusterer>(dim, disks), options);
+  ASSERT_TRUE(plain.Build(data).ok());
+  options.profile_phases = true;
+  ParallelSearchEngine profiled(
+      dim, std::make_unique<NearOptimalDeclusterer>(dim, disks), options);
+  ASSERT_TRUE(profiled.Build(data).ok());
+
+  QueryStats off_stats, on_stats;
+  const KnnResult want = plain.Query(queries[0], k, &off_stats);
+  ExpectBitIdentical(profiled.Query(queries[0], k, &on_stats), want);
+  EXPECT_EQ(off_stats.phases.total_ms(), 0.0);
+  EXPECT_GT(on_stats.phases.total_ms(), 0.0);
+  // A quantized k-NN query must spend time descending, popping the
+  // frontier, and sweeping leaves.
+  EXPECT_GT(on_stats.phases.of(Phase::kDescent) +
+                on_stats.phases.of(Phase::kFrontier),
+            0.0);
+  EXPECT_GT(on_stats.phases.of(Phase::kSweepPrep) +
+                on_stats.phases.of(Phase::kSweepPrefix) +
+                on_stats.phases.of(Phase::kSweepFull) +
+                on_stats.phases.of(Phase::kSweepRerank),
+            0.0);
+  // Simulated accounting is independent of the profiler.
+  EXPECT_EQ(on_stats.total_pages, off_stats.total_pages);
+  EXPECT_EQ(on_stats.quantized_pruned, off_stats.quantized_pruned);
+
+  // Per-query batch path: the batch breakdown is the per-query sum.
+  PhaseBreakdown batch_phases;
+  std::vector<QueryStats> stats;
+  (void)profiled.QueryBatch(queries, k, &stats, /*threads=*/1,
+                            /*effective_threads=*/nullptr, &batch_phases);
+  EXPECT_GT(batch_phases.total_ms(), 0.0);
+  double per_query_sum = 0.0;
+  for (const QueryStats& s : stats) per_query_sum += s.phases.total_ms();
+  EXPECT_DOUBLE_EQ(batch_phases.total_ms(), per_query_sum);
+
+  // Coalesced threaded path: batch-level breakdown only, still nonzero,
+  // results still bit-identical.
+  EngineOptions co = options;
+  co.coalesced_batch = true;
+  co.parallel_workers = 4;
+  ParallelSearchEngine co_engine(
+      dim, std::make_unique<NearOptimalDeclusterer>(dim, disks), co);
+  ASSERT_TRUE(co_engine.Build(data).ok());
+  PhaseBreakdown co_phases;
+  const std::vector<KnnResult> batch = co_engine.QueryBatch(
+      queries, k, nullptr, /*threads=*/4, nullptr, &co_phases);
+  EXPECT_GT(co_phases.total_ms(), 0.0);
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    ExpectBitIdentical(batch[qi], plain.Query(queries[qi], k));
+  }
+}
+
+}  // namespace
+}  // namespace parsim
