@@ -60,6 +60,8 @@ ThroughputResult SimulateThroughput(const ParallelSearchEngine& engine,
     out.frontier_pushes += stats.frontier_pushes;
     out.frontier_pops += stats.frontier_pops;
     out.cutoff_skipped_nodes += stats.cutoff_skipped_nodes;
+    out.approx_skipped_nodes += stats.approx_skipped_nodes;
+    out.approx_pruned_exactly += stats.approx_pruned_exactly;
     // Host share of this query's time (directory work on the shared
     // architecture; zero for federated ones). Derived from the healthy
     // figure so fault penalties never leak into the host share.

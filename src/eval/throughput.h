@@ -83,6 +83,11 @@ struct ThroughputResult {
   std::uint64_t frontier_pops = 0;
   std::uint64_t cutoff_skipped_nodes = 0;
 
+  // Approximate-tier aggregates (zero unless EngineOptions::approx is
+  // enabled with epsilon > 0; see src/parallel/engine.h).
+  std::uint64_t approx_skipped_nodes = 0;
+  std::uint64_t approx_pruned_exactly = 0;
+
   /// Wall-clock phase breakdown of the batch execution (summed over all
   /// workers; all zero unless the engine runs with profile_phases).
   /// Real time — never compare against makespan_ms.

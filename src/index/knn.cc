@@ -187,11 +187,21 @@ HsScratch& HsFrontierScratch() {
 }  // namespace
 
 KnnResult HsKnn(const TreeBase& tree, PointView query, std::size_t k,
-                const Metric& metric) {
+                const Metric& metric, const ApproxContext& approx) {
   PARSIM_CHECK(query.size() == tree.dim());
   PARSIM_CHECK(k >= 1);
   KnnResult result;
   if (tree.root_id() == kInvalidNodeId) return result;
+  // Early-termination mode: node items are tested against the RELAXED
+  // cutoff bound/node_factor, at push time and again at pop time (the
+  // bound tightens in between, so a pop-time skip saves the page read a
+  // push-time test could not). Dropping a node can only LOSE points —
+  // the surviving bound is never tighter than the exact search's at the
+  // same pops — so the (1+eps) contract of ApproxContext holds, and the
+  // full-k guarantee survives: a skip requires a full bound (k point
+  // keys pushed), and those k points can only pop into the result.
+  const bool node_approx = approx.node_factor > 1.0;
+  std::uint64_t approx_skipped = 0;
 
   HsScratch& scratch = HsFrontierScratch();
   std::vector<HsItem>& heap = scratch.heap;
@@ -240,6 +250,13 @@ KnnResult HsKnn(const TreeBase& tree, PointView query, std::size_t k,
         continue;
       }
     }
+    if (node_approx && bound.size() >= k &&
+        item.key > bound.front() / approx.node_factor) {
+      // Never fires on the exact path (factor 1.0): a node whose key
+      // strictly exceeds the bound cannot pop before the k-th point.
+      ++approx_skipped;
+      continue;
+    }
     const Node* node;
     {
       ScopedPhase phase(Phase::kIo);
@@ -261,7 +278,8 @@ KnnResult HsKnn(const TreeBase& tree, PointView query, std::size_t k,
                      },
                      [&](std::size_t i, double key) {
                        push_point(key, block.ids[i]);
-                     }));
+                     },
+                     approx.sweep_factor));
     } else {
       // Descent fast path: with the result bound full, a child whose
       // MINDIST strictly exceeds the k-th best point key can never pop
@@ -276,10 +294,19 @@ KnnResult HsKnn(const TreeBase& tree, PointView query, std::size_t k,
       const double cut = bound.size() < k
                              ? std::numeric_limits<double>::infinity()
                              : bound.front();
+      // The exact cutoff test runs first so cutoff_skipped_nodes keeps
+      // its exact-path meaning (and its bit-identical count at eps=0);
+      // children inside the exact cut but outside the relaxed one are
+      // the approximation's own skips.
+      const double rcut = node_approx ? cut / approx.node_factor : cut;
       for (const NodeEntry& e : node->entries) {
         double key;
         if (MinDistExceeds(e.rect, query, metric, cut, &key)) {
           ++skipped;
+          continue;
+        }
+        if (node_approx && key > rcut) {
+          ++approx_skipped;
           continue;
         }
         heap.push_back(HsItem{key, false, e.child});
@@ -288,7 +315,7 @@ KnnResult HsKnn(const TreeBase& tree, PointView query, std::size_t k,
       }
     }
   }
-  tree.disk()->RecordFrontier(pushes, pops, skipped);
+  tree.disk()->RecordFrontier(pushes, pops, skipped, approx_skipped);
   return result;
 }
 

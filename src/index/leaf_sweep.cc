@@ -87,6 +87,18 @@ std::size_t CollectSurvivors(const std::uint32_t* reductions,
   return CollectSurvivorsScalar(reductions, count, cutoff, out);
 }
 
+std::size_t CountSurvivors(const std::uint32_t* reductions, std::size_t count,
+                           std::uint32_t cutoff) {
+  // Branch-free count the compiler auto-vectorizes; only the approximate
+  // tier's exact-attribution pass calls this, so it needs no hand-tuned
+  // kernel.
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    n += reductions[i] <= cutoff ? 1 : 0;
+  }
+  return n;
+}
+
 namespace {
 
 // Largest code c with Recon(c) <= bound, or -1 if even code 0 exceeds it

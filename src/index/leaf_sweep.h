@@ -63,6 +63,13 @@ struct LeafSweepStats {
   std::uint64_t sq8_pruned = 0;
   /// Bound survivors re-ranked through the exact float kernel.
   std::uint64_t reranked = 0;
+  /// Approximate tier only (approx_factor > 1): of the pruned
+  /// candidates, how many the LOSSLESS cutoff derived from the same
+  /// running threshold provably would have pruned too (always <=
+  /// quantized_pruned). Conservative: a whole-block relaxed base prune
+  /// skips the integer kernel, so when the exact contract would have
+  /// needed it, nothing is counted as exactly proven.
+  std::uint64_t approx_pruned_exactly = 0;
   /// Bytes the sweep streamed: count * dim * sizeof(Scalar) on the exact
   /// path; count * dim code bytes plus the re-ranked float rows on the
   /// quantized path (zero when the query's base term pruned the whole
@@ -178,6 +185,14 @@ std::size_t CollectSurvivors(const std::uint32_t* reductions,
                              std::size_t count, std::uint32_t cutoff,
                              std::uint32_t* out);
 
+/// How many of `count` reductions are <= cutoff (the survivor count of
+/// CollectSurvivors without materializing the list). The approximate
+/// tier's exact-attribution pass: it re-scores already-computed
+/// reductions against the lossless cutoff, so it runs only when
+/// approx_factor > 1 and never touches the exact path.
+std::size_t CountSurvivors(const std::uint32_t* reductions,
+                           std::size_t count, std::uint32_t cutoff);
+
 }  // namespace detail
 
 /// Sweeps one leaf block for a distance-threshold query (k-NN, ball).
@@ -189,10 +204,22 @@ std::size_t CollectSurvivors(const std::uint32_t* reductions,
 /// would. `emit(i, comparable)` receives every surviving candidate
 /// with its exact comparable distance, in block order — bit-identical,
 /// on both paths, to what the exact kernels compute.
+///
+/// `approx_factor` > 1 enables the approximate tier's bound relaxation
+/// (quantized blocks only; the exact path has no cutoff to relax): the
+/// SQ8/prefix prune cutoff derives from threshold()/approx_factor
+/// instead of threshold(), so candidates whose lower bound clears the
+/// exact threshold but not the relaxed one are dropped without a
+/// re-rank — deliberately lossy, measured by the recall harness
+/// (src/eval/recall.h). approx_pruned_exactly counts, among the pruned,
+/// those the lossless cutoff at the same running threshold would also
+/// have killed. At 1.0 (the default) every approx branch is dead and
+/// the sweep is bit-identical to the pre-approx code.
 template <typename ThresholdFn, typename EmitFn>
 LeafSweepStats SweepLeafDistances(const LeafBlock& block, PointView query,
                                   const Metric& metric,
-                                  ThresholdFn&& threshold, EmitFn&& emit) {
+                                  ThresholdFn&& threshold, EmitFn&& emit,
+                                  double approx_factor = 1.0) {
   LeafSweepStats sweep;
   detail::LeafSweepScratch& scratch = detail::SweepScratch();
   if (!block.has_sq8) {
@@ -215,11 +242,16 @@ LeafSweepStats SweepLeafDistances(const LeafBlock& block, PointView query,
   // the threshold (a query far outside the block's lattice range —
   // PruneCutoff's negative sentinel), every candidate prunes without the
   // integer kernel ever running: the sweep costs one query preparation.
+  const bool approx = approx_factor > 1.0;
   double last_threshold = threshold();
-  double dcut = scratch.query.bound.PruneCutoff(last_threshold);
+  double dcut = scratch.query.bound.PruneCutoff(
+      approx ? last_threshold / approx_factor : last_threshold);
   if (dcut < 0.0) {
     sweep.base_pruned = block.count;
     sweep.quantized_pruned = block.count;
+    if (approx && scratch.query.bound.PruneCutoff(last_threshold) < 0.0) {
+      sweep.approx_pruned_exactly = block.count;
+    }
     return sweep;
   }
   // One SIMD pass compresses the survivor indices under the cutoff in
@@ -246,6 +278,15 @@ LeafSweepStats SweepLeafDistances(const LeafBlock& block, PointView query,
   // only loosens relative to later ones), never emitted.
   const ComparableFn exact = metric.comparable_fn();
   std::uint32_t cutoff = detail::IntCutoff(dcut);
+  // Exact-attribution twin of `cutoff` (approx only): the integer
+  // cutoff the lossless contract would use at the same threshold.
+  // PruneCutoff is monotone in its threshold and the relaxed cutoff was
+  // non-negative, so the exact one is too, ecut >= cutoff, and the
+  // exactly-proven prunes are a subset of the relaxed prunes.
+  std::uint32_t ecut = 0;
+  if (approx) {
+    ecut = detail::IntCutoff(scratch.query.bound.PruneCutoff(last_threshold));
+  }
   const Sq8Mirror& sq8 = block.sq8;
   const bool cascade = sq8.prefix_dim > 0;
   detail::GrowTo(scratch.survivors, block.count);
@@ -265,6 +306,10 @@ LeafSweepStats SweepLeafDistances(const LeafBlock& block, PointView query,
                                        cutoff, scratch.survivors.data());
     }
     sweep.prefix_pruned += block.count - nsurv;
+    if (approx) {
+      sweep.approx_pruned_exactly += block.count - detail::CountSurvivors(
+          scratch.reductions.data(), block.count, ecut);
+    }
     ScopedPhase phase(Phase::kSweepFull);
     // Pack the survivors' full code rows contiguously and make ONE
     // many-kernel call: the gather is a dim-byte copy per survivor,
@@ -285,6 +330,10 @@ LeafSweepStats SweepLeafDistances(const LeafBlock& block, PointView query,
     nsurv = detail::CollectSurvivors(scratch.reductions.data(), block.count,
                                      cutoff, scratch.survivors.data());
     sweep.sq8_pruned += block.count - nsurv;
+    if (approx) {
+      sweep.approx_pruned_exactly += block.count - detail::CountSurvivors(
+          scratch.reductions.data(), block.count, ecut);
+    }
   }
   {
     ScopedPhase phase(Phase::kSweepRerank);
@@ -298,6 +347,7 @@ LeafSweepStats SweepLeafDistances(const LeafBlock& block, PointView query,
           cascade ? scratch.full_reductions[s] : scratch.reductions[i];
       if (reduction > cutoff) {
         ++sweep.sq8_pruned;
+        if (approx && reduction > ecut) ++sweep.approx_pruned_exactly;
         continue;
       }
       ++sweep.reranked;
@@ -305,12 +355,32 @@ LeafSweepStats SweepLeafDistances(const LeafBlock& block, PointView query,
       const double t = threshold();
       if (t != last_threshold) {
         last_threshold = t;
-        dcut = scratch.query.bound.PruneCutoff(t);
+        dcut = scratch.query.bound.PruneCutoff(approx ? t / approx_factor : t);
         if (dcut < 0.0) {
           sweep.base_pruned += nsurv - s - 1;
+          if (approx) {
+            // Exact attribution of the rest-of-block drop: the exact
+            // base may not have crossed yet, in which case each
+            // remaining survivor's already-computed reduction decides.
+            const double ed = scratch.query.bound.PruneCutoff(t);
+            if (ed < 0.0) {
+              sweep.approx_pruned_exactly += nsurv - s - 1;
+            } else {
+              const std::uint32_t ec = detail::IntCutoff(ed);
+              for (std::size_t r = s + 1; r < nsurv; ++r) {
+                const std::uint32_t red =
+                    cascade ? scratch.full_reductions[r]
+                            : scratch.reductions[scratch.survivors[r]];
+                if (red > ec) ++sweep.approx_pruned_exactly;
+              }
+            }
+          }
           break;
         }
         cutoff = detail::IntCutoff(dcut);
+        if (approx) {
+          ecut = detail::IntCutoff(scratch.query.bound.PruneCutoff(t));
+        }
       }
     }
   }
@@ -343,14 +413,18 @@ LeafSweepStats SweepLeafRange(const LeafBlock& block, const Rect& query,
 /// per-member analogues; for each member, candidates arrive in block
 /// order (members in ascending order), so the per-member emit sequence
 /// matches the single-query sweep exactly. `stats` must have `members`
-/// entries; entry m accumulates member m's share.
+/// entries; entry m accumulates member m's share. `approx_factor` is
+/// the approximate tier's bound relaxation, exactly as in
+/// SweepLeafDistances (1.0 = exact, bit-identical to the pre-approx
+/// code).
 template <typename ThresholdFn, typename EmitFn>
 void SweepLeafBlockMany(const LeafBlock& block, const Scalar* queries,
                         std::size_t members, const Metric& metric,
                         ThresholdFn&& threshold, EmitFn&& emit,
-                        LeafSweepStats* stats) {
+                        LeafSweepStats* stats, double approx_factor = 1.0) {
   detail::LeafSweepScratch& scratch = detail::SweepScratch();
   const std::size_t dim = block.dim;
+  const bool approx = approx_factor > 1.0;
   if (!block.has_sq8) {
     ScopedPhase phase(Phase::kSweepRerank);
     detail::GrowTo(scratch.dists, members * block.count);
@@ -382,9 +456,13 @@ void SweepLeafBlockMany(const LeafBlock& block, const Scalar* queries,
   // preparation and one compare.
   scratch.active.clear();
   for (std::size_t m = 0; m < members; ++m) {
-    if (scratch.bounds[m].PruneCutoff(threshold(m)) < 0.0) {
+    const double t = threshold(m);
+    if (scratch.bounds[m].PruneCutoff(approx ? t / approx_factor : t) < 0.0) {
       stats[m].quantized_pruned += block.count;
       stats[m].base_pruned += block.count;
+      if (approx && scratch.bounds[m].PruneCutoff(t) < 0.0) {
+        stats[m].approx_pruned_exactly += block.count;
+      }
     } else {
       scratch.active.push_back(static_cast<std::uint32_t>(m));
     }
@@ -444,13 +522,22 @@ void SweepLeafBlockMany(const LeafBlock& block, const Scalar* queries,
     std::uint64_t prefix_pruned = 0;
     std::uint64_t sq8_pruned = 0;
     std::uint64_t reranked = 0;
+    std::uint64_t approx_exact = 0;
     std::size_t nsurv = 0;
     double last_threshold = threshold(m);
-    double dcut = scratch.bounds[m].PruneCutoff(last_threshold);
+    double dcut = scratch.bounds[m].PruneCutoff(
+        approx ? last_threshold / approx_factor : last_threshold);
     if (dcut < 0.0) {
       base_pruned = block.count;
+      if (approx && scratch.bounds[m].PruneCutoff(last_threshold) < 0.0) {
+        approx_exact = block.count;
+      }
     } else {
       std::uint32_t cutoff = detail::IntCutoff(dcut);
+      std::uint32_t ecut = 0;
+      if (approx) {
+        ecut = detail::IntCutoff(scratch.bounds[m].PruneCutoff(last_threshold));
+      }
       detail::GrowTo(scratch.survivors, block.count);
       {
         ScopedPhase phase(Phase::kSweepPrefix);
@@ -459,6 +546,10 @@ void SweepLeafBlockMany(const LeafBlock& block, const Scalar* queries,
                                          scratch.survivors.data());
       }
       prefix_pruned = block.count - nsurv;
+      if (approx) {
+        approx_exact += block.count - detail::CountSurvivors(
+            scratch.reductions.data(), block.count, ecut);
+      }
       if (nsurv > 0) {
         ScopedPhase phase(Phase::kSweepFull);
         detail::GrowTo(scratch.gathered, nsurv * dim);
@@ -473,6 +564,7 @@ void SweepLeafBlockMany(const LeafBlock& block, const Scalar* queries,
         const std::size_t i = scratch.survivors[s];
         if (scratch.full_reductions[s] > cutoff) {
           ++sq8_pruned;
+          if (approx && scratch.full_reductions[s] > ecut) ++approx_exact;
           continue;
         }
         ++reranked;
@@ -480,12 +572,26 @@ void SweepLeafBlockMany(const LeafBlock& block, const Scalar* queries,
         const double t = threshold(m);
         if (t != last_threshold) {
           last_threshold = t;
-          dcut = scratch.bounds[m].PruneCutoff(t);
+          dcut = scratch.bounds[m].PruneCutoff(approx ? t / approx_factor : t);
           if (dcut < 0.0) {
             base_pruned += nsurv - s - 1;
+            if (approx) {
+              const double ed = scratch.bounds[m].PruneCutoff(t);
+              if (ed < 0.0) {
+                approx_exact += nsurv - s - 1;
+              } else {
+                const std::uint32_t ec = detail::IntCutoff(ed);
+                for (std::size_t r = s + 1; r < nsurv; ++r) {
+                  if (scratch.full_reductions[r] > ec) ++approx_exact;
+                }
+              }
+            }
             break;
           }
           cutoff = detail::IntCutoff(dcut);
+          if (approx) {
+            ecut = detail::IntCutoff(scratch.bounds[m].PruneCutoff(t));
+          }
         }
       }
     }
@@ -495,6 +601,7 @@ void SweepLeafBlockMany(const LeafBlock& block, const Scalar* queries,
     stats[m].prefix_pruned += prefix_pruned;
     stats[m].sq8_pruned += sq8_pruned;
     stats[m].reranked += reranked;
+    stats[m].approx_pruned_exactly += approx_exact;
     stats[m].leaf_bytes_scanned += block.count * sq8.prefix_dim +
                                    nsurv * dim +
                                    reranked * dim * sizeof(Scalar);
@@ -531,8 +638,11 @@ void SweepLeafBlockMany(const LeafBlock& block, const Scalar* queries,
       std::uint32_t* surv = scratch.survivors.data() + a * block.count;
       // Hoisting the threshold read is sound: only member m's own emits
       // move threshold(m), and nothing emits between here and m's
-      // rerank pass below.
-      const double dcut = scratch.bounds[m].PruneCutoff(threshold(m));
+      // rerank pass below (the rerank recomputes the exact-attribution
+      // cutoff from the same unchanged threshold).
+      const double t = threshold(m);
+      const double dcut =
+          scratch.bounds[m].PruneCutoff(approx ? t / approx_factor : t);
       scratch.dcuts[a] = dcut;
       std::size_t nsurv = 0;
       if (dcut >= 0.0) {
@@ -569,18 +679,28 @@ void SweepLeafBlockMany(const LeafBlock& block, const Scalar* queries,
     std::uint64_t prefix_pruned = 0;
     std::uint64_t sq8_pruned = 0;
     std::uint64_t reranked = 0;
+    std::uint64_t approx_exact = 0;
     std::size_t nsurv = 0;
     // Same compress-then-recheck structure as SweepLeafDistances, and
     // the same per-candidate decisions as the naive interleaved loop.
     double last_threshold = threshold(m);
-    double dcut =
-        cascade ? scratch.dcuts[a] : scratch.bounds[m].PruneCutoff(last_threshold);
+    double dcut = cascade ? scratch.dcuts[a]
+                          : scratch.bounds[m].PruneCutoff(
+                                approx ? last_threshold / approx_factor
+                                       : last_threshold);
     const std::uint32_t* surv = scratch.survivors.data();
     const std::uint32_t* full_row = nullptr;
     if (dcut < 0.0) {
       base_pruned += block.count;
+      if (approx && scratch.bounds[m].PruneCutoff(last_threshold) < 0.0) {
+        approx_exact += block.count;
+      }
     } else {
       std::uint32_t cutoff = detail::IntCutoff(dcut);
+      std::uint32_t ecut = 0;
+      if (approx) {
+        ecut = detail::IntCutoff(scratch.bounds[m].PruneCutoff(last_threshold));
+      }
       if (cascade) {
         nsurv = scratch.surv_counts[a];
         surv = scratch.survivors.data() + a * block.count;
@@ -590,6 +710,12 @@ void SweepLeafBlockMany(const LeafBlock& block, const Scalar* queries,
         nsurv = detail::CollectSurvivors(row, block.count, cutoff,
                                          scratch.survivors.data());
         sq8_pruned += block.count - nsurv;
+      }
+      if (approx) {
+        // Exact attribution of the stage-1 kills: the stage-1 (prefix
+        // or full) reductions of the WHOLE block are still in `row`.
+        approx_exact +=
+            block.count - detail::CountSurvivors(row, block.count, ecut);
       }
       ScopedPhase phase(Phase::kSweepRerank);
       // Threshold re-read once per emit (it can only change on an
@@ -603,6 +729,7 @@ void SweepLeafBlockMany(const LeafBlock& block, const Scalar* queries,
             cascade ? full_row[scratch.union_slot[i]] : row[i];
         if (reduction > cutoff) {
           ++sq8_pruned;
+          if (approx && reduction > ecut) ++approx_exact;
           continue;
         }
         ++reranked;
@@ -610,12 +737,29 @@ void SweepLeafBlockMany(const LeafBlock& block, const Scalar* queries,
         const double t = threshold(m);
         if (t != last_threshold) {
           last_threshold = t;
-          dcut = scratch.bounds[m].PruneCutoff(t);
+          dcut = scratch.bounds[m].PruneCutoff(approx ? t / approx_factor : t);
           if (dcut < 0.0) {
             base_pruned += nsurv - s - 1;
+            if (approx) {
+              const double ed = scratch.bounds[m].PruneCutoff(t);
+              if (ed < 0.0) {
+                approx_exact += nsurv - s - 1;
+              } else {
+                const std::uint32_t ec = detail::IntCutoff(ed);
+                for (std::size_t r = s + 1; r < nsurv; ++r) {
+                  const std::uint32_t red =
+                      cascade ? full_row[scratch.union_slot[surv[r]]]
+                              : row[surv[r]];
+                  if (red > ec) ++approx_exact;
+                }
+              }
+            }
             break;
           }
           cutoff = detail::IntCutoff(dcut);
+          if (approx) {
+            ecut = detail::IntCutoff(scratch.bounds[m].PruneCutoff(t));
+          }
         }
       }
     }
@@ -625,6 +769,7 @@ void SweepLeafBlockMany(const LeafBlock& block, const Scalar* queries,
     stats[m].prefix_pruned += prefix_pruned;
     stats[m].sq8_pruned += sq8_pruned;
     stats[m].reranked += reranked;
+    stats[m].approx_pruned_exactly += approx_exact;
     // Cascade bytes stay attributed per member's own surviving demand
     // (the shared union fetch is charged to each member that needed the
     // row), keeping the counter independent of how the kernel batches.

@@ -140,7 +140,8 @@ class SimulatedDisk {
   /// are charged separately via ChargeDistanceComputations).
   void RecordLeafSweep(std::uint64_t pruned, std::uint64_t base,
                        std::uint64_t prefix, std::uint64_t sq8,
-                       std::uint64_t reranked_points, std::uint64_t bytes) {
+                       std::uint64_t reranked_points, std::uint64_t bytes,
+                       std::uint64_t approx_exact = 0) {
     DiskStats& sink = Sink();
     sink.quantized_pruned += pruned;
     sink.base_pruned += base;
@@ -148,16 +149,20 @@ class SimulatedDisk {
     sink.sq8_pruned += sq8;
     sink.reranked += reranked_points;
     sink.leaf_bytes_scanned += bytes;
+    sink.approx_pruned_exactly += approx_exact;
   }
 
   /// Records one query's HS frontier traffic (no simulated time; audits
-  /// the descent/frontier fast path).
+  /// the descent/frontier fast path and the approximate tier's node
+  /// skips).
   void RecordFrontier(std::uint64_t pushes, std::uint64_t pops,
-                      std::uint64_t skipped_nodes) {
+                      std::uint64_t skipped_nodes,
+                      std::uint64_t approx_skipped = 0) {
     DiskStats& sink = Sink();
     sink.frontier_pushes += pushes;
     sink.frontier_pops += pops;
     sink.cutoff_skipped_nodes += skipped_nodes;
+    sink.approx_skipped_nodes += approx_skipped;
   }
 
   const DiskStats& stats() const { return stats_; }

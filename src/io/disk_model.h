@@ -180,6 +180,19 @@ struct DiskStats {
   /// k-th-best cutoff and were dropped before frontier insertion (the
   /// descent fast path; result-neutral, see src/index/knn.cc).
   std::uint64_t cutoff_skipped_nodes = 0;
+  /// Approximate-tier accounting (zero unless EngineOptions::approx is
+  /// enabled with epsilon > 0; see src/parallel/engine.h). Nodes the
+  /// early-termination mode dropped because their MINDIST exceeded the
+  /// RELAXED cutoff bound/(1+eps) — each such drop may lose true
+  /// neighbors, which is exactly what the recall harness measures.
+  std::uint64_t approx_skipped_nodes = 0;
+  /// Of the leaf candidates the relaxed SQ8 cutoff pruned, how many the
+  /// lossless cutoff (derived from the same running threshold) provably
+  /// would have pruned too. quantized_pruned - approx_pruned_exactly is
+  /// an upper bound on the prunes attributable to the approximation; the
+  /// count is conservative (a whole-block relaxed base prune whose exact
+  /// counterpart would have needed the kernel contributes zero).
+  std::uint64_t approx_pruned_exactly = 0;
 
   std::uint64_t TotalPagesRead() const {
     return data_pages_read + directory_pages_read;
@@ -205,6 +218,8 @@ struct DiskStats {
     frontier_pushes += other.frontier_pushes;
     frontier_pops += other.frontier_pops;
     cutoff_skipped_nodes += other.cutoff_skipped_nodes;
+    approx_skipped_nodes += other.approx_skipped_nodes;
+    approx_pruned_exactly += other.approx_pruned_exactly;
     return *this;
   }
 };

@@ -47,6 +47,7 @@ struct QueryState {
   std::uint64_t frontier_pushes = 0;
   std::uint64_t frontier_pops = 0;
   std::uint64_t cutoff_skipped_nodes = 0;
+  std::uint64_t approx_skipped_nodes = 0;
 
   void Push(const Item& item) {
     queue.push_back(item);
@@ -87,13 +88,23 @@ struct QueryState {
 /// Replays HsKnn's main loop until the query finishes or needs a node:
 /// points pop into the result, the first node item pauses the query with
 /// `request` set (the round scheduler fetches and expands it).
-void Advance(QueryState* q, std::size_t k, const Metric& metric) {
+/// `node_factor` > 1 is the approximate tier's early-termination mode:
+/// a popped node whose key exceeds the member's RELAXED cutoff
+/// bound/node_factor is dropped instead of requested — exactly HsKnn's
+/// pop-time skip, so the page its group would have fetched is saved.
+void Advance(QueryState* q, std::size_t k, const Metric& metric,
+             double node_factor) {
   ScopedPhase phase(Phase::kFrontier);
   q->request = kInvalidNodeId;
   while (q->result.size() < k && !q->queue.empty()) {
     const QueryState::Item item = q->Pop();
     if (item.is_point) {
       q->result.push_back(Neighbor{item.ref, metric.FromComparable(item.key)});
+      continue;
+    }
+    if (node_factor > 1.0 && q->bound.size() >= k &&
+        item.key > q->bound.front() / node_factor) {
+      ++q->approx_skipped_nodes;
       continue;
     }
     q->request = item.ref;
@@ -107,7 +118,7 @@ void Advance(QueryState* q, std::size_t k, const Metric& metric) {
 std::vector<KnnResult> CoalescedHsBatch(
     const TreeBase& tree, const PointSet& queries, std::size_t k,
     const Metric& metric, std::vector<QueryCostAccumulator>* accs,
-    ThreadPool* pool, PhaseAccumulator* phases) {
+    ThreadPool* pool, PhaseAccumulator* phases, const ApproxContext& approx) {
   PARSIM_CHECK(k >= 1);
   PARSIM_CHECK(accs != nullptr && accs->size() == queries.size());
   const std::size_t n = queries.size();
@@ -126,7 +137,7 @@ std::vector<KnnResult> CoalescedHsBatch(
     for (std::size_t i = 0; i < n; ++i) {
       states[i].bound.reserve(k);
       states[i].Push(QueryState::Item{0.0, false, tree.root_id()});
-      Advance(&states[i], k, metric);
+      Advance(&states[i], k, metric, approx.node_factor);
     }
   } else {
     for (QueryState& s : states) s.done = true;
@@ -238,7 +249,7 @@ std::vector<KnnResult> CoalescedHsBatch(
               states[requests[g.begin + m].second].PushPoint(key, block.ids[i],
                                                              k);
             },
-            sweeps.data());
+            sweeps.data(), approx.sweep_factor);
         for (std::size_t m = 0; m < members; ++m) {
           const std::size_t qi = requests[g.begin + m].second;
           DiskStats& s = (*accs)[qi].slot(slot);
@@ -249,8 +260,9 @@ std::vector<KnnResult> CoalescedHsBatch(
           s.sq8_pruned += sweeps[m].sq8_pruned;
           s.reranked += sweeps[m].reranked;
           s.leaf_bytes_scanned += sweeps[m].leaf_bytes_scanned;
+          s.approx_pruned_exactly += sweeps[m].approx_pruned_exactly;
           s.block_kernel_invocations += 1;
-          Advance(&states[qi], k, metric);
+          Advance(&states[qi], k, metric, approx.node_factor);
         }
       } else {
         for (std::size_t m = 0; m < members; ++m) {
@@ -263,17 +275,27 @@ std::vector<KnnResult> CoalescedHsBatch(
             // member's running k-th-best cutoff can never pop before the
             // k-th result and are dropped before heap insertion. Ties
             // MUST still push to preserve the pop sequence (see HsKnn).
+            // Exact cut first (keeps cutoff_skipped_nodes' exact-path
+            // meaning), then the approximate tier's relaxed cut — same
+            // two-step as HsKnn's descent.
             const double cut = state.Cutoff(k);
+            const double rcut = approx.node_factor > 1.0
+                                    ? cut / approx.node_factor
+                                    : cut;
             for (const NodeEntry& e : node.entries) {
               double key;
               if (MinDistExceeds(e.rect, qv, metric, cut, &key)) {
                 ++state.cutoff_skipped_nodes;
                 continue;
               }
+              if (approx.node_factor > 1.0 && key > rcut) {
+                ++state.approx_skipped_nodes;
+                continue;
+              }
               state.Push(QueryState::Item{key, false, e.child});
             }
           }
-          Advance(&state, k, metric);
+          Advance(&state, k, metric, approx.node_factor);
         }
       }
     };
@@ -291,6 +313,7 @@ std::vector<KnnResult> CoalescedHsBatch(
     hs.frontier_pushes += states[i].frontier_pushes;
     hs.frontier_pops += states[i].frontier_pops;
     hs.cutoff_skipped_nodes += states[i].cutoff_skipped_nodes;
+    hs.approx_skipped_nodes += states[i].approx_skipped_nodes;
     results[i] = std::move(states[i].result);
   }
   return results;

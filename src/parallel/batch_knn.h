@@ -49,12 +49,15 @@ namespace parsim {
 /// When `phases` is non-null, wall-clock time is attributed to it per
 /// phase (src/util/phase_timer.h), summed over all worker threads —
 /// batch-level only, since coalesced rounds interleave all queries.
-std::vector<KnnResult> CoalescedHsBatch(const TreeBase& tree,
-                                        const PointSet& queries,
-                                        std::size_t k, const Metric& metric,
-                                        std::vector<QueryCostAccumulator>* accs,
-                                        ThreadPool* pool,
-                                        PhaseAccumulator* phases = nullptr);
+/// `approx` (default: exact) enables the (1+eps)-approximate tier with
+/// the same semantics as HsKnn's — node skips and relaxed sweeps apply
+/// per member, and the schedule stays deterministic at any thread count
+/// (the skips depend only on each member's own frontier state).
+std::vector<KnnResult> CoalescedHsBatch(
+    const TreeBase& tree, const PointSet& queries, std::size_t k,
+    const Metric& metric, std::vector<QueryCostAccumulator>* accs,
+    ThreadPool* pool, PhaseAccumulator* phases = nullptr,
+    const ApproxContext& approx = ApproxContext());
 
 }  // namespace parsim
 

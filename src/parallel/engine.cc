@@ -78,6 +78,17 @@ ParallelSearchEngine::ParallelSearchEngine(
       t->set_sq8_prefix_stage(options_.cascade_prefix_stage);
     }
   }
+  if (options_.approx.enabled && options_.approx.epsilon > 0.0) {
+    PARSIM_CHECK(options_.approx.epsilon < 1e9);  // catch garbage knobs
+    // One comparable-scale factor serves both mechanisms: ToComparable
+    // is multiplicative for every supported kind ((1+eps)^2 on L2's
+    // squared scale, (1+eps) on L1/Lmax), so dividing a comparable
+    // bound by it divides the real-distance bound by exactly (1+eps).
+    const double factor =
+        options_.metric.ToComparable(1.0 + options_.approx.epsilon);
+    if (options_.approx.early_termination) approx_.node_factor = factor;
+    if (options_.approx.relax_bounds) approx_.sweep_factor = factor;
+  }
 }
 
 ParallelSearchEngine::~ParallelSearchEngine() = default;
@@ -344,9 +355,11 @@ KnnResult ParallelSearchEngine::ScanQuery(PointView query,
 KnnResult ParallelSearchEngine::RunKnn(const TreeBase& tree, PointView query,
                                        std::size_t k) const {
   if (options_.knn_algorithm == KnnAlgorithm::kRkv) {
+    // RKV stays exact: the approximate tier is specified (and tested)
+    // for the HS best-first search only.
     return RkvKnn(tree, query, k, options_.metric);
   }
-  return HsKnn(tree, query, k, options_.metric);
+  return HsKnn(tree, query, k, options_.metric, approx_);
 }
 
 QueryStats ParallelSearchEngine::StatsFromAccumulator(
@@ -370,6 +383,8 @@ QueryStats ParallelSearchEngine::StatsFromAccumulator(
   stats.frontier_pushes = host.frontier_pushes;
   stats.frontier_pops = host.frontier_pops;
   stats.cutoff_skipped_nodes = host.cutoff_skipped_nodes;
+  stats.approx_skipped_nodes = host.approx_skipped_nodes;
+  stats.approx_pruned_exactly = host.approx_pruned_exactly;
   stats.pages_per_disk.reserve(n);
   double max_ms = 0.0;
   double sum_ms = 0.0;
@@ -404,6 +419,8 @@ QueryStats ParallelSearchEngine::StatsFromAccumulator(
     stats.frontier_pushes += s.frontier_pushes;
     stats.frontier_pops += s.frontier_pops;
     stats.cutoff_skipped_nodes += s.cutoff_skipped_nodes;
+    stats.approx_skipped_nodes += s.approx_skipped_nodes;
+    stats.approx_pruned_exactly += s.approx_pruned_exactly;
     stats.pages_per_disk.push_back(pages);
   }
   stats.parallel_ms = host_ms + max_ms;
@@ -670,7 +687,7 @@ std::vector<KnnResult> ParallelSearchEngine::QueryBatch(
     PhaseAccumulator phase_acc;
     results = CoalescedHsBatch(
         *trees_[0], queries, k, options_.metric, &accs, pool.get(),
-        options_.profile_phases ? &phase_acc : nullptr);
+        options_.profile_phases ? &phase_acc : nullptr, approx_);
     for (std::size_t i = 0; i < queries.size(); ++i) {
       if (stats != nullptr) (*stats)[i] = StatsFromAccumulator(accs[i]);
       MergeAccumulator(accs[i]);

@@ -77,6 +77,37 @@ enum class Architecture {
   kFederatedScan,
 };
 
+/// Opt-in (1+eps)-approximate k-NN tier (see DESIGN.md "Approximate
+/// tier & recall harness"). Applies to HS best-first k-NN searches only
+/// — Query/TryQuery/QueryBatch under KnnAlgorithm::kHs, single-query
+/// and coalesced alike, and composing with batching, buffering,
+/// replicas, and fault injection; RKV, ball, and range queries stay
+/// exact, as does everything at epsilon == 0 (asserted bit-identical in
+/// tests/index_approx_knn_test.cc).
+///
+/// Contract: every returned distance D_k satisfies
+/// D_k <= (1+eps) * d_k_true, and every true neighbor within
+/// d_k_true/(1+eps) is returned. Recall@k is NOT directly bounded —
+/// that is what the ground-truth harness (src/eval/recall.h,
+/// bench/microbench_recall) measures; eps is the knob that trades
+/// recall for QPS along the measured curve.
+struct ApproxOptions {
+  bool enabled = false;
+  /// The (1+eps) slack. 0 keeps the search exact even when enabled.
+  double epsilon = 0.0;
+  /// Mechanism (a), bound relaxation: scale the SQ8/prefix PruneCutoff
+  /// guard so leaf candidates whose lower bound clears the exact
+  /// threshold but not threshold/(1+eps) are dropped without a re-rank.
+  /// Needs quantized_leaf_blocks (the exact sweep has no cutoff).
+  bool relax_bounds = true;
+  /// Mechanism (b), early termination: stop descending once a frontier
+  /// node's MINDIST exceeds dist_k/(1+eps) — implemented as a per-node
+  /// skip against the relaxed bound at push and pop time, which is
+  /// equivalent (the frontier pops in ascending MINDIST order) and also
+  /// saves the skipped nodes' page reads.
+  bool early_termination = true;
+};
+
 /// Engine configuration.
 struct EngineOptions {
   Architecture architecture = Architecture::kSharedTree;
@@ -163,6 +194,8 @@ struct EngineOptions {
   /// count and the per-row share of descent/frontier work. Only used
   /// when bulk_load is set.
   double bulk_load_fill = 0.7;
+  /// The approximate search tier (off = exact, the default).
+  ApproxOptions approx{};
   DiskParameters disk_parameters{};
   Metric metric{};
 };
@@ -247,6 +280,18 @@ struct QueryStats {
   /// Interior children dropped before heap insertion because their
   /// MINDIST strictly exceeded the running k-th-best cutoff.
   std::uint64_t cutoff_skipped_nodes = 0;
+
+  // Approximate-tier accounting (zero unless options.approx is enabled
+  // with epsilon > 0).
+  /// Frontier nodes the early-termination mode dropped (push- or
+  /// pop-time) because their MINDIST exceeded the RELAXED cutoff
+  /// bound/(1+eps); unlike cutoff_skipped_nodes these may lose true
+  /// neighbors, and pop-time skips save the node's page read.
+  std::uint64_t approx_skipped_nodes = 0;
+  /// Of quantized_pruned, candidates the lossless cutoff at the same
+  /// running threshold provably would have pruned too; the difference
+  /// bounds the approximation-attributable prunes from above.
+  std::uint64_t approx_pruned_exactly = 0;
 
   /// Wall-clock time by phase (all zero unless the engine was built with
   /// profile_phases). Real time, not simulated time — never compare it
@@ -424,6 +469,10 @@ class ParallelSearchEngine {
   std::size_t dim_;
   std::unique_ptr<Declusterer> declusterer_;
   EngineOptions options_;
+  /// options_.approx resolved to comparable-scale factors once at
+  /// construction: Metric::ToComparable(1 + epsilon) per enabled
+  /// mechanism, 1.0 (exact) otherwise. See ApproxContext.
+  ApproxContext approx_;
   std::unique_ptr<ReplicaPlacement> replicas_;
   /// Memoized shared-tree leaf routing, one packed word per node id:
   /// bit 63 = valid, bits 16..47 = replica bucket, bits 0..15 = primary

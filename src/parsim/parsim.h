@@ -28,6 +28,7 @@
 #include "src/core/replica.h"
 #include "src/cost/model.h"
 #include "src/eval/experiment.h"
+#include "src/eval/recall.h"
 #include "src/eval/throughput.h"
 #include "src/geometry/metric.h"
 #include "src/geometry/point.h"

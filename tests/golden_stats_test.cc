@@ -60,6 +60,8 @@ void AppendQueryStats(std::ostringstream* out, const QueryStats& stats) {
        << " frontier_pushes=" << stats.frontier_pushes
        << " frontier_pops=" << stats.frontier_pops
        << " cutoff_skipped_nodes=" << stats.cutoff_skipped_nodes
+       << " approx_skipped_nodes=" << stats.approx_skipped_nodes
+       << " approx_pruned_exactly=" << stats.approx_pruned_exactly
        << " pages_per_disk=";
   for (std::size_t d = 0; d < stats.pages_per_disk.size(); ++d) {
     *out << (d == 0 ? "" : ",") << stats.pages_per_disk[d];
@@ -194,6 +196,36 @@ std::string RenderActualStats() {
     out << "query " << qi << ": ";
     AppendQueryStats(&out, stats);
   }
+
+  // Approximate tier at a pinned epsilon: the relaxed-skip and
+  // exact-attribution counters, page counts, and the scored recall@k
+  // against the linear-scan oracle are all deterministic, so the whole
+  // quality/work tradeoff at eps=0.25 is golden-able. Any change to the
+  // skip conditions — however plausible — shows up as a diff here.
+  EngineOptions approx = options;
+  approx.quantized_leaf_blocks = true;
+  approx.cascade_prefix_stage = true;
+  approx.approx.enabled = true;
+  approx.approx.epsilon = 0.25;
+  ParallelSearchEngine approx_engine(
+      dim, std::make_unique<NearOptimalDeclusterer>(dim, disks), approx);
+  EXPECT_TRUE(approx_engine.Build(data).ok());
+  const std::vector<KnnResult> truth = ComputeGroundTruth(data, queries, k);
+  std::vector<KnnResult> approx_results;
+  out << "[approx eps=0.25 quantized cascade]\n";
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    QueryStats stats;
+    approx_results.push_back(approx_engine.Query(queries[qi], k, &stats));
+    out << "query " << qi
+        << ": recall=" << FormatDouble(RecallAtK(approx_results[qi],
+                                                 truth[qi], k))
+        << " ";
+    AppendQueryStats(&out, stats);
+  }
+  const RecallStats recall = ScoreRecall(approx_results, truth, k);
+  out << "recall_mean=" << FormatDouble(recall.mean)
+      << " recall_min=" << FormatDouble(recall.min)
+      << " hits=" << recall.hits << " wanted=" << recall.wanted << "\n";
   return out.str();
 }
 

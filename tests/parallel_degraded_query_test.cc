@@ -78,6 +78,56 @@ TEST_F(DegradedQueryTest, AnySingleDiskFailureKeepsKnnAnswersIdentical) {
   }
 }
 
+// The quantized cascade path under failover — a latent gap until this
+// test: every degraded-read case above ran the exact float sweep, so a
+// fault-routing bug in the SQ8 mirror path (whose leaf blocks are
+// derived per disk and must follow the replica reroute) would have gone
+// unnoticed. Answers under any single-disk failure must match the
+// healthy EXACT engine bit for bit: quantization is error-bounded with
+// exact re-rank, so not even the quantized path is allowed to change a
+// result, degraded or not.
+TEST_F(DegradedQueryTest, QuantizedCascadeFailoverMatchesHealthyExact) {
+  const auto exact = MakeEngine(true, Architecture::kSharedTree, data_);
+  const std::vector<KnnResult> healthy = exact->QueryBatch(queries_, kK);
+
+  EngineOptions options;
+  options.architecture = Architecture::kSharedTree;
+  options.bulk_load = true;
+  options.enable_replicas = true;
+  options.quantized_leaf_blocks = true;
+  options.cascade_prefix_stage = true;
+  ParallelSearchEngine quant(
+      kDim, std::make_unique<NearOptimalDeclusterer>(kDim, kDisks), options);
+  ASSERT_TRUE(quant.Build(data_).ok());
+
+  std::uint64_t replica_pages = 0;
+  std::uint64_t quantized_pruned = 0;
+  for (std::uint32_t failed = 0; failed < kDisks; ++failed) {
+    FaultPlan plan(kDisks);
+    plan.FailDisk(failed);
+    quant.SetFaultPlan(plan);
+    for (std::size_t qi = 0; qi < queries_.size(); ++qi) {
+      SCOPED_TRACE("failed disk " + std::to_string(failed) + ", query " +
+                   std::to_string(qi));
+      KnnResult result;
+      QueryStats stats;
+      const Status status = quant.TryQuery(queries_[qi], kK, &result, &stats);
+      EXPECT_TRUE(status.ok()) << status.message();
+      ExpectSameAnswers(result, healthy[qi]);
+      EXPECT_EQ(stats.unavailable_pages, 0u);
+      replica_pages += stats.replica_pages;
+      quantized_pruned += stats.quantized_pruned;
+      if (stats.replica_pages > 0) EXPECT_TRUE(stats.degraded);
+    }
+    quant.ClearFaults();
+  }
+  // The test only bites if both machineries actually engaged.
+  EXPECT_GT(replica_pages, 0u)
+      << "no degraded query ever read a replica: failover path untested";
+  EXPECT_GT(quantized_pruned, 0u)
+      << "no quantized prune ever fired: cascade path untested";
+}
+
 TEST_F(DegradedQueryTest, SingleFailureTouchesReplicasForSomeQuery) {
   const auto engine = MakeEngine(true, Architecture::kSharedTree, data_);
   FaultPlan plan(kDisks);
