@@ -1,0 +1,127 @@
+#include "src/eval/open_loop.h"
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <thread>
+
+#include "src/util/check.h"
+#include "src/util/random.h"
+
+namespace parsim {
+
+namespace {
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+LatencyProfile Profile(std::vector<double>* latencies) {
+  LatencyProfile out;
+  out.count = latencies->size();
+  if (out.count == 0) return out;
+  std::sort(latencies->begin(), latencies->end());
+  double sum = 0.0;
+  for (const double v : *latencies) sum += v;
+  out.mean_ms = sum / static_cast<double>(out.count);
+  out.p50_ms = Percentile(*latencies, 0.50);
+  out.p95_ms = Percentile(*latencies, 0.95);
+  out.p99_ms = Percentile(*latencies, 0.99);
+  out.max_ms = latencies->back();
+  return out;
+}
+
+}  // namespace
+
+OpenLoopResult RunOpenLoop(QueryService& service, const PointSet& queries,
+                           const OpenLoopOptions& options) {
+  PARSIM_CHECK(queries.size() > 0);
+  PARSIM_CHECK(options.arrival_qps > 0.0);
+  PARSIM_CHECK(options.num_queries > 0);
+  using Clock = std::chrono::steady_clock;
+  using Millis = std::chrono::duration<double, std::milli>;
+
+  Rng rng(options.seed);
+  // Pre-draw the whole arrival schedule and class sequence so the load
+  // pattern is a pure function of the seed, independent of timing.
+  std::vector<double> arrival_ms(options.num_queries);
+  std::vector<bool> is_bulk(options.num_queries);
+  double t = 0.0;
+  const double rate_per_ms = options.arrival_qps / 1000.0;
+  for (std::size_t i = 0; i < options.num_queries; ++i) {
+    t += rng.NextExponential(rate_per_ms);
+    arrival_ms[i] = t;
+    is_bulk[i] = rng.NextBernoulli(options.bulk_fraction);
+  }
+
+  struct Outstanding {
+    std::future<ServedResult> future;
+    bool bulk;
+  };
+  std::vector<Outstanding> outstanding;
+  outstanding.reserve(options.num_queries);
+
+  OpenLoopResult result;
+  result.offered_qps = options.arrival_qps;
+  const Clock::time_point start = Clock::now();
+  for (std::size_t i = 0; i < options.num_queries; ++i) {
+    std::this_thread::sleep_until(
+        start + std::chrono::duration_cast<Clock::duration>(
+                    Millis(arrival_ms[i])));
+    ServiceQueryOptions opts;
+    opts.priority = is_bulk[i] ? QueryClass::kBulk : QueryClass::kInteractive;
+    opts.k = is_bulk[i] ? options.bulk_k : options.k;
+    opts.deadline_ms = options.deadline_ms;
+    opts.max_pages = options.max_pages;
+    std::future<ServedResult> future;
+    ++result.submitted;
+    const Status status =
+        service.Submit(queries[i % queries.size()], opts, &future);
+    if (status.ok()) {
+      ++result.accepted;
+      outstanding.push_back({std::move(future), is_bulk[i]});
+    } else {
+      PARSIM_CHECK(status.code() == StatusCode::kResourceExhausted);
+      ++result.rejected;
+    }
+  }
+
+  std::vector<double> all_lat, interactive_lat, bulk_lat;
+  all_lat.reserve(outstanding.size());
+  double queue_sum = 0.0;
+  double rounds_sum = 0.0;
+  for (Outstanding& o : outstanding) {
+    ServedResult served = o.future.get();
+    if (served.status.code() == StatusCode::kDeadlineExceeded) {
+      ++result.expired;
+    } else if (served.status.code() == StatusCode::kUnavailable) {
+      ++result.unavailable;
+    }
+    all_lat.push_back(served.latency_ms);
+    (o.bulk ? bulk_lat : interactive_lat).push_back(served.latency_ms);
+    queue_sum += served.queue_ms;
+    rounds_sum += static_cast<double>(served.rounds);
+  }
+  result.wall_ms = Millis(Clock::now() - start).count();
+
+  result.all = Profile(&all_lat);
+  result.interactive = Profile(&interactive_lat);
+  result.bulk = Profile(&bulk_lat);
+  if (!outstanding.empty()) {
+    const double n = static_cast<double>(outstanding.size());
+    result.mean_queue_ms = queue_sum / n;
+    result.mean_rounds = rounds_sum / n;
+  }
+  if (result.wall_ms > 0.0) {
+    result.achieved_qps =
+        static_cast<double>(result.all.count) / (result.wall_ms / 1000.0);
+  }
+  return result;
+}
+
+}  // namespace parsim

@@ -1,0 +1,88 @@
+// Open-loop service driver: offered load instead of closed batches.
+//
+// The closed-batch harness (throughput.h) keeps a fixed number of
+// queries outstanding, so the system can never be overrun — latency
+// under it says nothing about behavior at a given *arrival rate*. This
+// driver models the production question instead: queries arrive by a
+// Poisson process at a sustained QPS whether or not the service keeps
+// up, and the interesting outputs are the latency distribution
+// (p50/p95/p99), the rejection rate once admission control pushes back,
+// and the deadline-miss rate.
+//
+// The arrival schedule, the class of each query (interactive vs. bulk),
+// and the query points are all seeded and deterministic; wall-clock
+// latencies of course are not.
+
+#ifndef PARSIM_SRC_EVAL_OPEN_LOOP_H_
+#define PARSIM_SRC_EVAL_OPEN_LOOP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/geometry/point.h"
+#include "src/service/query_service.h"
+
+namespace parsim {
+
+/// Configuration of one open-loop run.
+struct OpenLoopOptions {
+  /// Poisson arrival rate, queries per second of wall time.
+  double arrival_qps = 100.0;
+  /// Total arrivals over the run.
+  std::size_t num_queries = 256;
+  /// k for interactive queries.
+  std::size_t k = 10;
+  /// Probability an arrival is a bulk query (class kBulk, k = bulk_k).
+  double bulk_fraction = 0.0;
+  std::size_t bulk_k = 100;
+  /// Per-query wall deadline in ms (0 = none).
+  double deadline_ms = 0.0;
+  /// Per-query page budget (0 = none).
+  std::uint64_t max_pages = 0;
+  /// Seed for arrivals and class assignment.
+  std::uint64_t seed = 1;
+};
+
+/// Latency distribution of one class of completed queries.
+struct LatencyProfile {
+  std::size_t count = 0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+/// Outcome of one open-loop run.
+struct OpenLoopResult {
+  std::size_t submitted = 0;    // arrivals offered to Submit
+  std::size_t accepted = 0;     // admitted into the queue
+  std::size_t rejected = 0;     // kResourceExhausted (backpressure)
+  std::size_t expired = 0;      // resolved kDeadlineExceeded
+  std::size_t unavailable = 0;  // resolved kUnavailable
+  /// First submit -> last resolution, wall clock.
+  double wall_ms = 0.0;
+  /// Accepted-and-completed queries per wall second.
+  double achieved_qps = 0.0;
+  /// The configured arrival rate, for the record.
+  double offered_qps = 0.0;
+  /// Submit -> resolution latency over all completed queries, and split
+  /// by class.
+  LatencyProfile all;
+  LatencyProfile interactive;
+  LatencyProfile bulk;
+  /// Mean submit -> first-round admission wait over completed queries.
+  double mean_queue_ms = 0.0;
+  /// Mean coalesced rounds a completed query was active in.
+  double mean_rounds = 0.0;
+};
+
+/// Drives `service` (which must be Start()ed) at the configured offered
+/// load, drawing query points cyclically from `queries`, and blocks
+/// until every accepted query resolves.
+OpenLoopResult RunOpenLoop(QueryService& service, const PointSet& queries,
+                           const OpenLoopOptions& options);
+
+}  // namespace parsim
+
+#endif  // PARSIM_SRC_EVAL_OPEN_LOOP_H_

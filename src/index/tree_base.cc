@@ -809,6 +809,25 @@ bool TreeBase::Contains(PointView p, PointId id) const {
   return false;
 }
 
+std::uint64_t TreeBase::DataPages() const {
+  const std::uint64_t cached =
+      data_pages_cache_.load(std::memory_order_relaxed);
+  if (cached != 0 || root_ == kInvalidNodeId) return cached;
+  std::uint64_t pages = 0;
+  std::vector<NodeId> stack = {root_};
+  while (!stack.empty()) {
+    const Node& node = *nodes_[stack.back()];
+    stack.pop_back();
+    if (node.IsLeaf()) {
+      pages += node.pages;
+    } else {
+      for (const NodeEntry& e : node.entries) stack.push_back(e.child);
+    }
+  }
+  data_pages_cache_.store(pages, std::memory_order_relaxed);
+  return pages;
+}
+
 TreeBase::Stats TreeBase::ComputeStats() const {
   Stats stats;
   stats.height = height();

@@ -10,6 +10,8 @@
 #ifndef PARSIM_SRC_INDEX_TREE_BASE_H_
 #define PARSIM_SRC_INDEX_TREE_BASE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -68,6 +70,13 @@ class TreeBase {
   std::size_t num_nodes() const { return nodes_.size(); }
   /// Number of levels (0 for the empty tree; 1 = root is a leaf).
   int height() const;
+
+  /// Total data (leaf) pages reachable from the root — the page count a
+  /// query would be charged for reading this tree's entire data set.
+  /// Cached after the first call; every structural change drops the
+  /// cache (same hook as the leaf-block cache). Safe under concurrent
+  /// readers: the recompute is idempotent and the slot is atomic.
+  std::uint64_t DataPages() const;
 
   std::size_t leaf_capacity_per_page() const { return leaf_capacity_; }
   std::size_t dir_capacity_per_page() const { return dir_capacity_; }
@@ -251,10 +260,16 @@ class TreeBase {
   NodeDiskResolver node_disk_resolver_;
   LeafBlockCache leaf_blocks_;
 
-  /// Marks every cached leaf block stale. Every mutating entry point
-  /// (Insert, Delete, BulkLoad, deserialization) must call this before
-  /// returning control to queries.
-  void InvalidateLeafBlocks() { leaf_blocks_.Invalidate(nodes_.size()); }
+  /// Marks every cached leaf block stale and drops the data-page count.
+  /// Every mutating entry point (Insert, Delete, BulkLoad,
+  /// deserialization) must call this before returning control to queries.
+  void InvalidateLeafBlocks() {
+    leaf_blocks_.Invalidate(nodes_.size());
+    data_pages_cache_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Cached DataPages() sum; 0 = unknown (a non-empty tree has >= 1).
+  mutable std::atomic<std::uint64_t> data_pages_cache_{0};
 
  private:
   // One top-down insertion of `entry` at `target_level`, with R* overflow

@@ -45,6 +45,20 @@ class QueryCostAccumulator {
   }
   std::size_t num_slots() const { return slots_.size(); }
 
+  /// Pages of index work this query has consumed so far, summed over all
+  /// slots and invariant under buffering and coalescing: charged reads
+  /// plus buffer hits plus coalesced rides all count. The query service's
+  /// page budgets meter against this, so a budget means the same amount
+  /// of logical work whether or not a buffer pool or a batch happens to
+  /// absorb the I/O.
+  std::uint64_t TotalPagesTouched() const {
+    std::uint64_t total = 0;
+    for (const DiskStats& s : slots_) {
+      total += s.TotalPagesRead() + s.buffer_hit_pages + s.coalesced_pages;
+    }
+    return total;
+  }
+
  private:
   std::vector<DiskStats> slots_;
 };

@@ -1,120 +1,16 @@
 #include "src/parallel/batch_knn.h"
 
-#include <algorithm>
-#include <limits>
-
-#include "src/index/leaf_block.h"
-#include "src/index/leaf_sweep.h"
+#include "src/parallel/round_scheduler.h"
 #include "src/util/check.h"
 
 namespace parsim {
 
-namespace {
-
-/// One query's best-first search, pausable at node fetches. The queue
-/// holds nodes (is_point == false) keyed by MINDIST and data points keyed
-/// by their actual distance, both in the Comparable scale — the exact
-/// structure of HsKnn (src/index/knn.cc), so the push/pop sequence (and
-/// with it the result) matches the single-query path bit for bit.
-struct QueryState {
-  struct Item {
-    double key;
-    bool is_point;
-    std::uint32_t ref;  // NodeId or PointId
-  };
-  struct GreaterKey {
-    bool operator()(const Item& a, const Item& b) const {
-      return a.key > b.key;
-    }
-  };
-  /// Binary min-heap via push_heap/pop_heap with GreaterKey — the exact
-  /// algorithm std::priority_queue runs internally, in reusable storage
-  /// that is reserved once per batch and never reallocated in steady
-  /// state. Identical pop sequence.
-  std::vector<Item> queue;
-  /// Max-heap of the k smallest point keys pushed so far — HsKnn's
-  /// pruning bound. Points beyond it can never pop before the k-th
-  /// result does, so skipping them is invisible to the pop sequence but
-  /// keeps the frontier small enough that a 64-wide round stays cache
-  /// resident.
-  std::vector<double> bound;
-  KnnResult result;
-  /// The node the frontier needs next; kInvalidNodeId while none.
-  NodeId request = kInvalidNodeId;
-  bool done = false;
-  /// This query's frontier traffic, booked into its host stats slot when
-  /// the batch finishes (matches HsKnn's RecordFrontier accounting).
-  std::uint64_t frontier_pushes = 0;
-  std::uint64_t frontier_pops = 0;
-  std::uint64_t cutoff_skipped_nodes = 0;
-  std::uint64_t approx_skipped_nodes = 0;
-
-  void Push(const Item& item) {
-    queue.push_back(item);
-    std::push_heap(queue.begin(), queue.end(), GreaterKey{});
-    ++frontier_pushes;
-  }
-
-  Item Pop() {
-    std::pop_heap(queue.begin(), queue.end(), GreaterKey{});
-    const Item item = queue.back();
-    queue.pop_back();
-    ++frontier_pops;
-    return item;
-  }
-
-  void PushPoint(double key, std::uint32_t id, std::size_t k) {
-    if (bound.size() < k) {
-      bound.push_back(key);
-      std::push_heap(bound.begin(), bound.end());
-    } else if (key > bound.front()) {
-      return;
-    } else if (key < bound.front()) {
-      std::pop_heap(bound.begin(), bound.end());
-      bound.back() = key;
-      std::push_heap(bound.begin(), bound.end());
-    }
-    Push(Item{key, true, id});
-  }
-
-  /// HsKnn's running comparable-space cutoff: the k-th best point key,
-  /// +inf while fewer than k points were pushed.
-  double Cutoff(std::size_t k) const {
-    return bound.size() < k ? std::numeric_limits<double>::infinity()
-                            : bound.front();
-  }
-};
-
-/// Replays HsKnn's main loop until the query finishes or needs a node:
-/// points pop into the result, the first node item pauses the query with
-/// `request` set (the round scheduler fetches and expands it).
-/// `node_factor` > 1 is the approximate tier's early-termination mode:
-/// a popped node whose key exceeds the member's RELAXED cutoff
-/// bound/node_factor is dropped instead of requested — exactly HsKnn's
-/// pop-time skip, so the page its group would have fetched is saved.
-void Advance(QueryState* q, std::size_t k, const Metric& metric,
-             double node_factor) {
-  ScopedPhase phase(Phase::kFrontier);
-  q->request = kInvalidNodeId;
-  while (q->result.size() < k && !q->queue.empty()) {
-    const QueryState::Item item = q->Pop();
-    if (item.is_point) {
-      q->result.push_back(Neighbor{item.ref, metric.FromComparable(item.key)});
-      continue;
-    }
-    if (node_factor > 1.0 && q->bound.size() >= k &&
-        item.key > q->bound.front() / node_factor) {
-      ++q->approx_skipped_nodes;
-      continue;
-    }
-    q->request = item.ref;
-    return;
-  }
-  q->done = true;
-}
-
-}  // namespace
-
+// A closed batch is the degenerate schedule of the round scheduler: admit
+// every query up front (slots in query order, so the (node, slot) fetch
+// order matches the historical (node, query-index) order exactly), run
+// rounds until every frontier drains, take the results. No budgets, no
+// deadlines — all the numbers are bit-identical to the pre-scheduler
+// implementation, which tests/golden_stats_test.cc pins.
 std::vector<KnnResult> CoalescedHsBatch(
     const TreeBase& tree, const PointSet& queries, std::size_t k,
     const Metric& metric, std::vector<QueryCostAccumulator>* accs,
@@ -122,200 +18,18 @@ std::vector<KnnResult> CoalescedHsBatch(
   PARSIM_CHECK(k >= 1);
   PARSIM_CHECK(accs != nullptr && accs->size() == queries.size());
   const std::size_t n = queries.size();
-  const std::size_t dim = queries.dim();
   std::vector<KnnResult> results(n);
   if (n == 0) return results;
-  PARSIM_CHECK(dim == tree.dim());
+  PARSIM_CHECK(queries.dim() == tree.dim());
 
-  // Installs the (possibly null) phase accumulator on the scheduling
-  // thread; pool workers install it again inside `expand` below, since
-  // the capture is thread-local and workers do not inherit it.
-  ScopedPhaseCapture phase_capture(phases);
-
-  std::vector<QueryState> states(n);
-  if (tree.root_id() != kInvalidNodeId) {
-    for (std::size_t i = 0; i < n; ++i) {
-      states[i].bound.reserve(k);
-      states[i].Push(QueryState::Item{0.0, false, tree.root_id()});
-      Advance(&states[i], k, metric, approx.node_factor);
-    }
-  } else {
-    for (QueryState& s : states) s.done = true;
-  }
-
-  struct Group {
-    NodeId node;
-    // Indices into `requests` delimiting this group's members.
-    std::size_t begin;
-    std::size_t end;
-    const Node* accessed = nullptr;
-    TreeBase::DiskRoute route;
-  };
-  std::vector<std::pair<NodeId, std::size_t>> requests;  // (node, query)
-  requests.reserve(n);
-  std::vector<Group> groups;
-  groups.reserve(n);
-
-  for (;;) {
-    requests.clear();
-    for (std::size_t i = 0; i < n; ++i) {
-      if (!states[i].done) requests.emplace_back(states[i].request, i);
-    }
-    if (requests.empty()) break;
-    // Ascending (node id, query index): the grouping — and with it the
-    // buffer-pool access order below — is a pure function of the
-    // frontiers, so the whole schedule is deterministic at any thread
-    // count.
-    std::sort(requests.begin(), requests.end());
-    groups.clear();
-    for (std::size_t i = 0; i < requests.size();) {
-      std::size_t j = i;
-      while (j < requests.size() && requests[j].first == requests[i].first) {
-        ++j;
-      }
-      groups.push_back(Group{requests[i].first, i, j, nullptr, {}});
-      i = j;
-    }
-
-    // Phase 1 (serial): each group fetches its node once. The leader —
-    // the group's lowest query index — pays the read through the normal
-    // buffered, fault-aware path; every other member books the pages it
-    // was spared as coalesced_pages (plus its share of the degraded-read
-    // accounting, which stays per-query). This is the only phase that
-    // touches shared state (the buffer-pool LRU), so running it in sorted
-    // group order keeps buffered costs reproducible. Retry penalties of a
-    // failed primary (failed_read_attempts) are paid once per group by
-    // the leader — coalescing collapses the per-query retry storm by
-    // design.
-    {
-      ScopedPhase io_phase(Phase::kIo);
-      for (Group& g : groups) {
-        const std::size_t leader = requests[g.begin].second;
-        {
-          ScopedCostCapture capture(&(*accs)[leader]);
-          g.accessed = &tree.AccessNode(g.node);
-        }
-        g.route = tree.ResolveRoute(*g.accessed);
-        const std::size_t slot = g.route.disk->id();
-        for (std::size_t m = g.begin + 1; m < g.end; ++m) {
-          DiskStats& s = (*accs)[requests[m].second].slot(slot);
-          s.coalesced_pages += g.accessed->pages;
-          if (g.route.failover) s.replica_pages_read += g.accessed->pages;
-          if (g.route.unavailable) s.unavailable_pages += g.accessed->pages;
-        }
-      }
-    }
-
-    // Phase 2 (parallelizable): expand each group into its members'
-    // frontiers. Every query sits in exactly one group per round, so
-    // groups touch disjoint states/accumulators; leaf blocks come from
-    // the tree's concurrent-read-safe cache.
-    const auto expand = [&](std::size_t gi) {
-      // Pool workers do not inherit the scheduler thread's thread-local
-      // phase capture; re-install it so their sweep/descent/frontier time
-      // lands in the same batch-level accumulator.
-      ScopedPhaseCapture pc(phases);
-      const Group& g = groups[gi];
-      const Node& node = *g.accessed;
-      const std::size_t members = g.end - g.begin;
-      const std::size_t slot = g.route.disk->id();
-      if (node.IsLeaf()) {
-        const LeafBlock& block = tree.LeafBlockOf(node);
-        // One many-to-many kernel call scores every member query against
-        // every point of the page (uint8 q x n reduction first on a
-        // quantized block, with per-member bound pruning — see
-        // src/index/leaf_sweep.h). Scratch is thread-local: the rounds
-        // allocate nothing in steady state.
-        thread_local std::vector<Scalar> qbuf;
-        thread_local std::vector<LeafSweepStats> sweeps;
-        qbuf.resize(members * dim);
-        for (std::size_t m = 0; m < members; ++m) {
-          const PointView qv = queries[requests[g.begin + m].second];
-          std::copy(qv.begin(), qv.end(), qbuf.data() + m * dim);
-        }
-        sweeps.assign(members, LeafSweepStats{});
-        SweepLeafBlockMany(
-            block, qbuf.data(), members, metric,
-            [&](std::size_t m) {
-              // Member m's running k-th best point key — HsKnn's bound.
-              // Emits only tighten m's own bound, so reading it per
-              // candidate matches the single-query sweep exactly.
-              const QueryState& state = states[requests[g.begin + m].second];
-              return state.bound.size() < k
-                         ? std::numeric_limits<double>::infinity()
-                         : state.bound.front();
-            },
-            [&](std::size_t m, std::size_t i, double key) {
-              states[requests[g.begin + m].second].PushPoint(key, block.ids[i],
-                                                             k);
-            },
-            sweeps.data(), approx.sweep_factor);
-        for (std::size_t m = 0; m < members; ++m) {
-          const std::size_t qi = requests[g.begin + m].second;
-          DiskStats& s = (*accs)[qi].slot(slot);
-          s.distance_computations += sweeps[m].exact_distances;
-          s.quantized_pruned += sweeps[m].quantized_pruned;
-          s.base_pruned += sweeps[m].base_pruned;
-          s.prefix_pruned += sweeps[m].prefix_pruned;
-          s.sq8_pruned += sweeps[m].sq8_pruned;
-          s.reranked += sweeps[m].reranked;
-          s.leaf_bytes_scanned += sweeps[m].leaf_bytes_scanned;
-          s.approx_pruned_exactly += sweeps[m].approx_pruned_exactly;
-          s.block_kernel_invocations += 1;
-          Advance(&states[qi], k, metric, approx.node_factor);
-        }
-      } else {
-        for (std::size_t m = 0; m < members; ++m) {
-          const std::size_t qi = requests[g.begin + m].second;
-          const PointView qv = queries[qi];
-          QueryState& state = states[qi];
-          {
-            ScopedPhase phase(Phase::kDescent);
-            // Fast path: children whose MINDIST strictly exceeds the
-            // member's running k-th-best cutoff can never pop before the
-            // k-th result and are dropped before heap insertion. Ties
-            // MUST still push to preserve the pop sequence (see HsKnn).
-            // Exact cut first (keeps cutoff_skipped_nodes' exact-path
-            // meaning), then the approximate tier's relaxed cut — same
-            // two-step as HsKnn's descent.
-            const double cut = state.Cutoff(k);
-            const double rcut = approx.node_factor > 1.0
-                                    ? cut / approx.node_factor
-                                    : cut;
-            for (const NodeEntry& e : node.entries) {
-              double key;
-              if (MinDistExceeds(e.rect, qv, metric, cut, &key)) {
-                ++state.cutoff_skipped_nodes;
-                continue;
-              }
-              if (approx.node_factor > 1.0 && key > rcut) {
-                ++state.approx_skipped_nodes;
-                continue;
-              }
-              state.Push(QueryState::Item{key, false, e.child});
-            }
-          }
-          Advance(&state, k, metric, approx.node_factor);
-        }
-      }
-    };
-    if (pool != nullptr && groups.size() > 1) {
-      pool->ParallelFor(0, groups.size(), expand);
-    } else {
-      for (std::size_t gi = 0; gi < groups.size(); ++gi) expand(gi);
-    }
-  }
-
+  HsRoundScheduler scheduler(tree, metric, approx, phases);
   for (std::size_t i = 0; i < n; ++i) {
-    // Frontier traffic books into the query's host slot — the same sink
-    // HsKnn's RecordFrontier uses for single-query execution.
-    DiskStats& hs = (*accs)[i].slot((*accs)[i].num_slots() - 1);
-    hs.frontier_pushes += states[i].frontier_pushes;
-    hs.frontier_pops += states[i].frontier_pops;
-    hs.cutoff_skipped_nodes += states[i].cutoff_skipped_nodes;
-    hs.approx_skipped_nodes += states[i].approx_skipped_nodes;
-    results[i] = std::move(states[i].result);
+    const std::size_t slot = scheduler.Add(queries[i], k, &(*accs)[i]);
+    PARSIM_CHECK(slot == i);  // fresh scheduler hands out slots in order
   }
+  while (scheduler.Step(pool) > 0) {
+  }
+  for (std::size_t i = 0; i < n; ++i) results[i] = scheduler.Take(i);
   return results;
 }
 

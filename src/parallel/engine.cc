@@ -7,6 +7,7 @@
 #include "src/index/rstar_tree.h"
 #include "src/index/xtree.h"
 #include "src/parallel/batch_knn.h"
+#include "src/parallel/route_memo.h"
 #include "src/util/check.h"
 
 namespace parsim {
@@ -142,26 +143,25 @@ TreeBase::DiskRoute ParallelSearchEngine::RouteLeaf(const Node& leaf) const {
   PARSIM_DCHECK(leaf.IsLeaf());
   // The declustering color and replica bucket are pure functions of the
   // leaf's MBR center; the memoized word skips the per-access MBR fold.
-  // Fault checks below stay live — only geometry is cached.
-  constexpr std::uint64_t kValid = std::uint64_t{1} << 63;
+  // Fault checks below stay live — only geometry is cached. Packing
+  // (and its field-width guards) lives in src/parallel/route_memo.h.
   std::atomic<std::uint64_t>* slot =
       leaf.id < leaf_routes_size_ ? &leaf_routes_[leaf.id] : nullptr;
   const std::uint64_t packed =
       slot != nullptr ? slot->load(std::memory_order_relaxed) : 0;
   DiskId primary_id;
   BucketId bucket;
-  if (packed & kValid) {
-    primary_id = static_cast<DiskId>(packed & 0xffff);
-    bucket = static_cast<BucketId>((packed >> 16) & 0xffffffff);
+  if (route_memo::IsValid(packed)) {
+    primary_id = static_cast<DiskId>(route_memo::PrimaryOf(packed));
+    bucket = static_cast<BucketId>(route_memo::BucketOf(packed));
   } else {
     const Point center = leaf.ComputeMbr(dim_).Center();
     primary_id = declusterer_->DiskOfPoint(center, leaf.id);
     bucket = replicas_ != nullptr ? replicas_->bucketizer().BucketOf(center)
                                   : BucketId{0};
-    if (slot != nullptr && primary_id < (DiskId{1} << 16)) {
-      slot->store(kValid | (static_cast<std::uint64_t>(bucket) << 16) |
-                      primary_id,
-                  std::memory_order_relaxed);
+    const std::uint64_t word = route_memo::Pack(primary_id, bucket);
+    if (slot != nullptr && word != 0) {
+      slot->store(word, std::memory_order_relaxed);
     }
   }
   SimulatedDisk& primary = disks_.disk(primary_id);
@@ -483,7 +483,13 @@ std::vector<PointId> ParallelSearchEngine::RangeQuery(
     } else {
       for (std::size_t d = 0; d < trees_.size(); ++d) {
         if (trees_[d]->empty()) continue;
-        if (SkipFailedDisk(static_cast<DiskId>(d), 1)) continue;
+        // A failed partition loses its whole data set, so the charge is
+        // the tree's actual data-page count — the same number the scan
+        // architecture books for its partition (parity is pinned by
+        // tests/parallel_degraded_query_test.cc).
+        if (SkipFailedDisk(static_cast<DiskId>(d), trees_[d]->DataPages())) {
+          continue;
+        }
         const std::vector<PointId> local = trees_[d]->RangeQuery(query);
         out.insert(out.end(), local.begin(), local.end());
       }
@@ -505,8 +511,18 @@ std::vector<PointId> ParallelSearchEngine::PartialMatchQuery(
   std::vector<Scalar> hi(dim_, std::numeric_limits<Scalar>::max());
   for (const auto& [dim_index, value] : fixed) {
     PARSIM_CHECK(dim_index < dim_);
-    lo[dim_index] = value - tolerance;
-    hi[dim_index] = value + tolerance;
+    // value +- tolerance overflows Scalar at its extremes (lowest() -
+    // anything is already -inf), and infinite Rect edges feed NaN (inf -
+    // inf) into the branch-free SquaredMinDist. Widen to double — which
+    // holds any Scalar sum exactly enough — and clamp back to the finite
+    // Scalar range; stored points are finite, so the clamped window
+    // matches the ideal one on every candidate.
+    const double v = static_cast<double>(value);
+    const double t = static_cast<double>(tolerance);
+    lo[dim_index] = static_cast<Scalar>(std::max(
+        v - t, static_cast<double>(std::numeric_limits<Scalar>::lowest())));
+    hi[dim_index] = static_cast<Scalar>(std::min(
+        v + t, static_cast<double>(std::numeric_limits<Scalar>::max())));
   }
   return RangeQuery(Rect(std::move(lo), std::move(hi)), stats);
 }
@@ -540,7 +556,11 @@ KnnResult ParallelSearchEngine::SimilarityQuery(PointView query,
     } else {
       for (std::size_t d = 0; d < trees_.size(); ++d) {
         if (trees_[d]->empty()) continue;
-        if (SkipFailedDisk(static_cast<DiskId>(d), 1)) continue;
+        // Unavailability is charged at the partition's full data size,
+        // matching the scan architecture (see RangeQuery above).
+        if (SkipFailedDisk(static_cast<DiskId>(d), trees_[d]->DataPages())) {
+          continue;
+        }
         const KnnResult local =
             BallQuery(*trees_[d], query, radius, options_.metric);
         merged.insert(merged.end(), local.begin(), local.end());
@@ -589,13 +609,19 @@ KnnResult ParallelSearchEngine::Query(PointView query, std::size_t k,
               ScopedCostCapture worker_capture(&acc);
               ScopedPhaseCapture worker_phases(phase_sink);
               if (trees_[i]->empty()) return;
-              if (SkipFailedDisk(static_cast<DiskId>(i), 1)) return;
+              if (SkipFailedDisk(static_cast<DiskId>(i),
+                                 trees_[i]->DataPages())) {
+                return;
+              }
               local[i] = RunKnn(*trees_[i], query, k);
             });
       } else {
         for (std::size_t i = 0; i < trees_.size(); ++i) {
           if (trees_[i]->empty()) continue;
-          if (SkipFailedDisk(static_cast<DiskId>(i), 1)) continue;
+          if (SkipFailedDisk(static_cast<DiskId>(i),
+                             trees_[i]->DataPages())) {
+            continue;
+          }
           local[i] = RunKnn(*trees_[i], query, k);
         }
       }

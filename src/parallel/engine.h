@@ -432,6 +432,12 @@ class ParallelSearchEngine {
   DiskStats BuildStats() const { return build_stats_; }
 
  private:
+  // The query service front-end (src/service/query_service.h) drives the
+  // round scheduler directly and reuses the engine's accumulator-derived
+  // accounting (StatsFromAccumulator / MergeAccumulator), pool, and
+  // resolved approx context.
+  friend class QueryService;
+
   std::unique_ptr<TreeBase> MakeTree(SimulatedDisk* disk) const;
   KnnResult RunKnn(const TreeBase& tree, PointView query,
                    std::size_t k) const;

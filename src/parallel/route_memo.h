@@ -1,0 +1,60 @@
+// Packing of the shared-tree engine's memoized leaf route (see
+// ParallelSearchEngine::RouteLeaf): one atomic word per node id caching
+// the geometry-derived part of a leaf's disk route.
+//
+//   bit  63     valid flag
+//   bits 16..47 replica bucket (32 bits)
+//   bits  0..15 primary disk id (16 bits)
+//
+// Both fields are range-guarded: a value that does not fit its field is
+// NOT cached (Pack returns 0, an invalid word) rather than silently
+// truncated — an oversized bucket shifted into bits 16..47 would
+// otherwise spill into the reserved bits and, at bit 47 of the bucket,
+// clobber the valid flag itself. Routing stays correct either way; an
+// unpackable route just recomputes per access.
+//
+// The helpers take the widest plausible types so the guards stay
+// meaningful if DiskId or BucketId are ever widened.
+
+#ifndef PARSIM_SRC_PARALLEL_ROUTE_MEMO_H_
+#define PARSIM_SRC_PARALLEL_ROUTE_MEMO_H_
+
+#include <cstdint>
+
+namespace parsim {
+namespace route_memo {
+
+inline constexpr std::uint64_t kValidBit = std::uint64_t{1} << 63;
+inline constexpr std::uint64_t kPrimaryBits = 16;
+inline constexpr std::uint64_t kBucketBits = 32;
+
+/// True iff both fields fit their bit ranges and the word can be cached.
+constexpr bool Fits(std::uint64_t primary, std::uint64_t bucket) {
+  return primary < (std::uint64_t{1} << kPrimaryBits) &&
+         bucket < (std::uint64_t{1} << kBucketBits);
+}
+
+/// The packed valid word, or 0 (an invalid word — bit 63 clear) when a
+/// field does not fit. Callers skip caching on 0.
+constexpr std::uint64_t Pack(std::uint64_t primary, std::uint64_t bucket) {
+  return Fits(primary, bucket)
+             ? kValidBit | (bucket << kPrimaryBits) | primary
+             : std::uint64_t{0};
+}
+
+constexpr bool IsValid(std::uint64_t packed) {
+  return (packed & kValidBit) != 0;
+}
+
+constexpr std::uint64_t PrimaryOf(std::uint64_t packed) {
+  return packed & ((std::uint64_t{1} << kPrimaryBits) - 1);
+}
+
+constexpr std::uint64_t BucketOf(std::uint64_t packed) {
+  return (packed >> kPrimaryBits) & ((std::uint64_t{1} << kBucketBits) - 1);
+}
+
+}  // namespace route_memo
+}  // namespace parsim
+
+#endif  // PARSIM_SRC_PARALLEL_ROUTE_MEMO_H_

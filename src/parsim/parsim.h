@@ -28,6 +28,7 @@
 #include "src/core/replica.h"
 #include "src/cost/model.h"
 #include "src/eval/experiment.h"
+#include "src/eval/open_loop.h"
 #include "src/eval/recall.h"
 #include "src/eval/throughput.h"
 #include "src/geometry/metric.h"
@@ -47,6 +48,9 @@
 #include "src/io/disk_model.h"
 #include "src/parallel/batch_knn.h"
 #include "src/parallel/engine.h"
+#include "src/parallel/route_memo.h"
+#include "src/parallel/round_scheduler.h"
+#include "src/service/query_service.h"
 #include "src/util/phase_timer.h"
 #include "src/util/random.h"
 #include "src/util/status.h"

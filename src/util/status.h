@@ -26,6 +26,10 @@ enum class StatusCode {
   /// The data exists but cannot be served right now (e.g. a failed disk
   /// with no healthy replica). Retry after the fault clears.
   kUnavailable,
+  /// A per-query deadline or budget expired before the query completed.
+  /// The operation may still carry a usable partial answer (the query
+  /// service returns the best-first prefix found so far).
+  kDeadlineExceeded,
 };
 
 /// Returns a stable human-readable name, e.g. "INVALID_ARGUMENT".
@@ -65,6 +69,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -300,5 +300,59 @@ TEST_F(DegradedQueryTest, ThroughputReportsDegradationFactors) {
   EXPECT_EQ(degraded.unavailable_pages, 0u);
 }
 
+// Pins the fault-accounting fix: the federated tree paths used to charge
+// exactly ONE unavailable page per failed disk, undercounting the lost
+// work; they must charge the failed partition's actual data-page count,
+// exactly like the scan architecture always has. Fully packed leaves
+// (bulk_load_fill = 1.0) make a partition's tree data pages equal the
+// scan's packed pages, so the two architectures must agree bit-for-bit
+// — and the count must be the real partition size, not 1.
+TEST_F(DegradedQueryTest, FederatedUnavailablePagesMatchScanParity) {
+  EngineOptions tree_options;
+  tree_options.architecture = Architecture::kFederatedTrees;
+  tree_options.bulk_load = true;
+  tree_options.bulk_load_fill = 1.0;
+  auto tree_engine = std::make_unique<ParallelSearchEngine>(
+      kDim, std::make_unique<NearOptimalDeclusterer>(kDim, kDisks),
+      tree_options);
+  ASSERT_TRUE(tree_engine->Build(data_).ok());
+  const auto scan_engine =
+      MakeEngine(false, Architecture::kFederatedScan, data_);
+
+  FaultPlan plan(kDisks);
+  plan.FailDisk(3);
+  tree_engine->SetFaultPlan(plan);
+  scan_engine->SetFaultPlan(plan);
+
+  // k-NN path.
+  KnnResult tree_result, scan_result;
+  QueryStats tree_stats, scan_stats;
+  EXPECT_EQ(
+      tree_engine->TryQuery(queries_[0], kK, &tree_result, &tree_stats).code(),
+      StatusCode::kUnavailable);
+  EXPECT_EQ(
+      scan_engine->TryQuery(queries_[0], kK, &scan_result, &scan_stats).code(),
+      StatusCode::kUnavailable);
+  EXPECT_GT(tree_stats.unavailable_pages, 1u)
+      << "regression: tree path charged one page per failed disk";
+  EXPECT_EQ(tree_stats.unavailable_pages, scan_stats.unavailable_pages);
+
+  // Range path (PartialMatchQuery is the degenerate range query).
+  QueryStats tree_range_stats, scan_range_stats;
+  (void)tree_engine->PartialMatchQuery({{0, 0.5f}}, 0.25f, &tree_range_stats);
+  (void)scan_engine->PartialMatchQuery({{0, 0.5f}}, 0.25f, &scan_range_stats);
+  EXPECT_GT(tree_range_stats.unavailable_pages, 1u);
+  EXPECT_EQ(tree_range_stats.unavailable_pages,
+            scan_range_stats.unavailable_pages);
+
+  // Similarity (ball) path.
+  QueryStats tree_ball_stats, scan_ball_stats;
+  (void)tree_engine->SimilarityQuery(queries_[1], 0.3, &tree_ball_stats);
+  (void)scan_engine->SimilarityQuery(queries_[1], 0.3, &scan_ball_stats);
+  EXPECT_GT(tree_ball_stats.unavailable_pages, 1u);
+  EXPECT_EQ(tree_ball_stats.unavailable_pages,
+            scan_ball_stats.unavailable_pages);
+}
+
 }  // namespace
 }  // namespace parsim

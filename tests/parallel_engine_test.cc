@@ -1,12 +1,14 @@
 #include "src/parallel/engine.h"
 
 #include <memory>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "src/core/baselines.h"
 #include "src/core/near_optimal.h"
 #include "src/index/knn.h"
+#include "src/parallel/route_memo.h"
 #include "src/workload/generators.h"
 
 namespace parsim {
@@ -279,6 +281,48 @@ TEST(EngineTest, BuildStatsRecordedAndQueriesStartClean) {
   (void)engine->Query(data[0], 1, &stats);
   // Query stats must not include build-time writes.
   EXPECT_EQ(engine->disks().TotalStats().pages_written, 0u);
+}
+
+// Pins the memo-word fix: the packed leaf route guards BOTH fields now.
+// Formerly only the primary disk id was range-checked while the bucket
+// was shifted into bits 16..47 unchecked — a bucket at or above 2^32
+// would spill into the reserved bits (and, at bucket bit 47, clobber
+// the valid flag). Unpackable routes must simply not be cached.
+TEST(RouteMemoTest, RoundTripsMaximalInRangeFields) {
+  const std::uint64_t max_primary = (1ull << route_memo::kPrimaryBits) - 1;
+  const std::uint64_t max_bucket = (1ull << route_memo::kBucketBits) - 1;
+  for (const std::uint64_t primary :
+       std::vector<std::uint64_t>{0, 7, max_primary}) {
+    for (const std::uint64_t bucket :
+         std::vector<std::uint64_t>{0, 123456789, max_bucket}) {
+      const std::uint64_t word = route_memo::Pack(primary, bucket);
+      ASSERT_NE(word, 0u);
+      EXPECT_TRUE(route_memo::IsValid(word));
+      EXPECT_EQ(route_memo::PrimaryOf(word), primary);
+      EXPECT_EQ(route_memo::BucketOf(word), bucket);
+    }
+  }
+}
+
+TEST(RouteMemoTest, WideFieldsAreNotCached) {
+  const std::uint64_t wide_primary = 1ull << route_memo::kPrimaryBits;
+  const std::uint64_t wide_bucket = 1ull << route_memo::kBucketBits;
+  EXPECT_FALSE(route_memo::Fits(wide_primary, 0));
+  EXPECT_FALSE(route_memo::Fits(0, wide_bucket));
+  EXPECT_EQ(route_memo::Pack(wide_primary, 0), 0u);
+  EXPECT_EQ(route_memo::Pack(0, wide_bucket), 0u);
+  // The corruption the guard prevents: the bucket bit that would land on
+  // the valid flag if it were shifted in unchecked.
+  const std::uint64_t flag_clobber_bucket = 1ull << (63 - 16);
+  EXPECT_EQ(route_memo::Pack(0, flag_clobber_bucket), 0u);
+  // An unchecked shift of that bucket lands its top bit on bit 63: the
+  // word reads back "valid" with bucket 0 — a wrong route, silently.
+  const std::uint64_t unchecked =
+      route_memo::kValidBit |
+      (flag_clobber_bucket << route_memo::kPrimaryBits);
+  EXPECT_TRUE(route_memo::IsValid(unchecked));
+  EXPECT_NE(route_memo::BucketOf(unchecked), flag_clobber_bucket)
+      << "unguarded packing would round-trip the bucket wrongly";
 }
 
 }  // namespace

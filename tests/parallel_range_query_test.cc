@@ -2,6 +2,9 @@
 // all architectures and declusterers.
 
 #include <algorithm>
+#include <limits>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -172,6 +175,54 @@ TEST(RangeQueryBalanceTest, DeclusteredRangeQueriesUseManyDisks) {
   std::vector<Scalar> lo(d, Scalar{0.1f}), hi(d, Scalar{0.9f});
   (void)engine.RangeQuery(Rect(std::move(lo), std::move(hi)), &stats);
   EXPECT_GT(stats.balance, 0.4);
+}
+
+// Property test for PartialMatchQuery at Scalar extremes: value ±
+// tolerance computed in float can overflow to ±inf (or lose the
+// tolerance entirely), producing Rect edges that disagree with the
+// real-number predicate |coord - value| <= tolerance. The engine
+// computes the bounds in double and clamps them to the finite Scalar
+// range, so every (extreme value, extreme tolerance) pair must match a
+// double-arithmetic brute-force oracle exactly.
+TEST(PartialMatchTest, ExtremeBoundsMatchDoubleOracle) {
+  constexpr std::size_t d = 3;
+  constexpr Scalar kLowest = std::numeric_limits<Scalar>::lowest();
+  constexpr Scalar kMax = std::numeric_limits<Scalar>::max();
+  PointSet data(d);
+  // Points spanning the whole finite Scalar range, extremes included.
+  const std::vector<Scalar> coords = {kLowest,  -1e30f, -1.0f, -0.0f, 0.0f,
+                                      1.0f,     1e30f,  kMax,  0.5f,  -0.5f};
+  for (const Scalar a : coords) {
+    for (const Scalar b : coords) {
+      Point p(d, Scalar{0.25f});
+      p[0] = a;
+      p[2] = b;
+      data.Add(p);
+    }
+  }
+  ParallelSearchEngine engine(d,
+                              std::make_unique<NearOptimalDeclusterer>(d, 4));
+  ASSERT_TRUE(engine.Build(data).ok());
+
+  const std::vector<Scalar> values = {kLowest, -1.0f, 0.0f, 1.0f, kMax};
+  const std::vector<Scalar> tolerances = {0.0f, 1.0f, kMax};
+  for (const Scalar value : values) {
+    for (const Scalar tolerance : tolerances) {
+      SCOPED_TRACE("value " + std::to_string(value) + " tolerance " +
+                   std::to_string(tolerance));
+      const auto hits = engine.PartialMatchQuery({{0, value}}, tolerance);
+      std::vector<PointId> expected;
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        const double c = static_cast<double>(data[i][0]);
+        const double v = static_cast<double>(value);
+        const double t = static_cast<double>(tolerance);
+        if (c >= v - t && c <= v + t) {
+          expected.push_back(static_cast<PointId>(i));
+        }
+      }
+      EXPECT_EQ(hits, expected);
+    }
+  }
 }
 
 }  // namespace

@@ -34,6 +34,9 @@ TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
       {Status::Unimplemented("f"), StatusCode::kUnimplemented,
        "UNIMPLEMENTED"},
       {Status::Internal("g"), StatusCode::kInternal, "INTERNAL"},
+      {Status::Unavailable("h"), StatusCode::kUnavailable, "UNAVAILABLE"},
+      {Status::DeadlineExceeded("i"), StatusCode::kDeadlineExceeded,
+       "DEADLINE_EXCEEDED"},
   };
   for (const Case& c : cases) {
     EXPECT_FALSE(c.status.ok());

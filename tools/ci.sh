@@ -55,13 +55,16 @@ echo "== [3/4] TSAN build + concurrency tests =="
 # prefix-stage cascade, WarmLeafBlocks prebuild, and the phase-profiled
 # coalesced batch (thread-local capture install/remove under a pool);
 # index_approx_knn_test runs the approximate tier's relaxed skips and
-# their per-query counters on a multi-worker coalesced batch.
+# their per-query counters on a multi-worker coalesced batch;
+# parallel_service_test runs the query service's dispatcher thread
+# against concurrent submitters (deadlines, backpressure, priorities,
+# 8-worker determinism).
 TSAN_TESTS=(util_thread_pool_test io_buffer_pool_test
             parallel_concurrency_test parallel_threads_test
             parallel_batch_coalesced_test
             parallel_degraded_query_test golden_stats_test
             index_quantized_block_test index_cascade_test
-            index_approx_knn_test)
+            index_approx_knn_test parallel_service_test)
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -O1 -g" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
@@ -77,7 +80,7 @@ echo "== [4/4] microbench smoke lane =="
 MICROBENCHES=(microbench_query_parallel microbench_buffer_pool
               microbench_fault_injection microbench_batch_knn
               microbench_quantized_knn microbench_cascade
-              microbench_recall)
+              microbench_recall microbench_service)
 cmake --build build-ci -j "$JOBS" --target "${MICROBENCHES[@]}"
 # Run from build-ci so the smoke-sized JSON files do not overwrite the
 # committed full-run BENCH_*.json at the repo root (tools/bench.sh
