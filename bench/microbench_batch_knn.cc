@@ -20,7 +20,10 @@
 // per-query results, and per query, pages_read + coalesced_reads equals
 // the pages the per-query path read (unbuffered engines). A buffered
 // section repeats the largest configuration with a page buffer to show
-// the two mechanisms compose.
+// the two mechanisms compose, and a million-point section (d=16,
+// n >= 1M via PARSIM_BENCH_MILLION_N, engines built with the parallel
+// bulk-load path) re-verifies the invariants at data scale — skipped
+// in --smoke.
 //
 // Output: a table on stdout and BENCH_batch_knn.json in the working
 // directory; exit status 1 if any invariant fails. Scale with
@@ -98,13 +101,15 @@ PointSet MakeHotSpotQueries(const PointSet& data, std::size_t n,
 std::unique_ptr<ParallelSearchEngine> MakeEngine(const PointSet& data,
                                                  std::size_t disks,
                                                  bool coalesced,
-                                                 std::uint64_t buffer_pages) {
+                                                 std::uint64_t buffer_pages,
+                                                 unsigned workers = 0) {
   EngineOptions options;
   options.architecture = Architecture::kSharedTree;
   options.bulk_load = true;
   options.coalesced_batch = coalesced;
   options.buffer_pages_per_disk = buffer_pages;
   options.deterministic_batch = buffer_pages > 0;  // reproducible per-query
+  options.parallel_workers = workers;  // > 1: parallel build + warm-up
   auto engine = std::make_unique<ParallelSearchEngine>(
       data.dim(), std::make_unique<NearOptimalDeclusterer>(data.dim(), disks),
       options);
@@ -294,6 +299,56 @@ int Run(bool smoke) {
       static_cast<unsigned long long>(sim_buf_b.coalesced_reads),
       buffered_identical ? "yes" : "NO (BUG)");
 
+  // --- Million-point configuration (the parallel bulk-load unlock) -----
+  // d=16 at n >= 1M, the scale the recall/LSH comparisons operate at.
+  // Both engines opt into the parallel build (parallel_workers = 8):
+  // Build fans the bulk load and the leaf-block/route warm-up over the
+  // pool, and the coalesced batch must stay bit-identical to per-query
+  // on a tree three orders of magnitude past the smoke sizes. Skipped
+  // in --smoke (seconds-scale lane).
+  std::size_t mn = 0;
+  double million_build_ms = 0.0;
+  double million_makespan_speedup = 0.0;
+  std::uint64_t million_coalesced = 0;
+  bool million_identical = true;
+  if (!smoke) {
+    mn = EnvSize("PARSIM_BENCH_MILLION_N", 1000000);
+    const std::size_t mdim = 16;
+    const PointSet mdata = GenerateUniform(mn, mdim, 9001);
+    const PointSet mqueries =
+        MakeHotSpotQueries(mdata, bbatch, hotspots, jitter, 9103);
+    Stopwatch pq_watch;
+    const auto m_pq = MakeEngine(mdata, disks, false, 0, 8);
+    const double pq_build_ms = pq_watch.ElapsedMillis();
+    Stopwatch b_watch;
+    const auto m_b = MakeEngine(mdata, disks, true, 0, 8);
+    million_build_ms = b_watch.ElapsedMillis();
+    if (m_pq == nullptr || m_b == nullptr) {
+      std::fprintf(stderr, "engine build failed (million)\n");
+      return 1;
+    }
+    const ThroughputResult sim_m_pq =
+        SimulateThroughput(*m_pq, mqueries, k, 1);
+    const ThroughputResult sim_m_b = SimulateThroughput(*m_b, mqueries, k, 1);
+    std::vector<QueryStats> mstats_pq;
+    std::vector<QueryStats> mstats_b;
+    million_identical =
+        ResultsIdentical(m_pq->QueryBatch(mqueries, k, &mstats_pq, 1),
+                         m_b->QueryBatch(mqueries, k, &mstats_b, 1)) &&
+        PageInvariantHolds(mstats_b, mstats_pq);
+    all_ok = all_ok && million_identical;
+    million_makespan_speedup = sim_m_pq.makespan_ms / sim_m_b.makespan_ms;
+    million_coalesced = sim_m_b.coalesced_reads;
+    std::printf(
+        "  million (n=%zu d=%zu batch=%zu, parallel build): build %.0f / "
+        "%.0f ms, makespan %9.1f -> %9.1f ms (%5.2fx)  coalesced=%llu  "
+        "identical=%s\n",
+        mn, mdim, bbatch, pq_build_ms, million_build_ms, sim_m_pq.makespan_ms,
+        sim_m_b.makespan_ms, million_makespan_speedup,
+        static_cast<unsigned long long>(million_coalesced),
+        million_identical ? "yes" : "NO (BUG)");
+  }
+
   // --- Acceptance: the headline configuration ---------------------------
   double headline_makespan = 0.0;
   double headline_wall = 0.0;
@@ -362,6 +417,18 @@ int Run(bool smoke) {
                buffered_speedup,
                static_cast<unsigned long long>(sim_buf_b.coalesced_reads),
                buffered_identical ? "true" : "false");
+  if (smoke) {
+    std::fprintf(json, "  \"million\": null,\n");
+  } else {
+    std::fprintf(json,
+                 "  \"million\": {\"n\": %zu, \"dim\": 16, \"batch\": %zu, "
+                 "\"parallel_workers\": 8, \"build_ms\": %.0f, "
+                 "\"makespan_speedup\": %.3f, \"coalesced_reads\": %llu, "
+                 "\"results_identical\": %s},\n",
+                 mn, bbatch, million_build_ms, million_makespan_speedup,
+                 static_cast<unsigned long long>(million_coalesced),
+                 million_identical ? "true" : "false");
+  }
   std::fprintf(json,
                "  \"headline\": {\"dim\": 16, \"batch\": %zu, "
                "\"makespan_speedup\": %.3f, \"wall_speedup\": %.3f, "

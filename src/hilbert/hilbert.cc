@@ -22,11 +22,11 @@ HilbertCurve::HilbertCurve(std::size_t dim, int bits) : dim_(dim), bits_(bits) {
   PARSIM_CHECK(bits >= 1 && bits <= 32);
 }
 
-void HilbertCurve::AxesToTranspose(std::vector<GridCoord>* x) const {
-  // Skilling (2004). On return, *x holds the Hilbert index in "transposed"
+void HilbertCurve::AxesToTranspose(GridCoord* x) const {
+  // Skilling (2004). On return, x holds the Hilbert index in "transposed"
   // form: bit j of the index at global position (j % dim) of level
   // (j / dim).
-  std::vector<GridCoord>& X = *x;
+  GridCoord* X = x;
   const std::size_t n = dim_;
   const GridCoord M = GridCoord{1} << (bits_ - 1);
   // Inverse undo.
@@ -51,8 +51,8 @@ void HilbertCurve::AxesToTranspose(std::vector<GridCoord>* x) const {
   for (std::size_t i = 0; i < n; ++i) X[i] ^= t;
 }
 
-void HilbertCurve::TransposeToAxes(std::vector<GridCoord>* x) const {
-  std::vector<GridCoord>& X = *x;
+void HilbertCurve::TransposeToAxes(GridCoord* x) const {
+  GridCoord* X = x;
   const std::size_t n = dim_;
   const GridCoord M = GridCoord{2} << (bits_ - 1);
   // Gray decode by H ^ (H/2).
@@ -82,26 +82,30 @@ HilbertIndex HilbertCurve::Encode(const std::vector<GridCoord>& coords) const {
   for (GridCoord c : coords) PARSIM_CHECK(c <= limit);
 
   std::vector<GridCoord> x = coords;
-  AxesToTranspose(&x);
+  AxesToTranspose(x.data());
 
+  HilbertIndex out;
+  out.words.assign(key_words(), 0);
+  PackTransposed(x.data(), out.words.data());
+  return out;
+}
+
+void HilbertCurve::PackTransposed(const GridCoord* x,
+                                  std::uint64_t* words) const {
   // Pack the transposed form into a linear big integer, MSB first:
   // for level j = bits-1 .. 0, for dimension i = 0 .. dim-1, the next bit
   // (from most significant) is bit j of x[i].
-  const int total = total_bits();
-  HilbertIndex out;
-  out.words.assign(static_cast<std::size_t>((total + 63) / 64), 0);
-  int pos = total - 1;  // global bit position to write, MSB first
+  int pos = total_bits() - 1;  // global bit position to write, MSB first
   for (int j = bits_ - 1; j >= 0; --j) {
     for (std::size_t i = 0; i < dim_; ++i) {
       if ((x[i] >> j) & 1u) {
-        out.words[static_cast<std::size_t>(pos / 64)] |=
+        words[static_cast<std::size_t>(pos / 64)] |=
             (std::uint64_t{1} << (pos % 64));
       }
       --pos;
     }
   }
   PARSIM_DCHECK(pos == -1);
-  return out;
 }
 
 std::vector<GridCoord> HilbertCurve::Decode(const HilbertIndex& index) const {
@@ -119,7 +123,7 @@ std::vector<GridCoord> HilbertCurve::Decode(const HilbertIndex& index) const {
       --pos;
     }
   }
-  TransposeToAxes(&x);
+  TransposeToAxes(x.data());
   return x;
 }
 
@@ -136,10 +140,9 @@ std::vector<GridCoord> HilbertCurve::DecodeU64(std::uint64_t index) const {
   return Decode(h);
 }
 
-std::vector<GridCoord> HilbertCurve::CellOf(PointView p) const {
+void HilbertCurve::CellOfTo(PointView p, GridCoord* out) const {
   PARSIM_CHECK(p.size() == dim_);
   const double cells = std::ldexp(1.0, bits_);  // 2^bits
-  std::vector<GridCoord> out(dim_);
   for (std::size_t i = 0; i < dim_; ++i) {
     double scaled = static_cast<double>(p[i]) * cells;
     // Clamp: coordinate 1.0 maps to the last cell.
@@ -147,11 +150,31 @@ std::vector<GridCoord> HilbertCurve::CellOf(PointView p) const {
     if (scaled >= cells) scaled = cells - 1.0;
     out[i] = static_cast<GridCoord>(scaled);
   }
+}
+
+std::vector<GridCoord> HilbertCurve::CellOf(PointView p) const {
+  std::vector<GridCoord> out(dim_);
+  CellOfTo(p, out.data());
   return out;
 }
 
 HilbertIndex HilbertCurve::IndexOfPoint(PointView p) const {
   return Encode(CellOf(p));
+}
+
+void HilbertCurve::IndexOfPoints(const PointSet& points, std::size_t begin,
+                                 std::size_t end, std::uint64_t* out) const {
+  PARSIM_CHECK(points.dim() == dim_);
+  PARSIM_CHECK(begin <= end && end <= points.size());
+  const std::size_t words = key_words();
+  std::vector<GridCoord> x(dim_);  // shared scratch for the whole batch
+  for (std::size_t i = begin; i < end; ++i) {
+    CellOfTo(points[i], x.data());
+    AxesToTranspose(x.data());
+    std::uint64_t* w = out + (i - begin) * words;
+    std::fill(w, w + words, std::uint64_t{0});
+    PackTransposed(x.data(), w);
+  }
 }
 
 std::uint64_t HilbertIndexMod(const HilbertIndex& index, std::uint64_t n) {

@@ -47,6 +47,10 @@ class HilbertCurve {
   std::size_t dim() const { return dim_; }
   int bits() const { return bits_; }
   int total_bits() const { return static_cast<int>(dim_) * bits_; }
+  /// 64-bit words per index: HilbertIndex::words.size() for this curve.
+  std::size_t key_words() const {
+    return static_cast<std::size_t>((total_bits() + 63) / 64);
+  }
 
   /// Hilbert index of a grid cell. `coords` must have size dim() with
   /// each value < 2^bits().
@@ -65,10 +69,26 @@ class HilbertCurve {
   /// Hilbert index of a point in [0,1]^d.
   HilbertIndex IndexOfPoint(PointView p) const;
 
+  /// Batch form of IndexOfPoint: writes the keys of points[begin..end)
+  /// into `out`, key_words() little-endian words per point (word j of
+  /// point i at out[(i - begin) * key_words() + j], bit-identical to
+  /// IndexOfPoint(points[i]).words[j]). One scratch buffer serves the
+  /// whole batch instead of the per-call allocations of the single-point
+  /// path; bulk load feeds ParallelFor chunks through this. `out` must
+  /// hold (end - begin) * key_words() words.
+  void IndexOfPoints(const PointSet& points, std::size_t begin,
+                     std::size_t end, std::uint64_t* out) const;
+
  private:
-  // Skilling's transforms on the "transposed" index representation.
-  void AxesToTranspose(std::vector<GridCoord>* x) const;
-  void TransposeToAxes(std::vector<GridCoord>* x) const;
+  // Skilling's transforms on the "transposed" index representation;
+  // `x` points at dim() coordinates transformed in place.
+  void AxesToTranspose(GridCoord* x) const;
+  void TransposeToAxes(GridCoord* x) const;
+  // Grid cell of a point in [0,1]^d, written into caller storage.
+  void CellOfTo(PointView p, GridCoord* out) const;
+  // Packs the transposed form at `x` into key_words() little-endian
+  // words at `words` (which must be pre-zeroed), MSB first globally.
+  void PackTransposed(const GridCoord* x, std::uint64_t* words) const;
 
   std::size_t dim_;
   int bits_;

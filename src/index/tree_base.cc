@@ -8,6 +8,7 @@
 #include "src/geometry/metric.h"
 #include "src/hilbert/hilbert.h"
 #include "src/util/check.h"
+#include "src/util/parallel_sort.h"
 #include "src/util/thread_pool.h"
 
 namespace parsim {
@@ -60,6 +61,22 @@ NodeId TreeBase::AllocateNode(int level) {
   nodes_.push_back(std::move(node));
   disk_->WritePages(1);
   return id;
+}
+
+NodeId TreeBase::AllocateNodes(int level, std::size_t count) {
+  PARSIM_CHECK(count >= 1);
+  const NodeId first = static_cast<NodeId>(nodes_.size());
+  nodes_.reserve(nodes_.size() + count);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto node = std::make_unique<Node>();
+    node->id = static_cast<NodeId>(first + i);
+    node->level = level;
+    nodes_.push_back(std::move(node));
+  }
+  // One batched charge; Sink().pages_written += count is exactly what
+  // `count` AllocateNode calls would have accumulated.
+  disk_->WritePages(static_cast<std::uint64_t>(count));
+  return first;
 }
 
 TreeBase::DiskRoute TreeBase::ResolveRoute(const Node& node) const {
@@ -488,8 +505,106 @@ NodeId TreeBase::ApplySplit(NodeId node_id, SplitResult split) {
   return sibling_id;
 }
 
+namespace {
+
+// Runs body(i) for i in [0, n): over `pool` when given, inline otherwise.
+// Every use below writes disjoint state per iteration, so the two modes
+// are interchangeable and the parallel build stays bit-identical.
+void ForEachIndex(ThreadPool* pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body) {
+  if (pool != nullptr && n > 1) {
+    pool->ParallelFor(0, n, body);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+  }
+}
+
+// Hilbert sort record: the key's 64-bit words most-significant FIRST (so
+// lexicographic word comparison is numeric big-integer comparison) plus
+// the point index as tiebreak. (key, index) is a strict total order: the
+// sorted permutation is unique, so serial std::sort and the pool's merge
+// ladder produce the same order bit for bit at any thread count. Sorting
+// contiguous records also beats the old comparator-indirection sort
+// (`order` indices chasing keys[a] through two pointer hops) on cache
+// behavior — the sort's working set is the record array itself.
+template <std::size_t W>
+struct HilbertKeyRec {
+  std::uint64_t words[W];
+  std::uint32_t index;
+
+  friend bool operator<(const HilbertKeyRec& a, const HilbertKeyRec& b) {
+    for (std::size_t i = 0; i < W; ++i) {
+      if (a.words[i] != b.words[i]) return a.words[i] < b.words[i];
+    }
+    return a.index < b.index;
+  }
+};
+
+// Keys are computed in chunks of this many points: one batch
+// IndexOfPoints call (a single scratch allocation) per chunk, one
+// ParallelFor iteration per chunk.
+constexpr std::size_t kHilbertChunk = 4096;
+
+template <std::size_t W>
+void HilbertOrderFixed(const PointSet& points, const HilbertCurve& curve,
+                       ThreadPool* pool, std::vector<std::size_t>* order) {
+  const std::size_t n = points.size();
+  std::vector<HilbertKeyRec<W>> recs(n);
+  const std::size_t chunks = (n + kHilbertChunk - 1) / kHilbertChunk;
+  ForEachIndex(pool, chunks, [&](std::size_t c) {
+    const std::size_t begin = c * kHilbertChunk;
+    const std::size_t end = std::min(n, begin + kHilbertChunk);
+    std::vector<std::uint64_t> words((end - begin) * W);
+    curve.IndexOfPoints(points, begin, end, words.data());
+    for (std::size_t i = begin; i < end; ++i) {
+      HilbertKeyRec<W>& rec = recs[i];
+      const std::uint64_t* w = words.data() + (i - begin) * W;
+      // IndexOfPoints emits little-endian words; flip to MSW-first.
+      for (std::size_t j = 0; j < W; ++j) rec.words[j] = w[W - 1 - j];
+      rec.index = static_cast<std::uint32_t>(i);
+    }
+  });
+  ParallelSort(pool, recs.begin(), recs.end(),
+               [](const HilbertKeyRec<W>& a, const HilbertKeyRec<W>& b) {
+                 return a < b;
+               });
+  for (std::size_t i = 0; i < n; ++i) (*order)[i] = recs[i].index;
+}
+
+// Keys wider than 4 words (dim * 8 bits > 256, i.e. dim > 32) fall back
+// to flat key storage with an indirect comparator — still a strict total
+// order, still deterministic, just without the record-sort cache win.
+void HilbertOrderGeneric(const PointSet& points, const HilbertCurve& curve,
+                         ThreadPool* pool, std::vector<std::size_t>* order) {
+  const std::size_t n = points.size();
+  const std::size_t kw = curve.key_words();
+  std::vector<std::uint64_t> keys(n * kw);
+  const std::size_t chunks = (n + kHilbertChunk - 1) / kHilbertChunk;
+  ForEachIndex(pool, chunks, [&](std::size_t c) {
+    const std::size_t begin = c * kHilbertChunk;
+    const std::size_t end = std::min(n, begin + kHilbertChunk);
+    curve.IndexOfPoints(points, begin, end, keys.data() + begin * kw);
+  });
+  ParallelSort(pool, order->begin(), order->end(),
+               [&](std::size_t a, std::size_t b) {
+                 const std::uint64_t* wa = keys.data() + a * kw;
+                 const std::uint64_t* wb = keys.data() + b * kw;
+                 for (std::size_t i = kw; i-- > 0;) {  // LE: MSW last
+                   if (wa[i] != wb[i]) return wa[i] < wb[i];
+                 }
+                 return a < b;
+               });
+}
+
+// STR slab recursions below this many points run on the calling thread;
+// larger slabs fan out over the pool (and their internal sorts may fan
+// out again — ParallelFor nests safely).
+constexpr std::size_t kStrParallelCutoff = 8192;
+
+}  // namespace
+
 Status TreeBase::BulkLoad(const PointSet& points,
-                          const std::vector<PointId>* ids) {
+                          const std::vector<PointId>* ids, ThreadPool* pool) {
   if (points.dim() != dim_) {
     return Status::InvalidArgument("point set dimension mismatch");
   }
@@ -501,24 +616,28 @@ Status TreeBase::BulkLoad(const PointSet& points,
   }
   const std::size_t n = points.size();
   if (n == 0) return Status::Ok();
+  // HilbertKeyRec carries the tiebreak index in 32 bits (PointId width).
+  PARSIM_CHECK(n <= std::numeric_limits<std::uint32_t>::max());
 
   std::vector<std::size_t> order(n);
   std::iota(order.begin(), order.end(), 0);
   if (options_.bulk_load_order == BulkLoadOrder::kHilbert) {
-    // Hilbert-order the points (8 bits of resolution per dimension).
+    // Hilbert-order the points (8 bits of resolution per dimension) by
+    // sorting (key, index) records; see HilbertKeyRec above.
     const HilbertCurve curve(dim_, /*bits=*/8);
-    std::vector<HilbertIndex> keys;
-    keys.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      keys.push_back(curve.IndexOfPoint(points[i]));
+    switch (curve.key_words()) {
+      case 1: HilbertOrderFixed<1>(points, curve, pool, &order); break;
+      case 2: HilbertOrderFixed<2>(points, curve, pool, &order); break;
+      case 3: HilbertOrderFixed<3>(points, curve, pool, &order); break;
+      case 4: HilbertOrderFixed<4>(points, curve, pool, &order); break;
+      default: HilbertOrderGeneric(points, curve, pool, &order); break;
     }
-    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-      return keys[a] < keys[b];
-    });
   } else {
     // Sort-Tile-Recursive: sort by the first dimension, cut into slabs
     // holding whole columns of leaves, recurse on the remaining
-    // dimensions within each slab.
+    // dimensions within each slab. The comparator's index tiebreak makes
+    // each slab sort a strict total order, so every slab boundary — and
+    // with it the whole tiling — is identical at any thread count.
     const std::size_t leaf_points = std::max<std::size_t>(
         1, static_cast<std::size_t>(options_.bulk_load_fill *
                                     static_cast<double>(leaf_capacity_)));
@@ -526,11 +645,14 @@ Status TreeBase::BulkLoad(const PointSet& points,
         [&](std::size_t begin, std::size_t end, std::size_t dim_index) {
           const std::size_t count = end - begin;
           if (count <= leaf_points || dim_index >= dim_) return;
-          std::sort(order.begin() + static_cast<std::ptrdiff_t>(begin),
-                    order.begin() + static_cast<std::ptrdiff_t>(end),
-                    [&](std::size_t a, std::size_t b) {
-                      return points[a][dim_index] < points[b][dim_index];
-                    });
+          ParallelSort(pool, order.begin() + static_cast<std::ptrdiff_t>(begin),
+                       order.begin() + static_cast<std::ptrdiff_t>(end),
+                       [&points, dim_index](std::size_t a, std::size_t b) {
+                         const Scalar va = points[a][dim_index];
+                         const Scalar vb = points[b][dim_index];
+                         if (va != vb) return va < vb;
+                         return a < b;
+                       });
           if (dim_index + 1 >= dim_) return;  // last dim: sorted run packs
           const double leaves = std::ceil(static_cast<double>(count) /
                                           static_cast<double>(leaf_points));
@@ -538,9 +660,17 @@ Status TreeBase::BulkLoad(const PointSet& points,
           const auto slabs = static_cast<std::size_t>(
               std::ceil(std::pow(leaves, 1.0 / dims_left)));
           const std::size_t slab_size = (count + slabs - 1) / slabs;
+          std::vector<std::pair<std::size_t, std::size_t>> ranges;
           for (std::size_t s = begin; s < end; s += slab_size) {
-            tile(s, std::min(end, s + slab_size), dim_index + 1);
+            ranges.emplace_back(s, std::min(end, s + slab_size));
           }
+          // Slabs are disjoint subranges of `order`: recurse over the
+          // pool when the range is worth splitting, serially otherwise.
+          ForEachIndex(
+              count >= kStrParallelCutoff ? pool : nullptr, ranges.size(),
+              [&](std::size_t s) {
+                tile(ranges[s].first, ranges[s].second, dim_index + 1);
+              });
         };
     tile(0, n, 0);
   }
@@ -564,31 +694,40 @@ Status TreeBase::BulkLoad(const PointSet& points,
     return sizes;
   };
 
-  // Pack the leaf level.
+  // Pack the leaf level. Group sizes and start offsets are pure
+  // functions of (n, fill, capacity) — no parallel state — so the
+  // groups can be filled in any order: each writes only its own node.
   const auto leaf_fill = std::max<std::size_t>(
       MinEntriesOf(Node{}),  // Node{} is a leaf (level 0)
       static_cast<std::size_t>(options_.bulk_load_fill *
                                static_cast<double>(leaf_capacity_)));
-  std::vector<NodeId> level_nodes;
+  const auto leaf_sizes =
+      pack_groups(n, leaf_fill, MinEntriesOf(Node{}), leaf_capacity_);
+  std::vector<std::size_t> leaf_starts(leaf_sizes.size());
   std::size_t start = 0;
-  for (const std::size_t count :
-       pack_groups(n, leaf_fill, MinEntriesOf(Node{}), leaf_capacity_)) {
-    const NodeId id = AllocateNode(/*level=*/0);
-    Node& leaf = *nodes_[id];
-    leaf.entries.reserve(count);
-    for (std::size_t i = 0; i < count; ++i) {
-      const std::size_t src = order[start + i];
+  for (std::size_t g = 0; g < leaf_sizes.size(); ++g) {
+    leaf_starts[g] = start;
+    start += leaf_sizes[g];
+  }
+  PARSIM_CHECK(start == n);
+  const NodeId first_leaf = AllocateNodes(/*level=*/0, leaf_sizes.size());
+  ForEachIndex(pool, leaf_sizes.size(), [&](std::size_t g) {
+    Node& leaf = *nodes_[first_leaf + g];
+    leaf.entries.reserve(leaf_sizes[g]);
+    for (std::size_t i = 0; i < leaf_sizes[g]; ++i) {
+      const std::size_t src = order[leaf_starts[g] + i];
       NodeEntry e;
       e.rect = Rect::AroundPoint(points[src]);
       e.child = ids != nullptr ? (*ids)[src] : static_cast<PointId>(src);
       leaf.entries.push_back(std::move(e));
     }
-    start += count;
-    level_nodes.push_back(id);
-  }
-  PARSIM_CHECK(start == n);
+  });
+  std::vector<NodeId> level_nodes(leaf_sizes.size());
+  std::iota(level_nodes.begin(), level_nodes.end(), first_leaf);
 
-  // Build directory levels bottom-up.
+  // Build directory levels bottom-up. Each level is a barrier: its
+  // groups read only fully-built child nodes (ComputeMbr is pure) and
+  // write only their own node, so the groups fan out over the pool.
   int level = 1;
   Node dir_probe;
   dir_probe.level = 1;
@@ -597,23 +736,29 @@ Status TreeBase::BulkLoad(const PointSet& points,
       2, static_cast<std::size_t>(options_.bulk_load_fill *
                                   static_cast<double>(dir_capacity_)));
   while (level_nodes.size() > 1) {
-    std::vector<NodeId> next_level;
+    const auto sizes =
+        pack_groups(level_nodes.size(), dir_fill, dir_min, dir_capacity_);
+    std::vector<std::size_t> child_starts(sizes.size());
     std::size_t child_index = 0;
-    for (const std::size_t count : pack_groups(level_nodes.size(), dir_fill,
-                                               dir_min, dir_capacity_)) {
-      const NodeId id = AllocateNode(level);
-      Node& dir = *nodes_[id];
-      dir.entries.reserve(count);
-      for (std::size_t i = 0; i < count; ++i) {
-        const NodeId child = level_nodes[child_index++];
+    for (std::size_t g = 0; g < sizes.size(); ++g) {
+      child_starts[g] = child_index;
+      child_index += sizes[g];
+    }
+    PARSIM_CHECK(child_index == level_nodes.size());
+    const NodeId first_dir = AllocateNodes(level, sizes.size());
+    ForEachIndex(pool, sizes.size(), [&](std::size_t g) {
+      Node& dir = *nodes_[first_dir + g];
+      dir.entries.reserve(sizes[g]);
+      for (std::size_t i = 0; i < sizes[g]; ++i) {
+        const NodeId child = level_nodes[child_starts[g] + i];
         NodeEntry e;
         e.rect = nodes_[child]->ComputeMbr(dim_);
         e.child = child;
         dir.entries.push_back(std::move(e));
       }
-      next_level.push_back(id);
-    }
-    PARSIM_CHECK(child_index == level_nodes.size());
+    });
+    std::vector<NodeId> next_level(sizes.size());
+    std::iota(next_level.begin(), next_level.end(), first_dir);
     level_nodes = std::move(next_level);
     ++level;
   }

@@ -97,8 +97,19 @@ class TreeBase {
   /// along a Hilbert curve and packed into leaves at options().bulk_load
   /// fill, then directory levels are built bottom-up. The id of points[i]
   /// is ids[i] when `ids` is given (must match points.size()), else i.
+  ///
+  /// With a non-null `pool` every phase — key computation, the
+  /// (key, index) sort, STR slab tiling, leaf packing and per-level MBR
+  /// construction — fans out over the pool's workers, and the resulting
+  /// tree is BIT-IDENTICAL to the serial build at any thread count:
+  /// the sort keys carry the point index as a tiebreak (a strict total
+  /// order has exactly one sorted permutation), every packing boundary
+  /// is a pure function of (n, fill, capacity), and page-write
+  /// accounting is batched per level so simulated disk counters match
+  /// the serial ones exactly. See DESIGN.md "Parallel bulk load".
   Status BulkLoad(const PointSet& points,
-                  const std::vector<PointId>* ids = nullptr);
+                  const std::vector<PointId>* ids = nullptr,
+                  ThreadPool* pool = nullptr);
 
   /// All point ids whose point lies inside `query` (inclusive). Charges
   /// page accesses for every node visited.
@@ -245,6 +256,13 @@ class TreeBase {
 
   Node& MutableNode(NodeId id);
   NodeId AllocateNode(int level);
+  /// Allocates `count` nodes at `level` with consecutive ids, returning
+  /// the first id, and charges their page writes as ONE batched
+  /// disk_->WritePages(count) — by the simulated-disk accounting
+  /// (Sink().pages_written += pages) exactly equal to count single-page
+  /// writes, so bulk load's per-level batching leaves every counter
+  /// bit-identical to the node-at-a-time serial path.
+  NodeId AllocateNodes(int level, std::size_t count);
 
   // Serialization restores private structure directly.
   friend Status LoadTree(TreeBase* tree, const std::string& path);

@@ -202,6 +202,13 @@ Status ParallelSearchEngine::Build(const PointSet& points) {
   if (size_ != 0) {
     return Status::FailedPrecondition("Build may only be called once");
   }
+  // Parallel builds reuse the shared query pool; BulkLoad is
+  // bit-identical to its serial self at any thread count, so opting in
+  // costs nothing but wall clock.
+  std::shared_ptr<ThreadPool> build_pool;
+  if (options_.bulk_load && options_.parallel_workers > 1) {
+    build_pool = EnsurePool(options_.parallel_workers);
+  }
   if (options_.architecture == Architecture::kFederatedScan) {
     for (std::size_t i = 0; i < points.size(); ++i) {
       Status s = Insert(points[i], static_cast<PointId>(i));
@@ -209,7 +216,7 @@ Status ParallelSearchEngine::Build(const PointSet& points) {
     }
   } else if (options_.architecture == Architecture::kSharedTree) {
     if (options_.bulk_load) {
-      Status s = trees_[0]->BulkLoad(points);
+      Status s = trees_[0]->BulkLoad(points, nullptr, build_pool.get());
       if (!s.ok()) return s;
     } else {
       for (std::size_t i = 0; i < points.size(); ++i) {
@@ -236,7 +243,7 @@ Status ParallelSearchEngine::Build(const PointSet& points) {
     }
     for (std::size_t d = 0; d < disks_.size(); ++d) {
       if (partitions[d].empty()) continue;
-      Status s = trees_[d]->BulkLoad(partitions[d], &ids[d]);
+      Status s = trees_[d]->BulkLoad(partitions[d], &ids[d], build_pool.get());
       if (!s.ok()) return s;
     }
     size_ = points.size();
@@ -251,7 +258,35 @@ Status ParallelSearchEngine::Build(const PointSet& points) {
   disks_.ResetStats();
   host_.ResetStats();
   InvalidateLeafRoutes();
+  if (build_pool != nullptr) {
+    // Parallel post-build warm-up: leaf SoA blocks (with SQ8/prefix
+    // mirrors when enabled) and the memoized leaf routes are derived
+    // state that queries otherwise build lazily — fan both out over the
+    // build pool so the first query wave measures steady state. Neither
+    // charges pages or CPU, so build_stats_ (captured above) and every
+    // later query stat are unaffected.
+    for (const auto& t : trees_) t->WarmLeafBlocks(build_pool.get());
+    PrewarmLeafRoutes(build_pool.get());
+  }
   return Status::Ok();
+}
+
+void ParallelSearchEngine::PrewarmLeafRoutes(ThreadPool* pool) const {
+  if (options_.architecture != Architecture::kSharedTree || trees_.empty()) {
+    return;
+  }
+  const TreeBase& tree = *trees_[0];
+  const std::size_t n = tree.num_nodes();
+  const auto warm = [&](std::size_t id) {
+    const Node& node = tree.PeekNode(static_cast<NodeId>(id));
+    if (!node.IsLeaf() || node.entries.empty()) return;
+    (void)RouteLeaf(node);
+  };
+  if (pool != nullptr && n > 1) {
+    pool->ParallelFor(0, n, warm);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) warm(i);
+  }
 }
 
 Status ParallelSearchEngine::Insert(PointView p, PointId id) {

@@ -314,6 +314,15 @@ class ParallelSearchEngine {
 
   /// Declusters `points` and builds the index(es). Point ids are
   /// positions in `points`. Call once.
+  ///
+  /// When options().parallel_workers > 1 and bulk_load is on, the build
+  /// itself is parallel: every BulkLoad phase fans out over the shared
+  /// pool (see TreeBase::BulkLoad — the tree and the simulated disk
+  /// counters stay bit-identical to the serial build), and the
+  /// post-build warm-up — leaf SoA blocks with their SQ8/prefix mirrors,
+  /// plus the memoized leaf→disk routes and replica buckets — fans out
+  /// over the same pool so the first query wave starts from steady
+  /// state. Warm-up builds derived state only and charges nothing.
   Status Build(const PointSet& points);
 
   /// Inserts a single point dynamically (the engine is "completely
@@ -455,6 +464,13 @@ class ParallelSearchEngine {
   /// declustering color. Mutation-side only: must not race with queries
   /// (the tree family's standing contract).
   void InvalidateLeafRoutes();
+
+  /// Fills the leaf-route memo for every leaf of the shared tree, over
+  /// `pool` when given. RouteLeaf's memo fill is idempotent (the packed
+  /// word is a pure function of the leaf MBR) and the slots are relaxed
+  /// atomics, so concurrent fills are safe and value-identical to lazy
+  /// fills. Charges nothing; no-op outside the shared-tree architecture.
+  void PrewarmLeafRoutes(ThreadPool* pool) const;
 
   /// Federated fault handling (no replicas there): if disk `d` is
   /// failed, records `pages` unavailable on it and returns true (the

@@ -1,0 +1,105 @@
+// Deterministic parallel merge sort over a ThreadPool.
+//
+// The bulk-load pipeline must produce a bit-identical tree at any thread
+// count, so its sorts cannot use anything whose output depends on
+// scheduling. ParallelSort guarantees that for a comparator that is a
+// STRICT TOTAL order (no two elements equivalent — break ties by index):
+// the sorted permutation is then unique, so the serial std::sort fallback
+// and the parallel merge ladder agree element for element regardless of
+// how many workers the pool has or how its tasks interleave.
+//
+// Shape: the range splits into a power-of-two number of contiguous chunks
+// (boundaries depend only on the element count and the pool size — never
+// on timing), each chunk sorts independently via ParallelFor, then
+// log2(chunks) rounds of pairwise std::merge ping-pong between the input
+// range and one scratch buffer. Built exclusively on
+// ThreadPool::ParallelFor, so it inherits its nesting safety: calling
+// ParallelSort from inside a pool task cannot deadlock.
+
+#ifndef PARSIM_SRC_UTIL_PARALLEL_SORT_H_
+#define PARSIM_SRC_UTIL_PARALLEL_SORT_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <iterator>
+#include <utility>
+#include <vector>
+
+#include "src/util/thread_pool.h"
+
+namespace parsim {
+
+/// Below this many elements the chunk/merge machinery costs more than it
+/// saves; ParallelSort falls back to a plain std::sort.
+inline constexpr std::size_t kParallelSortCutoff = 1u << 14;
+
+/// Sorts [first, last) by `comp`, fanning out over `pool` when it is
+/// non-null and the range is large enough. `comp` must be a strict total
+/// order for the deterministic, thread-count-independent result promised
+/// above (with a weaker order the result is still sorted, but tied runs
+/// may land in a pool-size-dependent arrangement, exactly as they may
+/// differ between two std::sort implementations).
+template <typename It, typename Comp>
+void ParallelSort(ThreadPool* pool, It first, It last, Comp comp) {
+  using T = typename std::iterator_traits<It>::value_type;
+  const std::size_t n = static_cast<std::size_t>(last - first);
+  if (pool == nullptr || n < kParallelSortCutoff) {
+    std::sort(first, last, comp);
+    return;
+  }
+
+  // Power-of-two chunk count: enough chunks to feed every worker (plus
+  // the caller) with a little slack for imbalance, but never so many
+  // that chunks drop below half the serial cutoff.
+  const std::size_t lanes = static_cast<std::size_t>(pool->size()) + 1;
+  std::size_t chunks = 1;
+  while (chunks < 2 * lanes && n / (chunks * 2) >= kParallelSortCutoff / 2) {
+    chunks *= 2;
+  }
+  if (chunks == 1) {
+    std::sort(first, last, comp);
+    return;
+  }
+  // Chunk c covers [bound(c), bound(c+1)): a pure function of (n, chunks).
+  const auto bound = [n, chunks](std::size_t c) { return n * c / chunks; };
+
+  pool->ParallelFor(0, chunks, [&](std::size_t c) {
+    std::sort(first + static_cast<std::ptrdiff_t>(bound(c)),
+              first + static_cast<std::ptrdiff_t>(bound(c + 1)), comp);
+  });
+
+  // Merge ladder: each round merges pairs of sorted runs of `width`
+  // chunks, alternating between the caller's range and the scratch
+  // buffer. std::merge is deterministic (and the total order leaves it
+  // no ties to arbitrate), so every round's output is fully determined
+  // by its input.
+  std::vector<T> scratch(n);
+  const auto merge_round = [&](auto src, auto dst, std::size_t width) {
+    const std::size_t pairs = chunks / (2 * width);
+    pool->ParallelFor(0, pairs, [&](std::size_t p) {
+      const auto lo = static_cast<std::ptrdiff_t>(bound(2 * width * p));
+      const auto mid = static_cast<std::ptrdiff_t>(bound(2 * width * p + width));
+      const auto hi = static_cast<std::ptrdiff_t>(bound(2 * width * (p + 1)));
+      std::merge(std::make_move_iterator(src + lo),
+                 std::make_move_iterator(src + mid),
+                 std::make_move_iterator(src + mid),
+                 std::make_move_iterator(src + hi), dst + lo, comp);
+    });
+  };
+  bool in_scratch = false;
+  for (std::size_t width = 1; width < chunks; width *= 2) {
+    if (in_scratch) {
+      merge_round(scratch.data(), first, width);
+    } else {
+      merge_round(first, scratch.data(), width);
+    }
+    in_scratch = !in_scratch;
+  }
+  if (in_scratch) {
+    std::move(scratch.begin(), scratch.end(), first);
+  }
+}
+
+}  // namespace parsim
+
+#endif  // PARSIM_SRC_UTIL_PARALLEL_SORT_H_

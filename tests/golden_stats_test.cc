@@ -226,6 +226,48 @@ std::string RenderActualStats() {
   out << "recall_mean=" << FormatDouble(recall.mean)
       << " recall_min=" << FormatDouble(recall.min)
       << " hits=" << recall.hits << " wanted=" << recall.wanted << "\n";
+
+  // Bulk-load accounting: per-level node/page/entry counts of the packed
+  // tree plus the build's write ledger, for both packing orders. Pins
+  // the pack_groups math and the batched AllocateNodes page accounting —
+  // the parallel build is asserted bit-identical to this serial layout
+  // in index_bulk_load_parallel_test, so one golden section covers both.
+  const auto append_tree_levels = [&out](const TreeBase& tree) {
+    std::vector<std::size_t> level_nodes, level_pages, level_entries;
+    for (NodeId id = 0; id < tree.num_nodes(); ++id) {
+      const Node& node = tree.PeekNode(id);
+      const auto level = static_cast<std::size_t>(node.level);
+      if (level_nodes.size() <= level) {
+        level_nodes.resize(level + 1, 0);
+        level_pages.resize(level + 1, 0);
+        level_entries.resize(level + 1, 0);
+      }
+      level_nodes[level] += 1;
+      level_pages[level] += node.pages;
+      level_entries[level] += node.entries.size();
+    }
+    for (std::size_t level = 0; level < level_nodes.size(); ++level) {
+      out << "level " << level << ": nodes=" << level_nodes[level]
+          << " pages=" << level_pages[level]
+          << " entries=" << level_entries[level] << "\n";
+    }
+  };
+  out << "[bulk load hilbert d=6 n=2500]\n";
+  out << "build_pages_written=" << engine.BuildStats().pages_written
+      << " height=" << engine.tree().height()
+      << " data_pages=" << engine.tree().DataPages() << "\n";
+  append_tree_levels(engine.tree());
+
+  SimulatedDisk str_disk(0);
+  TreeOptions str_options;
+  str_options.bulk_load_order = BulkLoadOrder::kStr;
+  RStarTree str_tree(dim, &str_disk, str_options);
+  EXPECT_TRUE(str_tree.BulkLoad(data).ok());
+  out << "[bulk load str d=6 n=2500]\n";
+  out << "build_pages_written=" << str_disk.stats().pages_written
+      << " height=" << str_tree.height()
+      << " data_pages=" << str_tree.DataPages() << "\n";
+  append_tree_levels(str_tree);
   return out.str();
 }
 

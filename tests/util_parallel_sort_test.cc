@@ -1,0 +1,100 @@
+// ParallelSort property suite: for a strict total order the result must
+// be bit-identical to std::sort at every pool size (the determinism the
+// parallel bulk load is built on).
+
+#include "src/util/parallel_sort.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/thread_pool.h"
+
+namespace parsim {
+namespace {
+
+using Rec = std::pair<std::uint64_t, std::uint32_t>;  // (key, index)
+
+// Keys drawn from a tiny alphabet so duplicate keys are everywhere; the
+// index component restores the strict total order.
+std::vector<Rec> MakeRecords(std::size_t n, std::uint64_t seed,
+                             std::uint64_t key_range) {
+  std::mt19937_64 rng(seed);
+  std::vector<Rec> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = {rng() % key_range, static_cast<std::uint32_t>(i)};
+  }
+  return out;
+}
+
+TEST(ParallelSortTest, MatchesStdSortAcrossPoolSizesAndLengths) {
+  ThreadPool pool1(1);
+  ThreadPool pool8(8);
+  const std::size_t sizes[] = {0,     1,     2,      100,   4096,
+                               16383, 16384, 100000, 250000};
+  for (const std::size_t n : sizes) {
+    const auto base = MakeRecords(n, 1234 + n, /*key_range=*/97);
+    auto expected = base;
+    std::sort(expected.begin(), expected.end());
+    for (ThreadPool* pool :
+         {static_cast<ThreadPool*>(nullptr), &pool1, &pool8}) {
+      auto got = base;
+      ParallelSort(pool, got.begin(), got.end(),
+                   [](const Rec& a, const Rec& b) { return a < b; });
+      ASSERT_EQ(got, expected) << "n=" << n;
+    }
+  }
+}
+
+TEST(ParallelSortTest, AlreadySortedAndReversedInputs) {
+  ThreadPool pool(4);
+  const std::size_t n = 100000;
+  std::vector<Rec> asc(n), desc(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    asc[i] = {i, static_cast<std::uint32_t>(i)};
+    desc[i] = {n - i, static_cast<std::uint32_t>(i)};
+  }
+  auto sorted_desc = desc;
+  std::sort(sorted_desc.begin(), sorted_desc.end());
+  auto a = asc;
+  ParallelSort(&pool, a.begin(), a.end(),
+               [](const Rec& x, const Rec& y) { return x < y; });
+  EXPECT_EQ(a, asc);
+  auto d = desc;
+  ParallelSort(&pool, d.begin(), d.end(),
+               [](const Rec& x, const Rec& y) { return x < y; });
+  EXPECT_EQ(d, sorted_desc);
+}
+
+TEST(ParallelSortTest, AllEqualKeysPreserveIndexOrder) {
+  ThreadPool pool(8);
+  auto recs = MakeRecords(200000, 77, /*key_range=*/1);
+  ParallelSort(&pool, recs.begin(), recs.end(),
+               [](const Rec& a, const Rec& b) { return a < b; });
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    ASSERT_EQ(recs[i].second, i);
+  }
+}
+
+TEST(ParallelSortTest, NestsInsideAPoolTask) {
+  // ParallelSort from inside a pool task must neither deadlock nor lose
+  // determinism (the STR tiler recurses exactly like this).
+  ThreadPool pool(2);
+  const auto base = MakeRecords(50000, 99, /*key_range=*/13);
+  auto expected = base;
+  std::sort(expected.begin(), expected.end());
+  std::vector<Rec> got;
+  pool.ParallelFor(0, 1, [&](std::size_t) {
+    got = base;
+    ParallelSort(&pool, got.begin(), got.end(),
+                 [](const Rec& a, const Rec& b) { return a < b; });
+  });
+  EXPECT_EQ(got, expected);
+}
+
+}  // namespace
+}  // namespace parsim

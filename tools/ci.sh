@@ -58,13 +58,18 @@ echo "== [3/4] TSAN build + concurrency tests =="
 # their per-query counters on a multi-worker coalesced batch;
 # parallel_service_test runs the query service's dispatcher thread
 # against concurrent submitters (deadlines, backpressure, priorities,
-# 8-worker determinism).
-TSAN_TESTS=(util_thread_pool_test io_buffer_pool_test
+# 8-worker determinism); util_parallel_sort_test and
+# index_bulk_load_parallel_test run the deterministic parallel merge
+# sort and the full parallel bulk-load path (key batches, slab tiling,
+# level packing, warm-up fan-out) on 8-worker pools.
+TSAN_TESTS=(util_thread_pool_test util_parallel_sort_test
+            io_buffer_pool_test
             parallel_concurrency_test parallel_threads_test
             parallel_batch_coalesced_test
             parallel_degraded_query_test golden_stats_test
             index_quantized_block_test index_cascade_test
-            index_approx_knn_test parallel_service_test)
+            index_approx_knn_test parallel_service_test
+            index_bulk_load_parallel_test)
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -O1 -g" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
@@ -80,7 +85,8 @@ echo "== [4/4] microbench smoke lane =="
 MICROBENCHES=(microbench_query_parallel microbench_buffer_pool
               microbench_fault_injection microbench_batch_knn
               microbench_quantized_knn microbench_cascade
-              microbench_recall microbench_service)
+              microbench_recall microbench_service
+              microbench_bulk_load)
 cmake --build build-ci -j "$JOBS" --target "${MICROBENCHES[@]}"
 # Run from build-ci so the smoke-sized JSON files do not overwrite the
 # committed full-run BENCH_*.json at the repo root (tools/bench.sh
