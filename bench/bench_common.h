@@ -16,6 +16,7 @@
 #include <memory>
 #include <string>
 
+#include "bench/microbench_common.h"
 #include "src/parsim/parsim.h"
 
 namespace parsim {

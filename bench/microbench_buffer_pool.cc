@@ -26,6 +26,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/microbench_common.h"
 #include "src/core/near_optimal.h"
 #include "src/io/buffer_pool.h"
 #include "src/parallel/engine.h"
@@ -35,30 +36,8 @@
 namespace parsim {
 namespace {
 
-std::size_t EnvSize(const char* name, std::size_t fallback) {
-  const char* value = std::getenv(name);
-  if (value == nullptr || *value == '\0') return fallback;
-  const std::size_t parsed =
-      static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
-  if (parsed == 0) {
-    std::fprintf(stderr, "ignoring %s=\"%s\" (want a positive integer)\n",
-                 name, value);
-    return fallback;
-  }
-  return parsed;
-}
-
-/// Best-of-`reps` wall time of `fn`, in milliseconds.
-template <typename Fn>
-double BestOfMs(int reps, const Fn& fn) {
-  double best = std::numeric_limits<double>::infinity();
-  for (int r = 0; r < reps; ++r) {
-    Stopwatch watch;
-    fn();
-    best = std::min(best, watch.ElapsedMillis());
-  }
-  return best;
-}
+using bench::BestOfMs;
+using bench::EnvSize;
 
 std::unique_ptr<ParallelSearchEngine> MakeBufferedEngine(
     const PointSet& data, std::size_t disks, std::uint64_t pages_per_disk) {

@@ -44,6 +44,7 @@
 #include <utility>
 #include <vector>
 
+#include "bench/microbench_common.h"
 #include "src/hilbert/hilbert.h"
 #include "src/index/knn.h"
 #include "src/index/rstar_tree.h"
@@ -54,18 +55,7 @@
 namespace parsim {
 namespace {
 
-std::size_t EnvSize(const char* name, std::size_t fallback) {
-  const char* value = std::getenv(name);
-  if (value == nullptr || *value == '\0') return fallback;
-  const std::size_t parsed =
-      static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
-  if (parsed == 0) {
-    std::fprintf(stderr, "ignoring %s=\"%s\" (want a positive integer)\n",
-                 name, value);
-    return fallback;
-  }
-  return parsed;
-}
+using bench::EnvSize;
 
 struct BuiltTree {
   std::unique_ptr<SimulatedDisk> disk;

@@ -37,6 +37,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/microbench_common.h"
 #include "src/core/near_optimal.h"
 #include "src/eval/open_loop.h"
 #include "src/parallel/engine.h"
@@ -48,18 +49,7 @@
 namespace parsim {
 namespace {
 
-std::size_t EnvSize(const char* name, std::size_t fallback) {
-  const char* value = std::getenv(name);
-  if (value == nullptr || *value == '\0') return fallback;
-  const std::size_t parsed =
-      static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
-  if (parsed == 0) {
-    std::fprintf(stderr, "ignoring %s=\"%s\" (want a positive integer)\n",
-                 name, value);
-    return fallback;
-  }
-  return parsed;
-}
+using bench::EnvSize;
 
 std::unique_ptr<ParallelSearchEngine> MakeEngine(const PointSet& data,
                                                  std::size_t disks) {

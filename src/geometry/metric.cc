@@ -805,6 +805,133 @@ __attribute__((target("avx2"))) void Sq8MadManyAvx2(
   }
 }
 
+__attribute__((target("avx2"))) std::size_t Sq8SadManyUnderAvx2(
+    const std::uint8_t* query, const std::uint8_t* codes, std::size_t count,
+    std::size_t dim, std::uint32_t cutoff, std::uint32_t* out_idx) {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (Sq8SadAvx2(query, codes + i * dim, dim) <= cutoff) {
+      out_idx[n++] = static_cast<std::uint32_t>(i);
+    }
+  }
+  return n;
+}
+
+__attribute__((target("avx2"))) std::size_t Sq8SsdManyUnderAvx2(
+    const std::uint8_t* query, const std::uint8_t* codes, std::size_t count,
+    std::size_t dim, std::uint32_t cutoff, std::uint32_t* out_idx) {
+  std::size_t n = 0;
+  if (dim == 16 || dim == 8) {
+    // Same reduction trees as Sq8SsdManyAvx2, but the four row sums are
+    // compared against the cutoff in-register and only surviving row
+    // indices are stored: at join-style survivor rates (~1%) the store
+    // side is a rare branch instead of a full uint32 stream plus a
+    // second filter pass. Reductions are at most dim * 255^2 < 2^31, so
+    // the signed packed compare is exact once the cutoff saturates at
+    // INT32_MAX (any larger cutoff keeps every row anyway).
+    const __m128i cut = _mm_set1_epi32(static_cast<int>(
+        cutoff > 0x7fffffffu ? 0x7fffffffu : cutoff));
+    std::size_t i = 0;
+    if (dim == 16) {
+      // Eight rows per iteration: each 32-byte load covers two rows
+      // (in-lane byte unpacks widen them against the twice-broadcast
+      // query), and one three-level hadd tree reduces all eight row
+      // sums into a single 256-bit vector for one packed compare. The
+      // tree interleaves lanes as [r0 r2 r4 r6 | r1 r3 r5 r7], so the
+      // mask bits are consumed in ascending ROW order through kPerm to
+      // keep out_idx sorted. Shuffle-port pressure drops from 2.5 to
+      // ~1.9 uops per row versus a four-row cvtepu8 shape, which is
+      // the kernel's bottleneck on one-port-shuffle cores.
+      const __m256i zero = _mm256_setzero_si256();
+      const __m256i qq = _mm256_broadcastsi128_si256(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(query)));
+      const __m256i q0 = _mm256_unpacklo_epi8(qq, zero);
+      const __m256i q1 = _mm256_unpackhi_epi8(qq, zero);
+      const __m256i cut8 = _mm256_set1_epi32(static_cast<int>(
+          cutoff > 0x7fffffffu ? 0x7fffffffu : cutoff));
+      static constexpr int kPerm[8] = {0, 4, 1, 5, 2, 6, 3, 7};
+      for (; i + 8 <= count; i += 8) {
+        const std::uint8_t* p = codes + i * 16;
+        __m256i s[4];
+        for (int k = 0; k < 4; ++k) {
+          const __m256i v = _mm256_loadu_si256(
+              reinterpret_cast<const __m256i*>(p + k * 32));
+          const __m256i lo =
+              _mm256_sub_epi16(_mm256_unpacklo_epi8(v, zero), q0);
+          const __m256i hi =
+              _mm256_sub_epi16(_mm256_unpackhi_epi8(v, zero), q1);
+          s[k] = _mm256_add_epi32(_mm256_madd_epi16(lo, lo),
+                                  _mm256_madd_epi16(hi, hi));
+        }
+        const __m256i h =
+            _mm256_hadd_epi32(_mm256_hadd_epi32(s[0], s[1]),
+                              _mm256_hadd_epi32(s[2], s[3]));
+        const int over = _mm256_movemask_ps(
+            _mm256_castsi256_ps(_mm256_cmpgt_epi32(h, cut8)));
+        const int keep = over ^ 0xff;
+        if (keep) {
+          for (int k = 0; k < 8; ++k) {
+            if (keep & (1 << kPerm[k])) {
+              out_idx[n++] = static_cast<std::uint32_t>(i) +
+                             static_cast<std::uint32_t>(k);
+            }
+          }
+        }
+      }
+    } else {
+      const __m256i q2 = _mm256_broadcastsi128_si256(_mm_cvtepu8_epi16(
+          _mm_loadl_epi64(reinterpret_cast<const __m128i*>(query))));
+      for (; i + 4 <= count; i += 4) {
+        const std::uint8_t* p = codes + i * 8;
+        const __m256i r01 = _mm256_cvtepu8_epi16(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
+        const __m256i r23 = _mm256_cvtepu8_epi16(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 16)));
+        const __m256i d01 = _mm256_sub_epi16(q2, r01);
+        const __m256i d23 = _mm256_sub_epi16(q2, r23);
+        const __m256i h = _mm256_hadd_epi32(_mm256_madd_epi16(d01, d01),
+                                            _mm256_madd_epi16(d23, d23));
+        const __m256i h2 = _mm256_hadd_epi32(h, h);
+        const __m128i vals =
+            _mm_unpacklo_epi32(_mm256_castsi256_si128(h2),
+                               _mm256_extracti128_si256(h2, 1));
+        int keep = _mm_movemask_ps(_mm_castsi128_ps(
+                       _mm_cmpgt_epi32(vals, cut))) ^ 0xf;
+        while (keep) {
+          const int b = __builtin_ctz(static_cast<unsigned>(keep));
+          out_idx[n++] = static_cast<std::uint32_t>(i) +
+                         static_cast<std::uint32_t>(b);
+          keep &= keep - 1;
+        }
+      }
+    }
+    for (; i < count; ++i) {
+      if (Sq8SsdAvx2(query, codes + i * dim, dim) <= cutoff) {
+        out_idx[n++] = static_cast<std::uint32_t>(i);
+      }
+    }
+    return n;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    if (Sq8SsdAvx2(query, codes + i * dim, dim) <= cutoff) {
+      out_idx[n++] = static_cast<std::uint32_t>(i);
+    }
+  }
+  return n;
+}
+
+__attribute__((target("avx2"))) std::size_t Sq8MadManyUnderAvx2(
+    const std::uint8_t* query, const std::uint8_t* codes, std::size_t count,
+    std::size_t dim, std::uint32_t cutoff, std::uint32_t* out_idx) {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (Sq8MadAvx2(query, codes + i * dim, dim) <= cutoff) {
+      out_idx[n++] = static_cast<std::uint32_t>(i);
+    }
+  }
+  return n;
+}
+
 #endif  // PARSIM_METRIC_X86
 
 using PairKernel = double (*)(const float*, const float*, std::size_t);
@@ -1044,6 +1171,55 @@ void Sq8MadManyUnrolled(const std::uint8_t* query, const std::uint8_t* codes,
   }
 }
 
+/// Fused one-to-many reduction + cutoff filter: writes the indices of
+/// rows whose reduction is <= cutoff, returns how many survived.
+using Sq8ManyUnderKernel = std::size_t (*)(const std::uint8_t*,
+                                           const std::uint8_t*, std::size_t,
+                                           std::size_t, std::uint32_t,
+                                           std::uint32_t*);
+
+std::size_t Sq8SadManyUnderUnrolled(const std::uint8_t* query,
+                                    const std::uint8_t* codes,
+                                    std::size_t count, std::size_t dim,
+                                    std::uint32_t cutoff,
+                                    std::uint32_t* out_idx) {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (Sq8SadUnrolled(query, codes + i * dim, dim) <= cutoff) {
+      out_idx[n++] = static_cast<std::uint32_t>(i);
+    }
+  }
+  return n;
+}
+
+std::size_t Sq8SsdManyUnderUnrolled(const std::uint8_t* query,
+                                    const std::uint8_t* codes,
+                                    std::size_t count, std::size_t dim,
+                                    std::uint32_t cutoff,
+                                    std::uint32_t* out_idx) {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (Sq8SsdUnrolled(query, codes + i * dim, dim) <= cutoff) {
+      out_idx[n++] = static_cast<std::uint32_t>(i);
+    }
+  }
+  return n;
+}
+
+std::size_t Sq8MadManyUnderUnrolled(const std::uint8_t* query,
+                                    const std::uint8_t* codes,
+                                    std::size_t count, std::size_t dim,
+                                    std::uint32_t cutoff,
+                                    std::uint32_t* out_idx) {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (Sq8MadUnrolled(query, codes + i * dim, dim) <= cutoff) {
+      out_idx[n++] = static_cast<std::uint32_t>(i);
+    }
+  }
+  return n;
+}
+
 struct KernelTable {
   PairKernel squared_l2;
   PairKernel l1;
@@ -1056,6 +1232,10 @@ struct KernelTable {
   Sq8ManyKernel sq8_sad_many;
   Sq8ManyKernel sq8_ssd_many;
   Sq8ManyKernel sq8_mad_many;
+  /// Fused reduction + fixed-cutoff filters (the join's sweep shape).
+  Sq8ManyUnderKernel sq8_sad_many_under;
+  Sq8ManyUnderKernel sq8_ssd_many_under;
+  Sq8ManyUnderKernel sq8_mad_many_under;
   /// The pair reductions behind the many-kernels, exposed for scattered
   /// single-row evaluation (cascade survivor rechecks).
   Sq8PairFn sq8_sad;
@@ -1069,17 +1249,20 @@ KernelTable PickKernels() {
   // The SQ8 kernels only need avx2, but they dispatch together with the
   // float kernels: one cpuid decision, one table.
   if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
-    return {SquaredL2Avx2,      L1Avx2,         LmaxAvx2,
-            SquaredL2BlockAvx2, L1BlockAvx2,    LmaxBlockAvx2,
-            Sq8SadManyAvx2,     Sq8SsdManyAvx2, Sq8MadManyAvx2,
-            Sq8SadAvx2,         Sq8SsdAvx2,     Sq8MadAvx2,
+    return {SquaredL2Avx2,        L1Avx2,              LmaxAvx2,
+            SquaredL2BlockAvx2,   L1BlockAvx2,         LmaxBlockAvx2,
+            Sq8SadManyAvx2,       Sq8SsdManyAvx2,      Sq8MadManyAvx2,
+            Sq8SadManyUnderAvx2,  Sq8SsdManyUnderAvx2, Sq8MadManyUnderAvx2,
+            Sq8SadAvx2,           Sq8SsdAvx2,          Sq8MadAvx2,
             /*simd=*/true};
   }
 #endif
-  return {SquaredL2Unrolled,      L1Unrolled,         LmaxUnrolled,
-          SquaredL2BlockUnrolled, L1BlockUnrolled,    LmaxBlockUnrolled,
-          Sq8SadManyUnrolled,     Sq8SsdManyUnrolled, Sq8MadManyUnrolled,
-          Sq8SadUnrolled,         Sq8SsdUnrolled,     Sq8MadUnrolled,
+  return {SquaredL2Unrolled,       L1Unrolled,           LmaxUnrolled,
+          SquaredL2BlockUnrolled,  L1BlockUnrolled,      LmaxBlockUnrolled,
+          Sq8SadManyUnrolled,      Sq8SsdManyUnrolled,   Sq8MadManyUnrolled,
+          Sq8SadManyUnderUnrolled, Sq8SsdManyUnderUnrolled,
+          Sq8MadManyUnderUnrolled,
+          Sq8SadUnrolled,          Sq8SsdUnrolled,       Sq8MadUnrolled,
           /*simd=*/false};
 }
 
@@ -1217,6 +1400,19 @@ void Metric::ComparableBlock(const Scalar* queries, std::size_t num_queries,
   kernel(queries, num_queries, points, count, dim, out);
 }
 
+void Metric::ComparableBlockSelf(const Scalar* points, std::size_t count,
+                                 std::size_t dim, double* out) const {
+  // Row-tail sweep over one shared array: row i streams past rows
+  // i+1..count-1 through the one-to-many kernel, so each unordered pair
+  // is computed once and out[i * count + j] (j > i) carries the exact
+  // value the full ComparableBlock would have put there. Entries at or
+  // below the diagonal are never written.
+  for (std::size_t i = 0; i + 1 < count; ++i) {
+    ComparableMany(PointView{points + i * dim, dim}, points + (i + 1) * dim,
+                   count - i - 1, dim, out + i * count + i + 1);
+  }
+}
+
 namespace {
 
 Sq8ManyKernel Sq8ManyKernelFor(MetricKind kind) {
@@ -1231,12 +1427,32 @@ Sq8ManyKernel Sq8ManyKernelFor(MetricKind kind) {
   PARSIM_UNREACHABLE();
 }
 
+Sq8ManyUnderKernel Sq8ManyUnderKernelFor(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kL1:
+      return Kernels().sq8_sad_many_under;
+    case MetricKind::kL2:
+      return Kernels().sq8_ssd_many_under;
+    case MetricKind::kLmax:
+      return Kernels().sq8_mad_many_under;
+  }
+  PARSIM_UNREACHABLE();
+}
+
 }  // namespace
 
 void Metric::Sq8Many(const std::uint8_t* query, const std::uint8_t* codes,
                      std::size_t count, std::size_t dim,
                      std::uint32_t* out) const {
   Sq8ManyKernelFor(kind_)(query, codes, count, dim, out);
+}
+
+std::size_t Metric::Sq8ManyUnder(const std::uint8_t* query,
+                                 const std::uint8_t* codes, std::size_t count,
+                                 std::size_t dim, std::uint32_t cutoff,
+                                 std::uint32_t* out_idx) const {
+  return Sq8ManyUnderKernelFor(kind_)(query, codes, count, dim, cutoff,
+                                      out_idx);
 }
 
 void Metric::Sq8Block(const std::uint8_t* queries, std::size_t num_queries,
@@ -1250,6 +1466,20 @@ void Metric::Sq8Block(const std::uint8_t* queries, std::size_t num_queries,
   const Sq8ManyKernel kernel = Sq8ManyKernelFor(kind_);
   for (std::size_t q = 0; q < num_queries; ++q) {
     kernel(queries + q * dim, codes, count, dim, out + q * count);
+  }
+}
+
+void Metric::Sq8BlockSelf(const std::uint8_t* queries,
+                          const std::uint8_t* codes, std::size_t count,
+                          std::size_t dim, std::uint32_t* out) const {
+  // Same row-tail structure as ComparableBlockSelf: query row i reduces
+  // against code rows i+1..count-1 only, one many-kernel launch per row.
+  // Integer reductions are evaluation-order independent, so every filled
+  // entry matches the corresponding Sq8Block value exactly.
+  const Sq8ManyKernel kernel = Sq8ManyKernelFor(kind_);
+  for (std::size_t i = 0; i + 1 < count; ++i) {
+    kernel(queries + i * dim, codes + (i + 1) * dim, count - i - 1, dim,
+           out + i * count + i + 1);
   }
 }
 

@@ -138,6 +138,16 @@ class Metric {
                        const Scalar* points, std::size_t count,
                        std::size_t dim, double* out) const;
 
+  /// Symmetric self-block kernel, the all-pairs join's sweep primitive:
+  /// fills ONLY the strict upper triangle, out[i * count + j] =
+  /// Comparable(p_i, p_j) for j > i, leaving the diagonal and lower
+  /// triangle untouched — a self-block sweep computes each unordered
+  /// pair once instead of twice. Row i runs the one-to-many kernel over
+  /// the tail rows i+1..count-1, so every filled entry is bit-identical
+  /// to the corresponding ComparableBlock / Comparable() value.
+  void ComparableBlockSelf(const Scalar* points, std::size_t count,
+                           std::size_t dim, double* out) const;
+
   /// One-query-to-many-rows integer reduction over SQ8 codes: out[i] is
   /// this metric's lattice reduction of (query, codes + i * dim) — sum
   /// of absolute code differences for L1, sum of squared code
@@ -160,6 +170,34 @@ class Metric {
   void Sq8Block(const std::uint8_t* queries, std::size_t num_queries,
                 const std::uint8_t* codes, std::size_t count, std::size_t dim,
                 std::uint32_t* out) const;
+
+  /// Symmetric self-block variant of Sq8Block for the join's quantized
+  /// sweep: out[i * count + j] is the reduction of (queries + i * dim,
+  /// codes + j * dim) for j > i ONLY (diagonal and lower triangle
+  /// untouched). `queries` are the block's own prepared query codes and
+  /// `codes` its stored mirror rows — two arrays because the prepared
+  /// (clamped, rounded) codes feed the Sq8Bound contract while the
+  /// stored codes are what the bound's err[] terms were measured
+  /// against. Integer arithmetic, so each filled entry equals the
+  /// corresponding Sq8Block / Sq8Many value exactly.
+  void Sq8BlockSelf(const std::uint8_t* queries, const std::uint8_t* codes,
+                    std::size_t count, std::size_t dim,
+                    std::uint32_t* out) const;
+
+  /// Fused prune scan for fixed-threshold sweeps (the similarity
+  /// join): computes the same reductions as Sq8Many, compares each
+  /// against `cutoff` in-register, writes the indices of surviving
+  /// rows (reduction <= cutoff) to out_idx in ascending order, and
+  /// returns how many survived. The selected set is exactly what an
+  /// Sq8Many pass followed by a <=-cutoff filter would produce, but
+  /// the reductions are never stored — at join survivor rates (~1%)
+  /// that removes the uint32 result stream and its second filter pass
+  /// from the hottest loop. out_idx must have room for `count`
+  /// entries.
+  std::size_t Sq8ManyUnder(const std::uint8_t* query,
+                           const std::uint8_t* codes, std::size_t count,
+                           std::size_t dim, std::uint32_t cutoff,
+                           std::uint32_t* out_idx) const;
 
  private:
   MetricKind kind_;

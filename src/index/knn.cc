@@ -49,6 +49,40 @@ double MinDistComparable(const Rect& rect, PointView query,
   PARSIM_UNREACHABLE();
 }
 
+double MinDistComparable(const Rect& a, const Rect& b, const Metric& metric) {
+  PARSIM_DCHECK(a.dim() == b.dim());
+  switch (metric.kind()) {
+    case MetricKind::kL2:
+      return a.SquaredMinDist(b);
+    case MetricKind::kL1: {
+      // Per-dimension slab gap between the two intervals (see
+      // Rect::SquaredMinDist(const Rect&)), accumulated per metric:
+      // summed for L1, maxed for Lmax.
+      double sum = 0.0;
+      for (std::size_t i = 0; i < a.dim(); ++i) {
+        const double below =
+            static_cast<double>(a.lo(i)) - static_cast<double>(b.hi(i));
+        const double above =
+            static_cast<double>(b.lo(i)) - static_cast<double>(a.hi(i));
+        sum += std::max(std::max(below, above), 0.0);
+      }
+      return sum;
+    }
+    case MetricKind::kLmax: {
+      double best = 0.0;
+      for (std::size_t i = 0; i < a.dim(); ++i) {
+        const double below =
+            static_cast<double>(a.lo(i)) - static_cast<double>(b.hi(i));
+        const double above =
+            static_cast<double>(b.lo(i)) - static_cast<double>(a.hi(i));
+        best = std::max(best, std::max(std::max(below, above), 0.0));
+      }
+      return best;
+    }
+  }
+  PARSIM_UNREACHABLE();
+}
+
 bool MinDistExceeds(const Rect& rect, PointView query, const Metric& metric,
                     double cutoff, double* out) {
   PARSIM_DCHECK(rect.dim() == query.size());

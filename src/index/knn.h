@@ -91,6 +91,12 @@ KnnResult BruteForceBallQuery(const PointSet& points, PointView query,
 double MinDistComparable(const Rect& rect, PointView query,
                          const Metric& metric);
 
+/// MINDIST between two rectangles in the metric's Comparable scale: a
+/// lower bound on Comparable(a, b) for any point a in `a` and b in `b`,
+/// 0 when they intersect. The block-pair pruning predicate of the
+/// all-pairs similarity join (compare against ToComparable(epsilon)).
+double MinDistComparable(const Rect& a, const Rect& b, const Metric& metric);
+
 /// Early-exit MINDIST against a known cutoff (the descent fast path,
 /// shared by HsKnn and the batched scheduler): returns true iff
 /// MinDistComparable(rect, query, metric) > cutoff, bailing out of the

@@ -788,6 +788,161 @@ void SweepLeafBlockMany(const LeafBlock& block, const Scalar* queries,
   }
 }
 
+/// Symmetric self-sweep of one leaf block for the all-pairs similarity
+/// join: every unordered pair (i, j), i < j, of the block's own points,
+/// computed ONCE via the triangle kernels (Metric::ComparableBlockSelf /
+/// Sq8BlockSelf) — the diagonal's self-pairs are skipped entirely.
+/// `threshold` is the join's FIXED comparable-space cutoff
+/// (ToComparable(epsilon)); unlike the k-NN sweeps it never tightens, so
+/// no emit-loop re-read is needed. `emit(i, j, comparable)` receives
+/// pairs in lexicographic block order with the exact float comparable
+/// distance: on the exact path every pair, on the quantized path every
+/// bound survivor (the caller applies the final comparable <= threshold
+/// test either way). Pruning uses the same Sq8Bound contract as the
+/// query sweeps — each block row is prepared as a query against its own
+/// block's mirror — so a pruned pair provably exceeds the threshold and
+/// the emitted pair set matches the exact path's.
+template <typename EmitFn>
+LeafSweepStats SweepLeafBlockSelf(const LeafBlock& block, const Metric& metric,
+                                  double threshold, EmitFn&& emit) {
+  LeafSweepStats sweep;
+  const std::size_t n = block.count;
+  if (n < 2) return sweep;
+  const std::size_t dim = block.dim;
+  detail::LeafSweepScratch& scratch = detail::SweepScratch();
+  const std::uint64_t total_pairs =
+      static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  if (!block.has_sq8) {
+    ScopedPhase phase(Phase::kSweepRerank);
+    detail::GrowTo(scratch.dists, n * n);
+    metric.ComparableBlockSelf(block.coords.data(), n, dim,
+                               scratch.dists.data());
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      const double* row = scratch.dists.data() + i * n;
+      for (std::size_t j = i + 1; j < n; ++j) {
+        emit(i, j, row[j]);
+      }
+    }
+    sweep.exact_distances = total_pairs;
+    sweep.leaf_bytes_scanned = n * dim * sizeof(Scalar);
+    return sweep;
+  }
+  {
+    // Every row doubles as a query against its own block's mirror: the
+    // prepared codes/bounds are exactly what a ball query from that
+    // point would use, so the per-pair lower bounds inherit the query
+    // sweeps' lossless-pruning proof unchanged.
+    ScopedPhase phase(Phase::kSweepPrep);
+    detail::GrowTo(scratch.qcodes, n * dim);
+    detail::GrowTo(scratch.bounds, n);
+    PrepareSq8QueryMany(block.sq8, block.coords.data(), n, metric.kind(),
+                        scratch.qcodes.data(), scratch.bounds.data());
+  }
+  const Sq8Mirror& sq8 = block.sq8;
+  const bool cascade = sq8.prefix_dim > 0;
+  const std::uint8_t* red_queries = scratch.qcodes.data();
+  const std::uint8_t* red_codes = sq8.codes.data();
+  std::size_t red_dim = dim;
+  if (cascade) {
+    ScopedPhase phase(Phase::kSweepPrefix);
+    const std::size_t pd = sq8.prefix_dim;
+    detail::GrowTo(scratch.qprefix, n * pd);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint8_t* src = scratch.qcodes.data() + i * dim;
+      std::uint8_t* dst = scratch.qprefix.data() + i * pd;
+      for (std::size_t p = 0; p < pd; ++p) {
+        dst[p] = src[sq8.order[p]];
+      }
+    }
+    red_queries = scratch.qprefix.data();
+    red_codes = sq8.prefix_codes.data();
+    red_dim = pd;
+  }
+  {
+    // Stage-1 reductions for the whole strict upper triangle in one
+    // symmetric kernel call (prefix dimensions on the cascade, full
+    // dimensions otherwise). Block rows sit inside their own lattice
+    // range, so the per-row base term is 0 and the base prune below
+    // fires only on degenerate lattices — computing the triangle before
+    // the base checks wastes nothing in practice.
+    ScopedPhase phase(cascade ? Phase::kSweepPrefix : Phase::kSweepFull);
+    detail::GrowTo(scratch.reductions, n * n);
+    metric.Sq8BlockSelf(red_queries, red_codes, n, red_dim,
+                        scratch.reductions.data());
+  }
+  const ComparableFn exact = metric.comparable_fn();
+  detail::GrowTo(scratch.survivors, n);
+  std::uint64_t gathered_rows = 0;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const std::size_t tail = n - i - 1;
+    const double dcut = scratch.bounds[i].PruneCutoff(threshold);
+    if (dcut < 0.0) {
+      sweep.base_pruned += tail;
+      continue;
+    }
+    const std::uint32_t cutoff = detail::IntCutoff(dcut);
+    const std::uint32_t* row = scratch.reductions.data() + i * n + i + 1;
+    std::size_t nsurv;
+    {
+      ScopedPhase phase(cascade ? Phase::kSweepPrefix : Phase::kSweepFull);
+      nsurv = detail::CollectSurvivors(row, tail, cutoff,
+                                       scratch.survivors.data());
+    }
+    if (cascade) {
+      sweep.prefix_pruned += tail - nsurv;
+      if (nsurv == 0) continue;
+      // Survivor indices are tail-relative; shift to block rows, then
+      // gather + one full-dimension many-kernel call, as in the query
+      // sweeps' cascade stage 2.
+      for (std::size_t s = 0; s < nsurv; ++s) {
+        scratch.survivors[s] += static_cast<std::uint32_t>(i + 1);
+      }
+      {
+        ScopedPhase phase(Phase::kSweepFull);
+        detail::GrowTo(scratch.gathered, nsurv * dim);
+        detail::GatherRows(sq8.codes.data(), dim, scratch.survivors.data(),
+                           nsurv, scratch.gathered.data());
+        detail::GrowTo(scratch.full_reductions, nsurv);
+        metric.Sq8Many(scratch.qcodes.data() + i * dim,
+                       scratch.gathered.data(), nsurv, dim,
+                       scratch.full_reductions.data());
+      }
+      gathered_rows += nsurv;
+      ScopedPhase phase(Phase::kSweepRerank);
+      const Scalar* qrow = block.row(i).data();
+      for (std::size_t s = 0; s < nsurv; ++s) {
+        if (scratch.full_reductions[s] > cutoff) {
+          ++sweep.sq8_pruned;
+          continue;
+        }
+        const std::size_t j = scratch.survivors[s];
+        ++sweep.reranked;
+        emit(i, j, exact(qrow, block.row(j).data(), dim));
+      }
+    } else {
+      sweep.sq8_pruned += tail - nsurv;
+      // The fixed threshold never tightens, so stage-1 survivors go
+      // straight to the exact re-rank — no cutoff re-check loop.
+      ScopedPhase phase(Phase::kSweepRerank);
+      const Scalar* qrow = block.row(i).data();
+      for (std::size_t s = 0; s < nsurv; ++s) {
+        const std::size_t j = i + 1 + scratch.survivors[s];
+        ++sweep.reranked;
+        emit(i, j, exact(qrow, block.row(j).data(), dim));
+      }
+    }
+  }
+  sweep.quantized_pruned =
+      sweep.base_pruned + sweep.prefix_pruned + sweep.sq8_pruned;
+  sweep.exact_distances = sweep.reranked;
+  const std::uint64_t code_bytes =
+      cascade ? total_pairs * sq8.prefix_dim + gathered_rows * dim
+              : total_pairs * dim;
+  sweep.leaf_bytes_scanned =
+      code_bytes + sweep.reranked * dim * sizeof(Scalar);
+  return sweep;
+}
+
 }  // namespace parsim
 
 #endif  // PARSIM_SRC_INDEX_LEAF_SWEEP_H_

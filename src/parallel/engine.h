@@ -43,6 +43,7 @@
 #include "src/index/tree_base.h"
 #include "src/io/cost_capture.h"
 #include "src/io/disk_array.h"
+#include "src/parallel/join.h"
 #include "src/util/phase_timer.h"
 #include "src/util/status.h"
 #include "src/util/thread_pool.h"
@@ -402,6 +403,19 @@ class ParallelSearchEngine {
   /// ascending by distance ("all images at least this similar").
   KnnResult SimilarityQuery(PointView query, double radius,
                             QueryStats* stats = nullptr) const;
+
+  /// All-pairs ε-similarity self-join: every unordered pair of stored
+  /// points within `epsilon` of each other (inclusive, like
+  /// SimilarityQuery), sorted by (a, b) with a < b. Candidate leaf-block
+  /// pairs are pruned by MBR MINDIST, each distinct leaf page is fetched
+  /// once (further pairs sharing it record coalesced reads), and the
+  /// surviving pairs sweep through the SQ8/prefix cascade as block rows
+  /// fanned over the worker pool — see src/parallel/join.h. Results and
+  /// every JoinStats counter are invariant across thread counts.
+  /// kSharedTree only. Thread-safe like Query; not against
+  /// Insert/Remove.
+  JoinResult SelfJoin(double epsilon,
+                      const JoinOptions& options = JoinOptions()) const;
 
   /// Applies a fault plan to the disk array (empty plan = all healthy).
   /// Seeded plans (FaultPlan::WithRandomFailures) make degraded runs

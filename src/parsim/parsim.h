@@ -48,6 +48,7 @@
 #include "src/io/disk_model.h"
 #include "src/parallel/batch_knn.h"
 #include "src/parallel/engine.h"
+#include "src/parallel/join.h"
 #include "src/parallel/route_memo.h"
 #include "src/parallel/round_scheduler.h"
 #include "src/service/query_service.h"

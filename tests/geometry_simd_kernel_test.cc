@@ -97,6 +97,133 @@ TEST(SimdKernelTest, OneToManyBitIdenticalToOneToOne) {
   }
 }
 
+TEST(SimdKernelTest, SelfBlockBitIdenticalToFullBlock) {
+  Rng rng(1207);
+  for (const MetricKind kind :
+       {MetricKind::kL1, MetricKind::kL2, MetricKind::kLmax}) {
+    const Metric metric(kind);
+    for (const std::size_t count : {2ul, 3ul, 17ul, 64ul, 137ul}) {
+      for (const std::size_t dim : {1ul, 5ul, 8ul, 16ul, 17ul, 33ul}) {
+        PointSet points(dim);
+        points.Reserve(count);
+        for (std::size_t i = 0; i < count; ++i) {
+          points.Add(RandomPoint(rng, dim));
+        }
+        // Naive double sweep: every row against every row.
+        std::vector<double> full(count * count);
+        metric.ComparableBlock(points.data(), count, points.data(), count,
+                               dim, full.data());
+        // Triangle sweep; poison the buffer so we also verify the
+        // diagonal and lower triangle are left untouched.
+        std::vector<double> tri(count * count, -1.0);
+        metric.ComparableBlockSelf(points.data(), count, dim, tri.data());
+        for (std::size_t i = 0; i < count; ++i) {
+          for (std::size_t j = 0; j < count; ++j) {
+            const double got = tri[i * count + j];
+            if (j > i) {
+              EXPECT_EQ(full[i * count + j], got)
+                  << "kind=" << MetricKindToString(kind) << " count=" << count
+                  << " dim=" << dim << " i=" << i << " j=" << j;
+            } else {
+              EXPECT_EQ(-1.0, got) << "wrote outside the strict upper "
+                                      "triangle at i="
+                                   << i << " j=" << j;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, Sq8SelfBlockBitIdenticalToFullBlock) {
+  Rng rng(1209);
+  for (const MetricKind kind :
+       {MetricKind::kL1, MetricKind::kL2, MetricKind::kLmax}) {
+    const Metric metric(kind);
+    for (const std::size_t count : {2ul, 17ul, 137ul}) {
+      for (const std::size_t dim : {1ul, 8ul, 16ul, 33ul}) {
+        // Two distinct code arrays, as in the join's quantized sweep
+        // (prepared query codes vs stored mirror rows).
+        std::vector<std::uint8_t> queries(count * dim);
+        std::vector<std::uint8_t> codes(count * dim);
+        for (std::size_t i = 0; i < queries.size(); ++i) {
+          queries[i] = static_cast<std::uint8_t>(rng.NextBounded(256));
+          codes[i] = static_cast<std::uint8_t>(rng.NextBounded(256));
+        }
+        std::vector<std::uint32_t> full(count * count);
+        metric.Sq8Block(queries.data(), count, codes.data(), count, dim,
+                        full.data());
+        constexpr std::uint32_t kPoison = 0xdeadbeef;
+        std::vector<std::uint32_t> tri(count * count, kPoison);
+        metric.Sq8BlockSelf(queries.data(), codes.data(), count, dim,
+                            tri.data());
+        for (std::size_t i = 0; i < count; ++i) {
+          for (std::size_t j = 0; j < count; ++j) {
+            const std::uint32_t got = tri[i * count + j];
+            if (j > i) {
+              EXPECT_EQ(full[i * count + j], got)
+                  << "kind=" << MetricKindToString(kind) << " count=" << count
+                  << " dim=" << dim << " i=" << i << " j=" << j;
+            } else {
+              EXPECT_EQ(kPoison, got) << "wrote outside the strict upper "
+                                         "triangle at i="
+                                      << i << " j=" << j;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, Sq8ManyUnderMatchesManyPlusFilter) {
+  Rng rng(1213);
+  for (const MetricKind kind :
+       {MetricKind::kL1, MetricKind::kL2, MetricKind::kLmax}) {
+    const Metric metric(kind);
+    for (const std::size_t count : {0ul, 1ul, 5ul, 64ul, 257ul}) {
+      for (const std::size_t dim : {1ul, 4ul, 8ul, 16ul, 33ul}) {
+        std::vector<std::uint8_t> query(dim);
+        std::vector<std::uint8_t> codes(count * dim);
+        for (std::size_t i = 0; i < dim; ++i) {
+          query[i] = static_cast<std::uint8_t>(rng.NextBounded(256));
+        }
+        for (std::size_t i = 0; i < codes.size(); ++i) {
+          codes[i] = static_cast<std::uint8_t>(rng.NextBounded(256));
+        }
+        std::vector<std::uint32_t> reductions(count);
+        metric.Sq8Many(query.data(), codes.data(), count, dim,
+                       reductions.data());
+        // Cutoffs spanning prune-everything, a mid quantile, and the
+        // keep-everything saturation path (> INT32_MAX).
+        std::vector<std::uint32_t> cutoffs = {0u, 0xffffffffu, 0x80000001u};
+        if (count > 0) cutoffs.push_back(reductions[count / 2]);
+        for (const std::uint32_t cutoff : cutoffs) {
+          std::vector<std::uint32_t> expected;
+          for (std::size_t i = 0; i < count; ++i) {
+            if (reductions[i] <= cutoff) {
+              expected.push_back(static_cast<std::uint32_t>(i));
+            }
+          }
+          std::vector<std::uint32_t> got(count + 1, 0xdeadbeefu);
+          const std::size_t n = metric.Sq8ManyUnder(
+              query.data(), codes.data(), count, dim, cutoff, got.data());
+          ASSERT_EQ(expected.size(), n)
+              << "kind=" << MetricKindToString(kind) << " count=" << count
+              << " dim=" << dim << " cutoff=" << cutoff;
+          for (std::size_t i = 0; i < n; ++i) {
+            EXPECT_EQ(expected[i], got[i])
+                << "kind=" << MetricKindToString(kind) << " count=" << count
+                << " dim=" << dim << " cutoff=" << cutoff << " slot=" << i;
+          }
+          EXPECT_EQ(0xdeadbeefu, got[n]) << "wrote past the survivor count";
+        }
+      }
+    }
+  }
+}
+
 TEST(SimdKernelTest, DispatchReportsConsistentState) {
   // Informational: the suite passes on both paths, but record which one
   // this host exercised.

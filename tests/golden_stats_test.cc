@@ -227,6 +227,46 @@ std::string RenderActualStats() {
       << " recall_min=" << FormatDouble(recall.min)
       << " hits=" << recall.hits << " wanted=" << recall.wanted << "\n";
 
+  // All-pairs self-join at a pinned epsilon, exact and quantized: block
+  // pair enumeration, leader-pays page coalescing, the codebook triage
+  // counters, and the simulated-time split are all deterministic. The
+  // two engines must emit identical pair lists (checked outside the
+  // golden text); the counters pin each path's work separately.
+  const auto append_join_stats = [&out](const JoinStats& stats) {
+    out << "leaf_blocks=" << stats.leaf_blocks
+        << " considered=" << stats.block_pairs_considered
+        << " pruned=" << stats.block_pairs_pruned
+        << " swept=" << stats.block_pairs_swept
+        << " pairs=" << stats.pairs_emitted
+        << " total_pages=" << stats.total_pages
+        << " directory_pages=" << stats.directory_pages
+        << " max_pages=" << stats.max_pages
+        << " coalesced_reads=" << stats.coalesced_reads
+        << " exact_distances=" << stats.exact_distances
+        << " quantized_pruned=" << stats.quantized_pruned
+        << " base_pruned=" << stats.base_pruned
+        << " prefix_pruned=" << stats.prefix_pruned
+        << " sq8_pruned=" << stats.sq8_pruned
+        << " reranked=" << stats.reranked
+        << " leaf_bytes_scanned=" << stats.leaf_bytes_scanned
+        << " block_kernel_invocations=" << stats.block_kernel_invocations
+        << " parallel_ms=" << FormatDouble(stats.parallel_ms)
+        << " sum_ms=" << FormatDouble(stats.sum_ms)
+        << " balance=" << FormatDouble(stats.balance) << "\n";
+  };
+  const double join_eps = 0.2;
+  const JoinResult join_exact = engine.SelfJoin(join_eps);
+  const JoinResult join_quant = quant_engine.SelfJoin(join_eps);
+  EXPECT_EQ(join_exact.pairs.size(), join_quant.pairs.size());
+  for (std::size_t i = 0;
+       i < join_exact.pairs.size() && i < join_quant.pairs.size(); ++i) {
+    EXPECT_TRUE(join_exact.pairs[i] == join_quant.pairs[i]) << "pair " << i;
+  }
+  out << "[join eps=0.2 exact]\n";
+  append_join_stats(join_exact.stats);
+  out << "[join eps=0.2 quantized]\n";
+  append_join_stats(join_quant.stats);
+
   // Bulk-load accounting: per-level node/page/entry counts of the packed
   // tree plus the build's write ledger, for both packing orders. Pins
   // the pack_groups math and the batched AllocateNodes page accounting —

@@ -61,7 +61,10 @@ echo "== [3/4] TSAN build + concurrency tests =="
 # 8-worker determinism); util_parallel_sort_test and
 # index_bulk_load_parallel_test run the deterministic parallel merge
 # sort and the full parallel bulk-load path (key batches, slab tiling,
-# level packing, warm-up fan-out) on 8-worker pools.
+# level packing, warm-up fan-out) on 8-worker pools; parallel_join_test
+# fans the self-join's codebook builds and block-pair row sweeps over
+# pools of several widths and asserts the pair list and every counter
+# are thread-count invariant.
 TSAN_TESTS=(util_thread_pool_test util_parallel_sort_test
             io_buffer_pool_test
             parallel_concurrency_test parallel_threads_test
@@ -69,7 +72,7 @@ TSAN_TESTS=(util_thread_pool_test util_parallel_sort_test
             parallel_degraded_query_test golden_stats_test
             index_quantized_block_test index_cascade_test
             index_approx_knn_test parallel_service_test
-            index_bulk_load_parallel_test)
+            index_bulk_load_parallel_test parallel_join_test)
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -O1 -g" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
@@ -86,7 +89,7 @@ MICROBENCHES=(microbench_query_parallel microbench_buffer_pool
               microbench_fault_injection microbench_batch_knn
               microbench_quantized_knn microbench_cascade
               microbench_recall microbench_service
-              microbench_bulk_load)
+              microbench_bulk_load microbench_join)
 cmake --build build-ci -j "$JOBS" --target "${MICROBENCHES[@]}"
 # Run from build-ci so the smoke-sized JSON files do not overwrite the
 # committed full-run BENCH_*.json at the repo root (tools/bench.sh
